@@ -1,0 +1,58 @@
+"""Figures 10 & 11 — SCADr throughput and 99th-percentile latency vs cluster size.
+
+Reproduces the scale-up experiment of Section 8.4.2 (the paper reports
+R^2 = 0.9868 for throughput linearity and flat tail latency): data per node
+is held constant (users, 100 thoughts per user, 10 subscriptions per user at
+a limit of 10) while nodes and clients grow together.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ScalingExperiment, ScalingExperimentConfig, format_table, save_results
+from repro.workloads import ScadrWorkload
+
+
+def make_workload() -> ScadrWorkload:
+    # Section 8.2: limits of 10 subscriptions and 10 results per page.
+    return ScadrWorkload(
+        max_subscriptions=10, subscriptions_per_user=10, thoughts_per_user=20
+    )
+
+
+def run_experiment():
+    experiment = ScalingExperiment(
+        make_workload,
+        ScalingExperimentConfig(
+            node_counts=(20, 40, 60, 80, 100),
+            users_per_node=50,
+            threads_per_client=4,
+            interactions_per_thread=8,
+        ),
+    )
+    return experiment.run()
+
+
+def test_fig10_fig11_scadr_scaling(run_once):
+    result = run_once(run_experiment)
+
+    print("\nFigures 10 & 11 — SCADr scale-up (home-page rendering)")
+    print(
+        format_table(
+            ["storage nodes", "clients", "interactions/s", "p99 RT (ms)",
+             "mean RT (ms)"],
+            result.rows(),
+        )
+    )
+    print(f"throughput linearity R^2 = {result.throughput_r_squared:.4f} "
+          f"(paper: 0.9868)")
+    print(f"p99 latency range: {result.min_p99_ms:.1f}-{result.max_p99_ms:.1f} ms")
+    save_results(
+        "fig10_11_scadr_scaling",
+        {"rows": result.rows(), "r_squared": result.throughput_r_squared},
+    )
+
+    throughputs = [p.throughput for p in result.points]
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    assert result.throughput_r_squared > 0.98
+    assert throughputs[-1] / throughputs[0] > 5 * 0.6
+    assert result.latency_flatness() < 2.0

@@ -1,0 +1,58 @@
+"""Figure 1 — query scaling classes.
+
+Reproduces the conceptual figure quantitatively: for representative Class
+I-IV queries over SCADr data, how does the amount of data relevant to one
+query grow as the database grows?  Also checks that the PIQL optimizer
+admits exactly the Class I/II queries.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ScalingClassAnalysis
+from repro.bench import format_table, save_results
+
+
+def run_experiment():
+    analysis = ScalingClassAnalysis(user_counts=(500, 1000, 2000, 4000, 8000))
+    return analysis.run()
+
+
+def test_fig1_scaling_classes(run_once):
+    result = run_once(run_experiment)
+
+    rows = [
+        (
+            point.users,
+            point.class1_constant,
+            point.class2_bounded,
+            point.class3_linear,
+            point.class4_superlinear,
+        )
+        for point in result.points
+    ]
+    print("\nFigure 1 — relevant data touched per query as the database grows")
+    print(
+        format_table(
+            ["users", "class I (constant)", "class II (bounded)",
+             "class III (linear)", "class IV (super-linear)"],
+            rows,
+        )
+    )
+    print("PIQL admissibility:", result.accepted_by_piql)
+    save_results(
+        "fig1_scaling_classes",
+        {
+            "points": rows,
+            "accepted_by_piql": result.accepted_by_piql,
+        },
+    )
+
+    growth = result.database_growth_factor()
+    assert result.growth_factor("class1_constant") == 1.0
+    assert result.growth_factor("class2_bounded") == 1.0
+    assert growth * 0.3 < result.growth_factor("class3_linear") < growth * 3
+    assert result.growth_factor("class4_superlinear") > growth * 2
+    assert result.accepted_by_piql["class1_find_user"]
+    assert result.accepted_by_piql["class2_thoughtstream"]
+    assert not result.accepted_by_piql["class3_users_by_hometown"]
+    assert not result.accepted_by_piql["class4_hometown_pairs"]

@@ -1,0 +1,68 @@
+"""Figure 6 — predicted 99th-percentile latency heatmap for the thoughtstream query.
+
+The Performance Insight Assistant shows the developer how the predicted
+99th-percentile latency varies with the two cardinality knobs of the
+thoughtstream query (subscriptions per user and records per page); the
+developer picks a pair that satisfies the SLO.
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.bench import save_results
+from repro.prediction import (
+    QueryLatencyModel,
+    ServiceLevelObjective,
+    TrainingConfig,
+    thoughtstream_heatmap,
+    train_default_model,
+)
+from repro.workloads.scadr.schema import scadr_ddl
+
+SUBSCRIPTIONS = (100, 150, 200, 250, 300, 350, 400, 450, 500)
+PAGE_SIZES = (10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+def run_experiment():
+    store = train_default_model(
+        config=TrainingConfig(intervals=10, samples_per_interval=16)
+    )
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=10, seed=3))
+    db.execute_ddl(scadr_ddl(max_subscriptions=500))
+    model = QueryLatencyModel(store, db.catalog)
+    return thoughtstream_heatmap(
+        model, subscription_counts=SUBSCRIPTIONS, page_sizes=PAGE_SIZES
+    )
+
+
+def test_fig6_thoughtstream_heatmap(run_once):
+    heatmap = run_once(run_experiment)
+
+    print("\nFigure 6 — predicted 99th-percentile latency (ms) for thoughtstream")
+    print(heatmap.render())
+    slo = ServiceLevelObjective(quantile=0.99, latency_seconds=0.5)
+    acceptable = heatmap.acceptable_settings(slo)
+    print(f"settings meeting the 500 ms SLO: {len(acceptable)} of "
+          f"{len(SUBSCRIPTIONS) * len(PAGE_SIZES)}")
+    save_results(
+        "fig6_heatmap",
+        {
+            "subscriptions": list(SUBSCRIPTIONS),
+            "page_sizes": list(PAGE_SIZES),
+            "cells_ms": [
+                [cell * 1000.0 for cell in row] for row in heatmap.cells_seconds
+            ],
+        },
+    )
+
+    # Shape checks mirroring the paper's heatmap: latency increases along both
+    # axes between the extreme settings.  (Adjacent cells may tie or jitter
+    # because the model conservatively rounds each setting up to the next
+    # trained cardinality bucket, exactly as described in Section 6.1.)
+    assert heatmap.cell_ms(500, 50) > heatmap.cell_ms(100, 10)
+    for page in (10, 50):
+        assert heatmap.cell_ms(500, page) > heatmap.cell_ms(100, page)
+    for subscriptions in (100, 500):
+        assert heatmap.cell_ms(subscriptions, 50) > heatmap.cell_ms(subscriptions, 10)
+    # The small-cardinality corner comfortably meets the paper's 500 ms SLO.
+    assert (100, 10) in acceptable

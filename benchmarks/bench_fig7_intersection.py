@@ -1,0 +1,63 @@
+"""Figure 7 — subscriber intersection query: scale-independent vs cost-based plan.
+
+Reproduces the comparison of Section 8.3: the cost-based plan (unbounded
+index scan over the target's subscribers) is faster for unpopular users but
+its latency grows without bound with popularity, while PIQL's bounded
+random-lookup plan stays flat and keeps meeting the SLO.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    IntersectionExperimentConfig,
+    SubscriberIntersectionExperiment,
+    format_table,
+    save_results,
+)
+
+
+def run_experiment():
+    experiment = SubscriberIntersectionExperiment(
+        IntersectionExperimentConfig(
+            storage_nodes=10,
+            subscriber_counts=(0, 500, 1000, 2000, 3000, 4000, 5000),
+            executions_per_point=120,
+            friends=50,
+        )
+    )
+    return experiment.run()
+
+
+def test_fig7_subscriber_intersection(run_once):
+    result = run_once(run_experiment)
+
+    rows = [
+        (p.subscribers, round(p.unbounded_p99_ms, 1), round(p.bounded_p99_ms, 1),
+         p.unbounded_operations, p.bounded_operations)
+        for p in result.points
+    ]
+    print("\nFigure 7 — 99th-percentile response time of the subscriber "
+          "intersection query")
+    print(
+        format_table(
+            ["subscribers", "unbounded scan p99 (ms)", "bounded lookups p99 (ms)",
+             "scan ops", "lookup ops"],
+            rows,
+        )
+    )
+    print("crossover at ~", result.crossover_subscribers(), "subscribers")
+    save_results("fig7_intersection", {"points": rows,
+                                       "crossover": result.crossover_subscribers()})
+
+    first, last = result.points[0], result.points[-1]
+    # The cost-based plan wins for unpopular users (the paper reports up to 4x).
+    assert first.unbounded_p99_ms < first.bounded_p99_ms
+    # ... but its latency and operation count grow with popularity,
+    assert last.unbounded_p99_ms > 5 * first.unbounded_p99_ms
+    assert last.unbounded_operations > 1000
+    # ... while the PIQL plan's work stays bounded and its latency roughly flat,
+    assert all(p.bounded_operations <= 50 for p in result.points)
+    assert last.bounded_p99_ms < 5 * max(first.bounded_p99_ms, 1.0)
+    # ... so for popular users the scale-independent plan wins decisively.
+    assert last.bounded_p99_ms < last.unbounded_p99_ms
+    assert result.crossover_subscribers() is not None

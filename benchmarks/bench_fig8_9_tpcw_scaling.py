@@ -1,0 +1,70 @@
+"""Figures 8 & 9 — TPC-W throughput and 99th-percentile latency vs cluster size.
+
+Reproduces the scale-up experiment of Section 8.4.1: the number of storage
+nodes grows from 20 to 100 (with one client machine per two storage nodes
+and data per node held constant); throughput must grow near-linearly
+(the paper reports R^2 = 0.9985) while the 99th-percentile web-interaction
+response time stays essentially flat.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ScalingExperiment, ScalingExperimentConfig, format_table, save_results
+from repro.workloads import TpcwWorkload
+
+
+def run_experiment():
+    experiment = ScalingExperiment(
+        TpcwWorkload,
+        ScalingExperimentConfig(
+            node_counts=(20, 40, 60, 80, 100),
+            users_per_node=40,
+            items_total=600,
+            threads_per_client=4,
+            interactions_per_thread=8,
+        ),
+    )
+    return experiment.run()
+
+
+def test_fig8_fig9_tpcw_scaling(run_once):
+    result = run_once(run_experiment)
+
+    print("\nFigures 8 & 9 — TPC-W scale-up (ordering mix)")
+    print(
+        format_table(
+            ["storage nodes", "clients", "WIPS", "p99 RT (ms)", "mean RT (ms)"],
+            result.rows(),
+        )
+    )
+    print(f"throughput linearity R^2 = {result.throughput_r_squared:.4f} "
+          f"(paper: 0.9985)")
+    print(f"p99 latency range: {result.min_p99_ms:.1f}-{result.max_p99_ms:.1f} ms")
+    save_results(
+        "fig8_9_tpcw_scaling",
+        {"rows": result.rows(), "r_squared": result.throughput_r_squared},
+    )
+
+    throughputs = [p.throughput for p in result.points]
+    assert all(b > a for a, b in zip(throughputs, throughputs[1:]))
+    # Figure 8: near-linear throughput scale-up.
+    assert result.throughput_r_squared > 0.98
+    # Roughly 5x the nodes should give roughly 5x the throughput (within 40%).
+    assert throughputs[-1] / throughputs[0] > 5 * 0.6
+    # Figure 9: 99th-percentile latency is independent of scale.
+    assert result.latency_flatness() < 2.0
+
+
+def test_fig8_single_point_20_nodes(benchmark):
+    """Timing for one scale point (useful when iterating on the simulator)."""
+    experiment = ScalingExperiment(
+        TpcwWorkload,
+        ScalingExperimentConfig(
+            node_counts=(20,), users_per_node=40, items_total=600,
+            threads_per_client=4, interactions_per_thread=8,
+        ),
+    )
+    point = benchmark.pedantic(
+        lambda: experiment.run_point(20), rounds=1, iterations=1
+    )
+    assert point.throughput > 0

@@ -1,0 +1,81 @@
+"""Table 1 — query modifications, required indexes, actual vs predicted 99th percentile.
+
+For every read query of TPC-W and SCADr this benchmark reports the
+modifications and additional indexes needed for scale-independent execution
+together with the measured and model-predicted 99th-percentile latencies.
+Following Section 8.6, the prediction model should (mildly) over-predict in
+most cases — its purpose is SLO compliance, not point-accurate latency.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    PredictionAccuracyExperiment,
+    PredictionExperimentConfig,
+    format_table,
+    save_results,
+)
+from repro.prediction import ServiceLevelObjective, TrainingConfig
+
+
+def run_experiment():
+    experiment = PredictionAccuracyExperiment(
+        PredictionExperimentConfig(
+            storage_nodes=10,
+            users_per_node=50,
+            items_total=400,
+            intervals=8,
+            executions_per_interval=120,
+        ),
+        TrainingConfig(intervals=8, samples_per_interval=14),
+    )
+    rows = experiment.run()
+    return experiment, rows
+
+
+def test_table1_prediction_accuracy(run_once):
+    experiment, rows = run_once(run_experiment)
+
+    table = [
+        (
+            row.benchmark,
+            row.query,
+            row.modifications,
+            "; ".join(row.additional_indexes) or "-",
+            round(row.actual_p99_ms, 1),
+            round(row.predicted_p99_ms, 1),
+        )
+        for row in rows
+    ]
+    print("\nTable 1 — modifications, indexes, actual vs predicted 99th percentile")
+    print(
+        format_table(
+            ["benchmark", "query", "modifications", "additional indexes",
+             "actual 99th (ms)", "predicted 99th (ms)"],
+            table,
+        )
+    )
+    summary = experiment.summary(rows)
+    print("summary:", {k: round(float(v), 2) for k, v in summary.items()})
+    save_results("table1_prediction", {"rows": table, "summary": {
+        k: float(v) for k, v in summary.items()}})
+
+    # All thirteen read queries of the two benchmarks are reproduced.
+    assert len(rows) == 13
+    # Qualitative columns: the tokenised-search rewrites need their inverted
+    # indexes, the point lookups need none.
+    by_query = {row.query: row for row in rows}
+    assert by_query["new_products_wi"].additional_indexes
+    assert by_query["search_by_title_wi"].additional_indexes
+    assert by_query["home_wi"].additional_indexes == []
+    assert by_query["find_user"].additional_indexes == []
+    # The model predicts SLO compliance conservatively on balance.  (The
+    # "actual" column is a max-over-intervals of per-interval percentiles
+    # estimated from far fewer samples than the trained models, so individual
+    # heavy-tail queries can exceed their prediction — see EXPERIMENTS.md.)
+    assert summary["fraction_overpredicted"] >= 0.45
+    assert summary["max_underprediction_ms"] < 45.0
+    # Every query comfortably meets the paper's 500 ms SLO, predicted and actual.
+    slo = ServiceLevelObjective(latency_seconds=0.5)
+    assert all(row.predicted_p99_ms / 1000.0 < slo.latency_seconds for row in rows)
+    assert all(row.actual_p99_ms / 1000.0 < slo.latency_seconds for row in rows)

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Quickstart: define a schema, load data, and run scale-independent queries.
+
+This walks through the core PIQL workflow on a tiny micro-blogging schema:
+
+1. create tables with PIQL's ``CARDINALITY LIMIT`` extension,
+2. insert data (secondary indexes and constraints are maintained for you),
+3. compile queries — the optimizer either returns a plan with a hard upper
+   bound on key/value store operations, or rejects the query and explains
+   which ``CARDINALITY LIMIT`` would fix it,
+4. execute queries and paginate through large results one bounded page at a
+   time.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import ClusterConfig, NotScaleIndependentError, PiqlDatabase
+
+DDL = """
+CREATE TABLE users (
+    username  VARCHAR(32),
+    hometown  VARCHAR(64),
+    PRIMARY KEY (username)
+);
+
+CREATE TABLE posts (
+    author    VARCHAR(32),
+    posted_at INT,
+    body      VARCHAR(140),
+    PRIMARY KEY (author, posted_at),
+    FOREIGN KEY (author) REFERENCES users (username)
+);
+
+CREATE TABLE follows (
+    follower  VARCHAR(32),
+    followee  VARCHAR(32),
+    PRIMARY KEY (follower, followee),
+    CARDINALITY LIMIT 50 (follower)
+)
+"""
+
+TIMELINE = """
+SELECT p.*
+FROM follows f JOIN posts p
+WHERE p.author = f.followee
+  AND f.follower = <me>
+ORDER BY p.posted_at DESC
+LIMIT 10
+"""
+
+
+def main() -> None:
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=42))
+    db.execute_ddl(DDL)
+
+    # --- load a little data -------------------------------------------------
+    people = ["ada", "grace", "alan", "edsger"]
+    for person in people:
+        db.insert("users", {"username": person, "hometown": "berkeley"})
+    for follower in people:
+        for followee in people:
+            if follower != followee:
+                db.insert("follows", {"follower": follower, "followee": followee})
+    for person in people:
+        for t in range(30):
+            db.insert(
+                "posts",
+                {"author": person, "posted_at": 1_000 + t, "body": f"post {t}"},
+            )
+
+    # --- a bounded query ----------------------------------------------------
+    timeline = db.prepare(TIMELINE)
+    print("compiled timeline query; plan:")
+    print(timeline.describe())
+    print(f"\nupper bound: {timeline.operation_bound} key/value operations\n")
+
+    result = timeline.execute(me="ada")
+    print(f"ada's timeline ({len(result.rows)} rows, "
+          f"{result.operations} operations, {result.latency_ms:.1f} ms simulated):")
+    for row in result.rows[:3]:
+        print("  ", row)
+
+    # --- pagination ----------------------------------------------------------
+    pages = db.prepare(
+        "SELECT * FROM posts WHERE author = <who> ORDER BY posted_at ASC PAGINATE 8"
+    )
+    total = 0
+    for page_number, page in enumerate(pages.pages(who="grace"), start=1):
+        total += len(page.rows)
+        print(f"page {page_number}: {len(page.rows)} posts "
+              f"(cursor is {len(page.cursor or '')} bytes)")
+    print(f"walked {total} posts, one bounded interaction at a time\n")
+
+    # --- a query PIQL refuses -----------------------------------------------
+    try:
+        db.prepare("SELECT * FROM posts WHERE body LIKE [1: word]")
+    except NotScaleIndependentError as error:
+        print("rejected as not scale-independent:")
+        print(error.explain())
+    print()
+    print(db.diagnose("SELECT * FROM users WHERE hometown = <town>").render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table is the canonical metadata; this setup.py
+mirrors it so that editable installs work in offline environments where the
+``wheel`` package (required by the PEP 517 editable path) is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'PIQL: Success-Tolerant Query Processing in the "
+        "Cloud' (VLDB 2011)"
+    ),
+    author="PIQL reproduction authors",
+    license="Apache-2.0",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,52 @@
+"""PIQL reproduction: success-tolerant (scale-independent) query processing.
+
+This package reimplements the system described in "PIQL: Success-Tolerant
+Query Processing in the Cloud" (Armbrust et al., PVLDB 5(3), 2011) on top of
+a simulated distributed key/value store, including the PIQL language
+extensions, the scale-independent optimizer, the execution engine, the SLO
+compliance prediction model, and the TPC-W / SCADr benchmarks used in the
+paper's evaluation.
+"""
+
+from .engine.database import PiqlDatabase
+from .engine.query import PreparedQuery
+from .errors import (
+    CardinalityViolationError,
+    ConstraintViolationError,
+    CursorError,
+    ExecutionError,
+    NotScaleIndependentError,
+    ParseError,
+    PiqlError,
+    PlanningError,
+    PredictionError,
+    SchemaError,
+    UniquenessViolationError,
+)
+from .execution.context import ExecutionStrategy, QueryResult
+from .kvstore.cluster import ClusterConfig, KeyValueCluster
+from .kvstore.latency import LatencyParameters
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CardinalityViolationError",
+    "ClusterConfig",
+    "ConstraintViolationError",
+    "CursorError",
+    "ExecutionError",
+    "ExecutionStrategy",
+    "KeyValueCluster",
+    "LatencyParameters",
+    "NotScaleIndependentError",
+    "ParseError",
+    "PiqlDatabase",
+    "PiqlError",
+    "PlanningError",
+    "PredictionError",
+    "PreparedQuery",
+    "QueryResult",
+    "SchemaError",
+    "UniquenessViolationError",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Analyses of query scaling behaviour (Section 2 of the paper)."""
+
+from .scaling_classes import (
+    CLASS_QUERIES,
+    ClassPoint,
+    ScalingClassAnalysis,
+    ScalingClassResult,
+)
+
+__all__ = [
+    "CLASS_QUERIES",
+    "ClassPoint",
+    "ScalingClassAnalysis",
+    "ScalingClassResult",
+]

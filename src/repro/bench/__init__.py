@@ -1,0 +1,50 @@
+"""Benchmark harnesses reproducing the paper's evaluation (Section 8)."""
+
+from .harness import ClientSimulationConfig, RunMeasurement, run_workload
+from .intersection import (
+    IntersectionExperimentConfig,
+    IntersectionPoint,
+    IntersectionResult,
+    SubscriberIntersectionExperiment,
+)
+from .prediction_experiment import (
+    PredictionAccuracyExperiment,
+    PredictionExperimentConfig,
+    PredictionRow,
+)
+from .reporting import format_table, linear_fit_r_squared, percentile, save_results
+from .scaling import (
+    ScalePoint,
+    ScalingExperiment,
+    ScalingExperimentConfig,
+    ScalingResult,
+)
+from .strategies import (
+    ExecutorStrategyConfig,
+    ExecutorStrategyExperiment,
+    StrategyMeasurement,
+)
+
+__all__ = [
+    "ClientSimulationConfig",
+    "ExecutorStrategyConfig",
+    "ExecutorStrategyExperiment",
+    "IntersectionExperimentConfig",
+    "IntersectionPoint",
+    "IntersectionResult",
+    "PredictionAccuracyExperiment",
+    "PredictionExperimentConfig",
+    "PredictionRow",
+    "RunMeasurement",
+    "ScalePoint",
+    "ScalingExperiment",
+    "ScalingExperimentConfig",
+    "ScalingResult",
+    "StrategyMeasurement",
+    "SubscriberIntersectionExperiment",
+    "format_table",
+    "linear_fit_r_squared",
+    "percentile",
+    "run_workload",
+    "save_results",
+]

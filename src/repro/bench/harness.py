@@ -1,0 +1,111 @@
+"""Benchmark harness: emulated clients issuing web interactions.
+
+The paper's methodology (Section 8.4): one client machine with the PIQL
+library for every two storage servers, ten concurrent threads per client,
+throughput and response times collected over fixed intervals.  The harness
+reproduces that shape in simulated time — every thread owns its own
+simulated clock (it is a stateless application server), runs a fixed number
+of interactions back to back, and throughput is interactions completed per
+simulated second.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.database import PiqlDatabase
+from ..execution.context import ExecutionStrategy
+from ..workloads.base import Workload
+from .reporting import percentile
+
+
+@dataclass
+class ClientSimulationConfig:
+    """How many emulated application servers / threads to simulate."""
+
+    client_machines: int = 5
+    threads_per_client: int = 10
+    interactions_per_thread: int = 25
+    #: Cluster utilisation modelled during the run (drives queueing delay).
+    utilization: float = 0.30
+    strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL
+    seed: int = 11
+
+
+@dataclass
+class RunMeasurement:
+    """Aggregated measurements of one benchmark run."""
+
+    interactions: int
+    duration_seconds: float
+    interaction_latencies: List[float] = field(default_factory=list)
+    query_latencies: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Web interactions per (simulated) second across all clients."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.interactions / self.duration_seconds
+
+    def latency_percentile_ms(self, fraction: float = 0.99) -> float:
+        return percentile(self.interaction_latencies, fraction) * 1000.0
+
+    def mean_latency_ms(self) -> float:
+        if not self.interaction_latencies:
+            return 0.0
+        return (
+            sum(self.interaction_latencies) / len(self.interaction_latencies) * 1000.0
+        )
+
+    def query_percentile_ms(self, query: str, fraction: float = 0.99) -> float:
+        return percentile(self.query_latencies[query], fraction) * 1000.0
+
+
+def run_workload(
+    db: PiqlDatabase,
+    workload: Workload,
+    config: Optional[ClientSimulationConfig] = None,
+) -> RunMeasurement:
+    """Simulate the emulated-browser fleet against an already-loaded database.
+
+    ``db`` must have had ``workload.setup`` run against it.  Each thread gets
+    its own :class:`PiqlDatabase` view (shared cluster and catalog, private
+    clock and statistics); threads run their interactions back to back and
+    the run's duration is the slowest thread's simulated elapsed time.
+    """
+    config = config or ClientSimulationConfig()
+    total_capacity = (
+        db.cluster.config.storage_nodes
+        * db.cluster.config.node_capacity_ops_per_second
+    )
+    db.cluster.set_offered_load(total_capacity * config.utilization)
+
+    interaction_latencies: List[float] = []
+    query_latencies: Dict[str, List[float]] = {}
+    durations: List[float] = []
+    interactions = 0
+
+    for client_index in range(config.client_machines):
+        for thread_index in range(config.threads_per_client):
+            view = db.new_client(strategy=config.strategy)
+            rng = random.Random(
+                (config.seed, client_index, thread_index).__hash__() & 0x7FFFFFFF
+            )
+            start = view.client.clock.now
+            for _ in range(config.interactions_per_thread):
+                result = workload.interaction(view, rng)
+                interactions += 1
+                interaction_latencies.append(result.latency_seconds)
+                for name, latency in result.query_latencies.items():
+                    query_latencies.setdefault(name, []).append(latency)
+            durations.append(view.client.clock.now - start)
+
+    return RunMeasurement(
+        interactions=interactions,
+        duration_seconds=max(durations) if durations else 0.0,
+        interaction_latencies=interaction_latencies,
+        query_latencies=query_latencies,
+    )

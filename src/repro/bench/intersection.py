@@ -1,0 +1,172 @@
+"""Subscriber-intersection comparison: PIQL vs. cost-based planning (Figure 7).
+
+The query checks which of the current user's 50 friends are subscribed to a
+target user::
+
+    SELECT * FROM subscriptions
+    WHERE target = <target_user> AND owner IN [1: friends(50)]
+
+PIQL's scale-independent plan performs at most 50 bounded random reads
+against the subscriptions primary key.  A traditional cost-based optimizer,
+knowing that the *average* user has only ~126 subscribers, instead scans the
+``target`` secondary index and filters locally — cheaper on average, but its
+latency grows without bound with the target's popularity.  The experiment
+runs both plans against target users of increasing popularity and reports
+99th-percentile latencies, reproducing the crossover of Figure 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..engine.database import PiqlDatabase
+from ..execution.executor import QueryExecutor
+from ..kvstore.cluster import ClusterConfig
+from ..optimizer.cost_based import CostBasedOptimizer, TableStatistics
+from ..workloads.scadr.queries import SUBSCRIBER_INTERSECTION
+from ..workloads.scadr.schema import scadr_ddl
+from .reporting import percentile
+
+
+@dataclass
+class IntersectionPoint:
+    """99th-percentile latency of both plans for one target popularity."""
+
+    subscribers: int
+    bounded_p99_ms: float
+    unbounded_p99_ms: float
+    bounded_operations: int
+    unbounded_operations: int
+
+
+@dataclass
+class IntersectionExperimentConfig:
+    """Setup of the Figure 7 experiment."""
+
+    storage_nodes: int = 10
+    subscriber_counts: Sequence[int] = (0, 500, 1000, 2000, 3000, 4000, 5000)
+    friends: int = 50
+    executions_per_point: int = 100
+    fan_pool: int = 6000
+    average_subscribers: float = 126.0     # the 2009 Twitter average cited in §8.3
+    seed: int = 31
+
+
+@dataclass
+class IntersectionResult:
+    points: List[IntersectionPoint] = field(default_factory=list)
+
+    def crossover_subscribers(self) -> Optional[int]:
+        """Smallest popularity at which the bounded plan wins, if any."""
+        for point in self.points:
+            if point.bounded_p99_ms < point.unbounded_p99_ms:
+                return point.subscribers
+        return None
+
+
+class SubscriberIntersectionExperiment:
+    """Runs the bounded (PIQL) and unbounded (cost-based) plans side by side."""
+
+    def __init__(self, config: Optional[IntersectionExperimentConfig] = None):
+        self.config = config or IntersectionExperimentConfig()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_database(self) -> PiqlDatabase:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(storage_nodes=config.storage_nodes, seed=config.seed)
+        )
+        # A large cardinality limit on subscriptions per owner: each fan
+        # follows a handful of users, while a *target* may have millions of
+        # subscribers without violating any constraint.
+        db.execute_ddl(scadr_ddl(max_subscriptions=100))
+        fans = [f"fan{i:07d}" for i in range(config.fan_pool)]
+        db.bulk_load(
+            "users",
+            (
+                {"username": name, "password": "x", "hometown": "web", "created": i}
+                for i, name in enumerate(fans)
+            ),
+        )
+        targets = []
+        rows = []
+        for subscribers in config.subscriber_counts:
+            target = f"target{subscribers:07d}"
+            targets.append(target)
+            for fan_index in range(subscribers):
+                rows.append(
+                    {
+                        "owner": fans[fan_index % len(fans)] if subscribers <= len(fans)
+                        else f"fan{fan_index:07d}",
+                        "target": target,
+                        "approved": True,
+                    }
+                )
+        db.bulk_load(
+            "users",
+            (
+                {"username": t, "password": "x", "hometown": "web", "created": 0}
+                for t in targets
+            ),
+        )
+        db.bulk_load("subscriptions", rows)
+        self._fans = fans
+        return db
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+    def run(self) -> IntersectionResult:
+        config = self.config
+        db = self._build_database()
+        rng = random.Random(config.seed)
+
+        # PIQL plan: bounded random lookups.
+        bounded_query = db.prepare(SUBSCRIBER_INTERSECTION)
+
+        # Cost-based plan: unbounded index scan over subscriptions(target).
+        statistics = {
+            "subscriptions": TableStatistics(
+                row_count=db.records.count("subscriptions"),
+                avg_rows_per_value={("target",): config.average_subscribers},
+            )
+        }
+        cost_optimizer = CostBasedOptimizer(db.catalog, statistics)
+        costed = cost_optimizer.optimize(SUBSCRIBER_INTERSECTION)
+        for index in costed.required_indexes:
+            if not db.catalog.has_index(index.name):
+                db.create_index(index)
+        executor = QueryExecutor(db.client, db.catalog, enforce_bounds=False)
+
+        result = IntersectionResult()
+        for subscribers in config.subscriber_counts:
+            target = f"target{subscribers:07d}"
+            bounded_latencies: List[float] = []
+            unbounded_latencies: List[float] = []
+            bounded_ops = 0
+            unbounded_ops = 0
+            for _ in range(config.executions_per_point):
+                friends = rng.sample(self._fans, config.friends)
+                parameters = {"target_user": target, "friends": friends}
+                bounded = bounded_query.execute(parameters)
+                bounded_latencies.append(bounded.latency_seconds)
+                bounded_ops = max(bounded_ops, bounded.operations)
+                unbounded = executor.execute_physical_plan(
+                    costed.physical_plan, parameters
+                )
+                unbounded_latencies.append(unbounded.latency_seconds)
+                unbounded_ops = max(unbounded_ops, unbounded.operations)
+            result.points.append(
+                IntersectionPoint(
+                    subscribers=subscribers,
+                    bounded_p99_ms=percentile(bounded_latencies, 0.99) * 1000.0,
+                    unbounded_p99_ms=percentile(unbounded_latencies, 0.99) * 1000.0,
+                    bounded_operations=bounded_ops,
+                    unbounded_operations=unbounded_ops,
+                )
+            )
+        return result

@@ -1,0 +1,154 @@
+"""Scale-up experiments (Figures 8-11).
+
+For each cluster size the experiment loads a dataset whose size grows with
+the cluster (constant data per server), runs one client machine per two
+storage servers, and records throughput and 99th-percentile web-interaction
+response time.  The paper's claims are (a) near-linear throughput scale-up
+(R^2 > 0.98) and (b) essentially flat 99th-percentile latency as the system
+grows — both of which the simulated reproduction exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..engine.database import PiqlDatabase
+from ..kvstore.cluster import ClusterConfig
+from ..workloads.base import Workload, WorkloadScale
+from .harness import ClientSimulationConfig, RunMeasurement, run_workload
+from .reporting import linear_fit_r_squared
+
+
+@dataclass
+class ScalePoint:
+    """Measurements for one cluster size."""
+
+    storage_nodes: int
+    client_machines: int
+    throughput: float
+    p99_latency_ms: float
+    mean_latency_ms: float
+    interactions: int
+
+
+@dataclass
+class ScalingResult:
+    """The full scale-up curve plus its linearity statistic."""
+
+    workload_name: str
+    points: List[ScalePoint] = field(default_factory=list)
+
+    @property
+    def throughput_r_squared(self) -> float:
+        xs = [float(p.storage_nodes) for p in self.points]
+        ys = [p.throughput for p in self.points]
+        return linear_fit_r_squared(xs, ys)
+
+    @property
+    def max_p99_ms(self) -> float:
+        return max(p.p99_latency_ms for p in self.points)
+
+    @property
+    def min_p99_ms(self) -> float:
+        return min(p.p99_latency_ms for p in self.points)
+
+    def latency_flatness(self) -> float:
+        """Ratio of the largest to the smallest 99th-percentile latency.
+
+        A value close to 1 means response time is independent of scale.
+        """
+        return self.max_p99_ms / max(self.min_p99_ms, 1e-9)
+
+    def rows(self) -> List[Sequence[object]]:
+        return [
+            (
+                p.storage_nodes,
+                p.client_machines,
+                round(p.throughput, 1),
+                round(p.p99_latency_ms, 1),
+                round(p.mean_latency_ms, 1),
+            )
+            for p in self.points
+        ]
+
+
+@dataclass
+class ScalingExperimentConfig:
+    """Knobs of the scale-up experiment.
+
+    The node counts follow the paper (20 to 100 storage nodes); the per-node
+    data sizes and per-thread interaction counts are scaled down so the
+    simulation completes quickly — the scaling *shape* does not depend on
+    them.
+    """
+
+    node_counts: Sequence[int] = (20, 40, 60, 80, 100)
+    users_per_node: int = 60
+    items_total: int = 600
+    threads_per_client: int = 5
+    interactions_per_thread: int = 12
+    replication: int = 2
+    utilization: float = 0.30
+    seed: int = 17
+
+
+class ScalingExperiment:
+    """Runs a workload at several cluster sizes (Figures 8-11)."""
+
+    def __init__(
+        self,
+        workload_factory: Callable[[], Workload],
+        config: Optional[ScalingExperimentConfig] = None,
+    ):
+        self.workload_factory = workload_factory
+        self.config = config or ScalingExperimentConfig()
+
+    def run_point(self, storage_nodes: int) -> ScalePoint:
+        """Run one cluster size and return its measurements."""
+        config = self.config
+        cluster_config = ClusterConfig(
+            storage_nodes=storage_nodes,
+            replication=min(config.replication, storage_nodes),
+            seed=config.seed + storage_nodes,
+        )
+        db = PiqlDatabase.simulated(cluster_config)
+        workload = self.workload_factory()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=storage_nodes,
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=config.seed,
+            ),
+        )
+        # One client machine per two storage servers, as in the paper.
+        client_machines = max(1, storage_nodes // 2)
+        measurement: RunMeasurement = run_workload(
+            db,
+            workload,
+            ClientSimulationConfig(
+                client_machines=client_machines,
+                threads_per_client=config.threads_per_client,
+                interactions_per_thread=config.interactions_per_thread,
+                utilization=config.utilization,
+                seed=config.seed + storage_nodes,
+            ),
+        )
+        return ScalePoint(
+            storage_nodes=storage_nodes,
+            client_machines=client_machines,
+            throughput=measurement.throughput,
+            p99_latency_ms=measurement.latency_percentile_ms(0.99),
+            mean_latency_ms=measurement.mean_latency_ms(),
+            interactions=measurement.interactions,
+        )
+
+    def run(self) -> ScalingResult:
+        """Run every cluster size of the configured sweep."""
+        workload_name = self.workload_factory().name
+        result = ScalingResult(workload_name=workload_name)
+        for storage_nodes in self.config.node_counts:
+            result.points.append(self.run_point(storage_nodes))
+        return result

@@ -1,0 +1,105 @@
+"""Execution-strategy comparison (Figure 12).
+
+The paper compares three variants of the PIQL execution engine on TPC-W
+running on a 10-node cluster with 5 client machines: the Lazy executor (one
+tuple per request), the Simple executor (batched requests using the
+compiler's limit hints, issued sequentially), and the Parallel executor
+(batched requests issued in parallel).  The result — Parallel < Simple <
+Lazy at the 99th percentile — demonstrates the value of both limit-hint
+batching and intra-query parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.database import PiqlDatabase
+from ..execution.context import ExecutionStrategy
+from ..kvstore.cluster import ClusterConfig
+from ..workloads.base import Workload, WorkloadScale
+from ..workloads.tpcw.workload import TpcwWorkload
+from .harness import ClientSimulationConfig, run_workload
+
+
+@dataclass
+class StrategyMeasurement:
+    """99th-percentile interaction latency for one execution strategy."""
+
+    strategy: str
+    p99_latency_ms: float
+    mean_latency_ms: float
+    throughput: float
+
+
+@dataclass
+class ExecutorStrategyConfig:
+    """Setup of the Figure 12 experiment (10 storage nodes, 5 clients)."""
+
+    storage_nodes: int = 10
+    client_machines: int = 5
+    threads_per_client: int = 4
+    interactions_per_thread: int = 20
+    users_per_node: int = 60
+    items_total: int = 600
+    utilization: float = 0.30
+    seed: int = 23
+
+
+class ExecutorStrategyExperiment:
+    """Runs the same workload under the three execution strategies."""
+
+    def __init__(
+        self,
+        workload_factory=TpcwWorkload,
+        config: Optional[ExecutorStrategyConfig] = None,
+    ):
+        self.workload_factory = workload_factory
+        self.config = config or ExecutorStrategyConfig()
+
+    def run(self) -> List[StrategyMeasurement]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(storage_nodes=config.storage_nodes, seed=config.seed)
+        )
+        workload: Workload = self.workload_factory()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=config.storage_nodes,
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=config.seed,
+            ),
+        )
+        measurements: List[StrategyMeasurement] = []
+        for strategy in (
+            ExecutionStrategy.LAZY,
+            ExecutionStrategy.SIMPLE,
+            ExecutionStrategy.PARALLEL,
+        ):
+            measurement = run_workload(
+                db,
+                workload,
+                ClientSimulationConfig(
+                    client_machines=config.client_machines,
+                    threads_per_client=config.threads_per_client,
+                    interactions_per_thread=config.interactions_per_thread,
+                    utilization=config.utilization,
+                    strategy=strategy,
+                    seed=config.seed,
+                ),
+            )
+            measurements.append(
+                StrategyMeasurement(
+                    strategy=strategy.value,
+                    p99_latency_ms=measurement.latency_percentile_ms(0.99),
+                    mean_latency_ms=measurement.mean_latency_ms(),
+                    throughput=measurement.throughput,
+                )
+            )
+        return measurements
+
+    @staticmethod
+    def as_dict(measurements: List[StrategyMeasurement]) -> Dict[str, float]:
+        return {m.strategy: m.p99_latency_ms for m in measurements}

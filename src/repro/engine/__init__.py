@@ -1,0 +1,6 @@
+"""Engine facade: the ``PiqlDatabase`` entry point and prepared queries."""
+
+from .database import PiqlDatabase
+from .query import PreparedQuery
+
+__all__ = ["PiqlDatabase", "PreparedQuery"]

@@ -1,0 +1,246 @@
+"""``PiqlDatabase`` — the top-level facade of the reproduction.
+
+A ``PiqlDatabase`` ties together every component of Figure 2: the simulated
+key/value store cluster, the client-side record manager and indexes, the
+scale-independent optimizer, the execution engine, and the Performance
+Insight Assistant.  A typical session::
+
+    from repro import PiqlDatabase, ClusterConfig
+
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=10))
+    db.execute_ddl(SCADR_DDL)
+    db.insert("users", {"username": "bob", ...})
+
+    q = db.prepare(
+        "SELECT thoughts.* FROM subscriptions s JOIN thoughts t "
+        "WHERE t.owner = s.target AND s.owner = <uname> "
+        "AND s.approved = true ORDER BY t.timestamp DESC LIMIT 10"
+    )
+    print(q.operation_bound)          # static bound on k/v operations
+    page = q.execute(uname="bob")     # rows + simulated latency
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import PiqlError, SchemaError
+from ..execution.context import ExecutionStrategy, QueryResult
+from ..execution.executor import QueryExecutor
+from ..kvstore.client import StorageClient
+from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..optimizer.assistant import PerformanceInsightAssistant, QueryDiagnosis
+from ..optimizer.optimizer import PiqlOptimizer
+from ..schema.catalog import Catalog
+from ..schema.ddl import IndexColumn, IndexDefinition, Table
+from ..sql import ast
+from ..sql.parser import parse
+from ..storage.record_manager import RecordManager
+from ..storage.rows import index_entries, index_namespace, record_key, serialize_row
+from .query import PreparedQuery
+
+
+class PiqlDatabase:
+    """A PIQL database engine instance backed by a simulated key/value store."""
+
+    def __init__(
+        self,
+        cluster: Optional[KeyValueCluster] = None,
+        strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
+    ):
+        self.cluster = cluster or KeyValueCluster(ClusterConfig())
+        self.catalog = Catalog()
+        self.client = StorageClient(cluster=self.cluster)
+        self.records = RecordManager(self.catalog, self.client)
+        self.optimizer = PiqlOptimizer(self.catalog)
+        self.executor = QueryExecutor(self.client, self.catalog, strategy=strategy)
+        self.assistant = PerformanceInsightAssistant(self.catalog)
+        self._prepared_cache: Dict[str, PreparedQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def simulated(
+        cls,
+        config: Optional[ClusterConfig] = None,
+        strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
+    ) -> "PiqlDatabase":
+        """Create a database on a fresh simulated cluster."""
+        return cls(cluster=KeyValueCluster(config or ClusterConfig()), strategy=strategy)
+
+    def new_client(
+        self, strategy: Optional[ExecutionStrategy] = None
+    ) -> "PiqlDatabase":
+        """A second application-server view onto the *same* cluster and schema.
+
+        The new instance shares the cluster and catalog (so data and indexes
+        are visible) but has its own simulated clock and statistics — this
+        is how the benchmark harness models many stateless application
+        servers issuing queries concurrently (Figure 2).
+        """
+        clone = PiqlDatabase.__new__(PiqlDatabase)
+        clone.cluster = self.cluster
+        clone.catalog = self.catalog
+        clone.client = StorageClient(cluster=self.cluster)
+        clone.records = RecordManager(self.catalog, clone.client)
+        clone.optimizer = PiqlOptimizer(self.catalog)
+        clone.executor = QueryExecutor(
+            clone.client,
+            self.catalog,
+            strategy=strategy or self.executor.config.strategy,
+        )
+        clone.assistant = PerformanceInsightAssistant(self.catalog)
+        clone._prepared_cache = {}
+        return clone
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def execute_ddl(self, ddl: Union[str, Sequence[str]]) -> List[str]:
+        """Execute one or more DDL statements (separated by ``;`` if a string).
+
+        Returns the names of the tables and indexes created.
+        """
+        statements: List[str]
+        if isinstance(ddl, str):
+            statements = [s.strip() for s in ddl.split(";") if s.strip()]
+        else:
+            statements = [s for s in ddl if s.strip()]
+        created: List[str] = []
+        for text in statements:
+            statement = parse(text)
+            if isinstance(statement, ast.CreateTableStatement):
+                self.create_table(statement.table)
+                created.append(statement.table.name)
+            elif isinstance(statement, ast.CreateIndexStatement):
+                index = IndexDefinition(
+                    name=statement.name,
+                    table=statement.table,
+                    columns=tuple(
+                        IndexColumn(name, tokenized) for name, tokenized in statement.columns
+                    ),
+                    unique=statement.unique,
+                )
+                self.create_index(index)
+                created.append(statement.name)
+            elif isinstance(statement, ast.InsertStatement):
+                self.insert(statement.table, dict(zip(statement.columns, statement.values)))
+            else:
+                raise SchemaError(
+                    f"execute_ddl only handles CREATE TABLE / CREATE INDEX / INSERT, "
+                    f"got {type(statement).__name__}"
+                )
+        return created
+
+    def create_table(self, table: Table) -> Table:
+        """Register a table, provision its storage, and its constraint indexes."""
+        self.catalog.add_table(table)
+        self.records.create_table_storage(table)
+        # Cardinality constraints whose columns are not a primary-key prefix
+        # need an index so the insert protocol can count matching rows.
+        for limit in table.cardinality_limits:
+            index = self.records.constraint_index(table, limit)
+            if index is not None and not self.catalog.has_index(index.name):
+                self.create_index(index)
+        return table
+
+    def create_index(self, index: IndexDefinition) -> IndexDefinition:
+        """Register a secondary index and backfill it from existing records."""
+        registered = self.catalog.add_index(index)
+        self.records.create_index_storage(registered)
+        self._backfill_index(registered)
+        return registered
+
+    def _backfill_index(self, index: IndexDefinition) -> None:
+        table = self.catalog.table(index.table)
+        namespace = index_namespace(index)
+        if self.cluster.namespace_size(table.namespace) == 0:
+            return
+        for _, payload in self.cluster._namespaces[table.namespace].iter_items():
+            row = self._deserialize(payload)
+            for entry_key, entry_value in index_entries(index, table, row):
+                self.cluster.load(namespace, entry_key, entry_value)
+
+    @staticmethod
+    def _deserialize(payload: bytes) -> Dict[str, Any]:
+        from ..storage.rows import deserialize_row
+
+        return deserialize_row(payload)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(self, table: str, row: Dict[str, Any], upsert: bool = False) -> Dict[str, Any]:
+        """Insert one row (index maintenance + constraint checks included)."""
+        return self.records.insert(table, row, upsert=upsert)
+
+    def update(self, table: str, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Replace the row with the same primary key."""
+        return self.records.update(table, row)
+
+    def delete(self, table: str, pk_values: Sequence[Any]) -> bool:
+        """Delete one row by primary key."""
+        return self.records.delete(table, pk_values)
+
+    def get(self, table: str, pk_values: Sequence[Any]) -> Optional[Dict[str, Any]]:
+        """Point lookup by primary key."""
+        return self.records.get(table, pk_values)
+
+    def bulk_load(self, table: str, rows: Iterable[Dict[str, Any]]) -> int:
+        """Bulk load rows without charging simulated latency."""
+        return self.records.bulk_load(table, rows)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str) -> PreparedQuery:
+        """Compile a PIQL SELECT into a scale-independent prepared query.
+
+        Any secondary indexes the plan requires (Section 5.3) are created
+        automatically and backfilled before the query is returned.
+        """
+        cached = self._prepared_cache.get(sql)
+        if cached is not None:
+            return cached
+        optimized = self.optimizer.optimize(sql)
+        for index in optimized.required_indexes:
+            if not self.catalog.has_index(index.name):
+                self.create_index(index)
+        prepared = PreparedQuery(optimized, self.executor)
+        self._prepared_cache[sql] = prepared
+        return prepared
+
+    def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None, **kwargs: Any) -> QueryResult:
+        """Compile (with caching) and execute a query in one call."""
+        return self.prepare(sql).execute(parameters, **kwargs)
+
+    def diagnose(self, sql: str) -> QueryDiagnosis:
+        """Run the Performance Insight Assistant on a query."""
+        return self.assistant.diagnose(sql)
+
+    # ------------------------------------------------------------------
+    # Operational helpers
+    # ------------------------------------------------------------------
+    def set_offered_load(self, total_ops_per_second: float) -> None:
+        """Model an aggregate offered load across the cluster (queueing delay)."""
+        self.cluster.set_offered_load(total_ops_per_second)
+
+    def reset_measurements(self) -> None:
+        """Reset per-client and per-node statistics (not the data)."""
+        self.client.stats = type(self.client.stats)()
+        self.client.clock.reset()
+        self.cluster.reset_stats()
+
+    def storage_summary(self) -> Dict[str, int]:
+        """Number of keys per namespace (diagnostics)."""
+        return {
+            namespace: self.cluster.namespace_size(namespace)
+            for namespace in self.cluster.namespaces()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PiqlDatabase(nodes={self.cluster.config.storage_nodes}, "
+            f"tables={[t.name for t in self.catalog.tables()]})"
+        )

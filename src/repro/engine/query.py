@@ -1,0 +1,101 @@
+"""Prepared queries: the user-facing handle on a compiled PIQL query."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..execution.context import ExecutionStrategy, QueryResult
+from ..execution.executor import QueryExecutor
+from ..optimizer.optimizer import OptimizedQuery
+from ..plans.bounds import PlanBound
+
+
+class PreparedQuery:
+    """A compiled, scale-independent query bound to a database instance.
+
+    Instances are created by :meth:`repro.engine.database.PiqlDatabase.prepare`
+    and can be executed many times with different parameter bindings; for
+    ``PAGINATE`` queries each execution returns one page plus a serialisable
+    cursor for the next.
+    """
+
+    def __init__(self, optimized: OptimizedQuery, executor: QueryExecutor):
+        self._optimized = optimized
+        self._executor = executor
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def sql(self) -> str:
+        return self._optimized.sql
+
+    @property
+    def optimized(self) -> OptimizedQuery:
+        return self._optimized
+
+    @property
+    def physical_plan(self):
+        return self._optimized.physical_plan
+
+    @property
+    def logical_plan(self):
+        return self._optimized.logical_plan
+
+    @property
+    def bound(self) -> PlanBound:
+        return self._optimized.bound
+
+    @property
+    def operation_bound(self) -> int:
+        """Maximum number of key/value store operations per execution."""
+        return self._optimized.operation_bound
+
+    @property
+    def is_paginated(self) -> bool:
+        return self._optimized.is_paginated
+
+    def describe(self) -> str:
+        """Logical plan, physical plan, bounds, and required indexes."""
+        return self._optimized.describe()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        parameters: Optional[Dict[str, Any]] = None,
+        cursor: Optional[object] = None,
+        strategy: Optional[ExecutionStrategy] = None,
+        **kwargs: Any,
+    ) -> QueryResult:
+        """Execute the query.
+
+        Parameters may be passed as a dictionary or as keyword arguments
+        (``q.execute(uname="bob")``); keyword arguments win on conflict.
+        """
+        bound_parameters = dict(parameters or {})
+        bound_parameters.update(kwargs)
+        return self._executor.execute(
+            self._optimized,
+            parameters=bound_parameters,
+            cursor=cursor,
+            strategy=strategy,
+        )
+
+    def pages(
+        self,
+        parameters: Optional[Dict[str, Any]] = None,
+        max_pages: int = 1000,
+        strategy: Optional[ExecutionStrategy] = None,
+        **kwargs: Any,
+    ):
+        """Iterate all pages of a PAGINATE query."""
+        bound_parameters = dict(parameters or {})
+        bound_parameters.update(kwargs)
+        return self._executor.execute_all_pages(
+            self._optimized,
+            parameters=bound_parameters,
+            max_pages=max_pages,
+            strategy=strategy,
+        )

@@ -1,0 +1,124 @@
+"""Exception hierarchy for the PIQL reproduction.
+
+All library-specific errors derive from :class:`PiqlError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish parse errors, planning errors, and runtime errors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class PiqlError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ParseError(PiqlError):
+    """Raised when a PIQL statement cannot be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human readable description of the problem.
+    position:
+        Character offset into the source text where the error occurred, or
+        ``None`` when the position is unknown.
+    """
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SchemaError(PiqlError):
+    """Raised for invalid DDL, unknown tables/columns, or constraint issues."""
+
+
+class UnknownTableError(SchemaError):
+    """Raised when a statement references a table that does not exist."""
+
+    def __init__(self, table: str):
+        self.table = table
+        super().__init__(f"unknown table: {table!r}")
+
+
+class UnknownColumnError(SchemaError):
+    """Raised when a statement references a column that does not exist."""
+
+    def __init__(self, column: str, table: Optional[str] = None):
+        self.column = column
+        self.table = table
+        where = f" in table {table!r}" if table else ""
+        super().__init__(f"unknown column: {column!r}{where}")
+
+
+class PlanningError(PiqlError):
+    """Raised when the optimizer cannot produce a plan at all."""
+
+
+class NotScaleIndependentError(PlanningError):
+    """Raised when no bounded (scale-independent) plan exists for a query.
+
+    This is the error described in Section 5.2.3 of the paper ("ERROR(Not
+    scale-independent)").  It carries enough structure for the Performance
+    Insight Assistant to explain the problem and suggest fixes: the relation
+    whose cardinality is unbounded and candidate attributes on which a
+    ``CARDINALITY LIMIT`` would make the plan bounded.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        relation: Optional[str] = None,
+        candidate_attributes: Optional[Sequence[str]] = None,
+        suggestions: Optional[Sequence[str]] = None,
+    ):
+        self.relation = relation
+        self.candidate_attributes = list(candidate_attributes or [])
+        self.suggestions = list(suggestions or [])
+        super().__init__(message)
+
+    def explain(self) -> str:
+        """Return a multi-line human readable explanation with suggestions."""
+        lines: List[str] = [str(self)]
+        if self.relation:
+            lines.append(f"  unbounded relation: {self.relation}")
+        if self.candidate_attributes:
+            attrs = ", ".join(self.candidate_attributes)
+            lines.append(
+                "  consider adding a CARDINALITY LIMIT on one of: " + attrs
+            )
+        for suggestion in self.suggestions:
+            lines.append("  suggestion: " + suggestion)
+        return "\n".join(lines)
+
+
+class ExecutionError(PiqlError):
+    """Raised when a physical plan fails during execution."""
+
+
+class ConstraintViolationError(ExecutionError):
+    """Raised when an insert/update violates a declared constraint."""
+
+    def __init__(self, message: str, constraint: Optional[str] = None):
+        self.constraint = constraint
+        super().__init__(message)
+
+
+class CardinalityViolationError(ConstraintViolationError):
+    """Raised when an insert would exceed a ``CARDINALITY LIMIT``."""
+
+
+class UniquenessViolationError(ConstraintViolationError):
+    """Raised when an insert would duplicate a primary key or unique index."""
+
+
+class CursorError(ExecutionError):
+    """Raised for invalid pagination cursors (corrupt or mismatched query)."""
+
+
+class PredictionError(PiqlError):
+    """Raised by the SLO prediction framework (e.g. untrained models)."""

@@ -1,0 +1,18 @@
+"""Execution engine: strategies, cursors, operator interpreter, executor."""
+
+from .context import ExecutionContext, ExecutionStrategy, QueryResult
+from .cursor import PaginationCursor, query_fingerprint
+from .executor import ExecutorConfig, QueryExecutor
+from .operators import execute_output, execute_plan
+
+__all__ = [
+    "ExecutionContext",
+    "ExecutionStrategy",
+    "ExecutorConfig",
+    "PaginationCursor",
+    "QueryExecutor",
+    "QueryResult",
+    "execute_output",
+    "execute_plan",
+    "query_fingerprint",
+]

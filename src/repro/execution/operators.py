@@ -1,0 +1,441 @@
+"""Interpreter for physical plans.
+
+Each physical operator is executed against the simulated key/value store
+through the :class:`~repro.kvstore.client.StorageClient`, honouring the
+execution strategy (LAZY / SIMPLE / PARALLEL) that Section 8.5 compares:
+the strategy decides whether limit hints are used to batch requests and
+whether a remote operator's requests are issued in parallel.
+
+Operators exchange *internal rows* — dictionaries mapping a relation alias
+to that relation's column values — so joins simply merge dictionaries and
+the final projection flattens them into user-visible rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..plans import logical as L
+from ..plans import physical as P
+from ..schema.ddl import Table
+from ..schema.keys import encode_key, encode_value, prefix_upper_bound, successor
+from ..sql.ast import Parameter
+from ..storage.fulltext import query_token
+from ..storage.rows import deserialize_pk, deserialize_row, index_namespace, pk_key
+from .context import ExecutionContext, ExecutionStrategy, InternalRow
+from .evaluate import (
+    column_value,
+    evaluate_all,
+    resolve_in_list,
+    resolve_key_part,
+    resolve_value,
+    sort_rows,
+)
+
+KeyValuePairs = List[Tuple[bytes, bytes]]
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def execute_plan(plan: P.PhysicalOperator, context: ExecutionContext) -> List[InternalRow]:
+    """Execute any physical operator, returning internal rows."""
+    if isinstance(plan, P.PhysicalIndexScan):
+        return _execute_index_scan(plan, context)
+    if isinstance(plan, P.PhysicalIndexLookup):
+        return _execute_index_lookup(plan, context)
+    if isinstance(plan, P.PhysicalIndexFKJoin):
+        return _execute_fk_join(plan, context)
+    if isinstance(plan, P.PhysicalSortedIndexJoin):
+        return _execute_sorted_index_join(plan, context)
+    if isinstance(plan, P.PhysicalLocalSelection):
+        rows = execute_plan(plan.child, context)
+        return [r for r in rows if evaluate_all(plan.predicates, r, context)]
+    if isinstance(plan, P.PhysicalLocalSort):
+        return sort_rows(execute_plan(plan.child, context), plan.keys)
+    if isinstance(plan, P.PhysicalLocalStop):
+        rows = execute_plan(plan.child, context)
+        count = _resolve_count(plan.count, context)
+        return rows if count is None else rows[:count]
+    if isinstance(plan, P.PhysicalLocalAggregate):
+        return _execute_aggregate(plan, context)
+    if isinstance(plan, P.PhysicalLocalProjection):
+        # Projection is normally driven through execute_output; executing it
+        # as an inner node just forwards the child rows.
+        return execute_plan(plan.child, context)
+    raise ExecutionError(f"cannot execute operator {type(plan).__name__}")
+
+
+def execute_output(
+    plan: P.PhysicalOperator, context: ExecutionContext
+) -> List[Dict[str, Any]]:
+    """Execute a full plan and flatten its rows for the user."""
+    if isinstance(plan, P.PhysicalLocalProjection):
+        rows = execute_plan(plan.child, context)
+        return [_project_row(plan.items, row) for row in rows]
+    rows = execute_plan(plan, context)
+    return [_project_row((L.StarItem(None),), row) for row in rows]
+
+
+# ----------------------------------------------------------------------
+# Remote operators
+# ----------------------------------------------------------------------
+def _resolve_count(
+    count: Optional[object], context: ExecutionContext
+) -> Optional[int]:
+    if count is None:
+        return None
+    if isinstance(count, int):
+        return count
+    if isinstance(count, Parameter):
+        try:
+            return int(context.parameter(count.name))
+        except KeyError:
+            if count.max_cardinality is not None:
+                return count.max_cardinality
+            raise
+    raise ExecutionError(f"cannot resolve count {count!r}")
+
+
+def _scan_limit(op: P.PhysicalIndexScan, context: ExecutionContext) -> Optional[int]:
+    candidates: List[int] = []
+    hint = _resolve_count(op.limit_hint, context) if op.limit_hint is not None else None
+    if hint is not None:
+        candidates.append(hint)
+    if op.data_stop is not None:
+        candidates.append(op.data_stop)
+    return min(candidates) if candidates else None
+
+
+def _range_for_scan(
+    op: P.PhysicalIndexScan, context: ExecutionContext
+) -> Tuple[bytes, bytes, List[L.ValuePredicate]]:
+    """Compute the byte range of a scan plus any residual local checks."""
+    prefix_values: List[Any] = []
+    for position, part in enumerate(op.prefix):
+        value = resolve_key_part(part, context)
+        if (
+            not op.index.primary
+            and op.index.definition is not None
+            and position < len(op.index.definition.columns)
+            and op.index.definition.columns[position].tokenized
+        ):
+            value = query_token(str(value))
+        prefix_values.append(value)
+    prefix_bytes = encode_key(prefix_values)
+    start = prefix_bytes
+    end = prefix_upper_bound(prefix_bytes) if prefix_bytes else None
+    local_checks: List[L.ValuePredicate] = []
+    if op.inequality is not None:
+        column, operator, value = op.inequality
+        resolved = resolve_key_part(value, context)
+        encoded = encode_value(resolved)
+        if operator == "<":
+            end = prefix_bytes + encoded
+        elif operator == "<=":
+            end = prefix_bytes + encoded + b"\xff"
+        elif operator == ">":
+            start = prefix_bytes + encoded + b"\xff"
+        elif operator == ">=":
+            start = prefix_bytes + encoded
+        elif operator == "<>":
+            local_checks.append(
+                L.AttributeInequality(
+                    column=L.BoundColumn(
+                        relation=op.relation_alias, table=op.table, column=column
+                    ),
+                    op="<>",
+                    value=value if not isinstance(value, L.BoundColumn) else value,
+                )
+            )
+        else:
+            raise ExecutionError(f"unsupported inequality operator {operator!r}")
+    return start, end, local_checks
+
+
+def _fetch_range(
+    namespace: str,
+    start: Optional[bytes],
+    end: Optional[bytes],
+    limit: Optional[int],
+    ascending: bool,
+    context: ExecutionContext,
+) -> KeyValuePairs:
+    """Fetch a range honouring the execution strategy's batching behaviour."""
+    if context.strategy is ExecutionStrategy.LAZY:
+        pairs: KeyValuePairs = []
+        current_start, current_end = start, end
+        while limit is None or len(pairs) < limit:
+            batch = context.client.get_range(
+                namespace, current_start, current_end, limit=1, ascending=ascending
+            )
+            if not batch:
+                break
+            key, value = batch[0]
+            pairs.append((key, value))
+            if ascending:
+                current_start = successor(key)
+            else:
+                current_end = key
+        return pairs
+    return context.client.get_range(
+        namespace, start, end, limit=limit, ascending=ascending
+    )
+
+
+def _dereference(
+    table: Table, entries: KeyValuePairs, context: ExecutionContext
+) -> List[Dict[str, Any]]:
+    """Fetch base records referenced by secondary index entries."""
+    keys = [pk_key(deserialize_pk(value)) for _, value in entries]
+    if not keys:
+        return []
+    if context.strategy is ExecutionStrategy.LAZY:
+        values = [context.client.get(table.namespace, key) for key in keys]
+    else:
+        values = context.client.multi_get(table.namespace, keys, parallel=True)
+    return [deserialize_row(value) for value in values if value is not None]
+
+
+def _execute_index_scan(
+    op: P.PhysicalIndexScan, context: ExecutionContext
+) -> List[InternalRow]:
+    table = context.catalog.table(op.table)
+    namespace = (
+        table.namespace if op.index.primary else index_namespace(op.index.definition)
+    )
+    start, end, local_checks = _range_for_scan(op, context)
+    limit = _scan_limit(op, context)
+
+    resume = context.resume_positions.get(op.scan_id)
+    if resume is not None:
+        if op.ascending:
+            start = max(start, successor(resume)) if start else successor(resume)
+        else:
+            end = min(end, resume) if end else resume
+
+    pairs = _fetch_range(namespace, start, end, limit, op.ascending, context)
+    if pairs:
+        # pairs are returned in scan order, so the last one is the position
+        # to resume after (largest key for ascending scans, smallest for
+        # descending ones).
+        context.new_positions[op.scan_id] = pairs[-1][0]
+    context.scan_exhausted[op.scan_id] = limit is None or len(pairs) < limit
+
+    if op.index.primary:
+        records = [deserialize_row(value) for _, value in pairs]
+    else:
+        records = _dereference(table, pairs, context)
+    rows: List[InternalRow] = [{op.relation_alias: record} for record in records]
+    if local_checks:
+        rows = [r for r in rows if evaluate_all(local_checks, r, context)]
+    return rows
+
+
+def _execute_index_lookup(
+    op: P.PhysicalIndexLookup, context: ExecutionContext
+) -> List[InternalRow]:
+    table = context.catalog.table(op.table)
+    # Expand the cartesian product of fixed values and the (single) IN list.
+    key_value_lists: List[List[Any]] = []
+    for part in op.key_parts:
+        if isinstance(part, P.InListPart):
+            key_value_lists.append(resolve_in_list(part, context))
+        else:
+            key_value_lists.append([resolve_key_part(part, context)])
+    keys: List[bytes] = []
+    _expand_keys(key_value_lists, 0, [], keys)
+    if context.strategy is ExecutionStrategy.PARALLEL:
+        values = context.client.multi_get(table.namespace, keys, parallel=True)
+    else:
+        values = [context.client.get(table.namespace, key) for key in keys]
+    return [
+        {op.relation_alias: deserialize_row(value)}
+        for value in values
+        if value is not None
+    ]
+
+
+def _expand_keys(
+    value_lists: List[List[Any]], position: int, prefix: List[Any], out: List[bytes]
+) -> None:
+    if position == len(value_lists):
+        out.append(encode_key(prefix))
+        return
+    for value in value_lists[position]:
+        _expand_keys(value_lists, position + 1, prefix + [value], out)
+
+
+def _execute_fk_join(
+    op: P.PhysicalIndexFKJoin, context: ExecutionContext
+) -> List[InternalRow]:
+    table = context.catalog.table(op.table)
+    child_rows = execute_plan(op.child, context)
+    if not child_rows:
+        return []
+    keys: List[Optional[bytes]] = []
+    for row in child_rows:
+        values = [resolve_key_part(part, context, row) for part in op.key_parts]
+        keys.append(None if any(v is None for v in values) else encode_key(values))
+
+    lookup_keys = [key for key in keys if key is not None]
+    if context.strategy is ExecutionStrategy.PARALLEL:
+        fetched = context.client.multi_get(table.namespace, lookup_keys, parallel=True)
+    else:
+        fetched = [context.client.get(table.namespace, key) for key in lookup_keys]
+    by_key: Dict[bytes, Optional[bytes]] = dict(zip(lookup_keys, fetched))
+
+    joined: List[InternalRow] = []
+    for row, key in zip(child_rows, keys):
+        if key is None:
+            continue
+        payload = by_key.get(key)
+        if payload is None:
+            continue
+        merged = dict(row)
+        merged[op.relation_alias] = deserialize_row(payload)
+        joined.append(merged)
+    return joined
+
+
+def _execute_sorted_index_join(
+    op: P.PhysicalSortedIndexJoin, context: ExecutionContext
+) -> List[InternalRow]:
+    table = context.catalog.table(op.table)
+    namespace = (
+        table.namespace if op.index.primary else index_namespace(op.index.definition)
+    )
+    child_rows = execute_plan(op.child, context)
+    if not child_rows:
+        return []
+
+    ranges = []
+    for row in child_rows:
+        prefix_values = [resolve_key_part(part, context, row) for part in op.prefix]
+        prefix_bytes = encode_key(prefix_values)
+        ranges.append(
+            (prefix_bytes, prefix_upper_bound(prefix_bytes), op.limit_hint, op.ascending)
+        )
+
+    strategy = context.strategy
+    per_child_entries: List[KeyValuePairs] = []
+    if strategy is ExecutionStrategy.LAZY:
+        for start, end, limit, ascending in ranges:
+            per_child_entries.append(
+                _fetch_range(namespace, start, end, limit, ascending, context)
+            )
+    elif strategy is ExecutionStrategy.SIMPLE:
+        per_child_entries = context.client.multi_get_range(
+            namespace, ranges, parallel=False
+        )
+    else:
+        per_child_entries = context.client.multi_get_range(
+            namespace, ranges, parallel=True
+        )
+
+    joined: List[InternalRow] = []
+    for row, entries in zip(child_rows, per_child_entries):
+        if op.index.primary:
+            records = [deserialize_row(value) for _, value in entries]
+        else:
+            records = _dereference(table, entries, context)
+        for record in records:
+            merged = dict(row)
+            merged[op.relation_alias] = record
+            joined.append(merged)
+
+    if op.sort_keys:
+        keys = [
+            (
+                L.BoundColumn(
+                    relation=op.relation_alias, table=op.table, column=name
+                ),
+                ascending,
+            )
+            for name, ascending in op.sort_keys
+        ]
+        joined = sort_rows(joined, keys)
+    stop = _resolve_count(op.stop_count, context) if op.stop_count is not None else None
+    if stop is not None:
+        joined = joined[:stop]
+    return joined
+
+
+# ----------------------------------------------------------------------
+# Local aggregation and projection
+# ----------------------------------------------------------------------
+def _execute_aggregate(
+    op: P.PhysicalLocalAggregate, context: ExecutionContext
+) -> List[InternalRow]:
+    rows = execute_plan(op.child, context)
+    groups: Dict[Tuple, List[InternalRow]] = {}
+    for row in rows:
+        key = tuple(column_value(row, column) for column in op.group_by)
+        groups.setdefault(key, []).append(row)
+    if not op.group_by and not groups:
+        groups[()] = []
+
+    output: List[InternalRow] = []
+    for key, members in groups.items():
+        result: InternalRow = {}
+        for column, value in zip(op.group_by, key):
+            result.setdefault(column.relation, {})[column.column] = value
+        aggregate_values: Dict[str, Any] = {}
+        for spec in op.aggregates:
+            aggregate_values[spec.output_name] = _aggregate_value(spec, members)
+        result["__agg__"] = aggregate_values
+        output.append(result)
+    return output
+
+
+def _aggregate_value(spec: L.AggregateSpec, rows: List[InternalRow]) -> Any:
+    if spec.function == "COUNT":
+        if spec.argument is None:
+            return len(rows)
+        return sum(1 for row in rows if column_value(row, spec.argument) is not None)
+    values = [
+        column_value(row, spec.argument)
+        for row in rows
+        if spec.argument is not None and column_value(row, spec.argument) is not None
+    ]
+    if not values:
+        return None
+    if spec.function == "SUM":
+        return sum(values)
+    if spec.function == "AVG":
+        return sum(values) / len(values)
+    if spec.function == "MIN":
+        return min(values)
+    if spec.function == "MAX":
+        return max(values)
+    raise ExecutionError(f"unknown aggregate {spec.function!r}")
+
+
+def _project_row(
+    items: Tuple[L.ProjectionItem, ...], row: InternalRow
+) -> Dict[str, Any]:
+    output: Dict[str, Any] = {}
+
+    def add(name: str, value: Any, qualifier: str) -> None:
+        if name in output and output[name] != value:
+            output[f"{qualifier}.{name}"] = value
+        else:
+            output[name] = value
+
+    for item in items:
+        if isinstance(item, L.StarItem):
+            relations = (
+                [item.relation] if item.relation is not None else
+                [alias for alias in row if alias != "__agg__"]
+            )
+            for alias in relations:
+                for column, value in row.get(alias, {}).items():
+                    add(column, value, alias)
+        elif isinstance(item, L.BoundColumn):
+            add(item.column, column_value(row, item), item.relation)
+        elif isinstance(item, L.AggregateSpec):
+            output[item.output_name] = row.get("__agg__", {}).get(item.output_name)
+        else:  # pragma: no cover
+            raise ExecutionError(f"unsupported projection item {item!r}")
+    return output

@@ -1,0 +1,159 @@
+"""Client-side view of the key/value store.
+
+Each application server in PIQL's architecture embeds the database library
+and talks to the key/value store directly (Figure 2).  The
+:class:`StorageClient` is that embedded view: it owns a simulated clock
+(this client's notion of time), forwards operations to the cluster, advances
+the clock by the charged latencies, and keeps counters that let tests verify
+the static operation bounds computed by the optimizer.
+
+Latency composition rules
+-------------------------
+* Sequential requests add their latencies (the clock advances after each).
+* A *parallel* batch of requests costs the maximum of its members — this is
+  what the Parallel executor of Section 7.1 exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .cluster import KeyValueCluster, OpResult
+from .simtime import SimClock
+
+KeyValue = Tuple[bytes, bytes]
+RangeSpec = Tuple[Optional[bytes], Optional[bytes], Optional[int], bool]
+
+
+@dataclass
+class ClientStats:
+    """Counters of the key/value traffic issued by one client."""
+
+    operations: int = 0
+    keys_touched: int = 0
+    rpcs: int = 0
+    total_latency_seconds: float = 0.0
+
+    def snapshot(self) -> "ClientStats":
+        return ClientStats(
+            operations=self.operations,
+            keys_touched=self.keys_touched,
+            rpcs=self.rpcs,
+            total_latency_seconds=self.total_latency_seconds,
+        )
+
+    def delta(self, earlier: "ClientStats") -> "ClientStats":
+        """Return the difference between this snapshot and an earlier one."""
+        return ClientStats(
+            operations=self.operations - earlier.operations,
+            keys_touched=self.keys_touched - earlier.keys_touched,
+            rpcs=self.rpcs - earlier.rpcs,
+            total_latency_seconds=(
+                self.total_latency_seconds - earlier.total_latency_seconds
+            ),
+        )
+
+
+@dataclass
+class StorageClient:
+    """A stateless application-server's connection to the simulated store."""
+
+    cluster: KeyValueCluster
+    clock: SimClock = field(default_factory=SimClock)
+    stats: ClientStats = field(default_factory=ClientStats)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, result: OpResult, operations: int, rpcs: int = 1) -> None:
+        self.clock.advance(result.latency_seconds)
+        self.stats.operations += operations
+        self.stats.keys_touched += result.keys_touched
+        self.stats.rpcs += rpcs
+        self.stats.total_latency_seconds += result.latency_seconds
+
+    @property
+    def now(self) -> float:
+        """Current simulated time at this client."""
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: bytes) -> Optional[bytes]:
+        """Fetch a single value (one key/value store operation)."""
+        result = self.cluster.get(namespace, key, sim_time=self.clock.now)
+        self._record(result, operations=1)
+        return result.value  # type: ignore[return-value]
+
+    def put(self, namespace: str, key: bytes, value: bytes) -> None:
+        """Write a single value (one key/value store operation)."""
+        result = self.cluster.put(namespace, key, value, sim_time=self.clock.now)
+        self._record(result, operations=1)
+
+    def delete(self, namespace: str, key: bytes) -> bool:
+        """Delete a key; returns whether it existed."""
+        result = self.cluster.delete(namespace, key, sim_time=self.clock.now)
+        self._record(result, operations=1)
+        return bool(result.value)
+
+    def test_and_set(
+        self, namespace: str, key: bytes, expected: Optional[bytes], new_value: bytes
+    ) -> bool:
+        """Conditionally write a key; returns whether the swap succeeded."""
+        result = self.cluster.test_and_set(
+            namespace, key, expected, new_value, sim_time=self.clock.now
+        )
+        self._record(result, operations=1)
+        return bool(result.value)
+
+    # ------------------------------------------------------------------
+    # Batched reads
+    # ------------------------------------------------------------------
+    def multi_get(
+        self, namespace: str, keys: Sequence[bytes], parallel: bool = True
+    ) -> List[Optional[bytes]]:
+        """Fetch many keys; counts ``len(keys)`` operations."""
+        result = self.cluster.multi_get(
+            namespace, keys, parallel=parallel, sim_time=self.clock.now
+        )
+        self._record(result, operations=len(keys), rpcs=1 if parallel else len(keys))
+        return result.value  # type: ignore[return-value]
+
+    def get_range(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+    ) -> List[KeyValue]:
+        """Issue one range request (one operation)."""
+        result = self.cluster.get_range(
+            namespace, start, end, limit, ascending, sim_time=self.clock.now
+        )
+        self._record(result, operations=1)
+        return result.value  # type: ignore[return-value]
+
+    def multi_get_range(
+        self, namespace: str, ranges: Sequence[RangeSpec], parallel: bool = True
+    ) -> List[List[KeyValue]]:
+        """Issue several range requests; counts ``len(ranges)`` operations."""
+        result = self.cluster.multi_get_range(
+            namespace, ranges, parallel=parallel, sim_time=self.clock.now
+        )
+        self._record(
+            result, operations=len(ranges), rpcs=1 if parallel else len(ranges)
+        )
+        return result.value  # type: ignore[return-value]
+
+    def count_range(
+        self, namespace: str, start: Optional[bytes], end: Optional[bytes]
+    ) -> int:
+        """Count keys in a range (one operation)."""
+        result = self.cluster.count_range(
+            namespace, start, end, sim_time=self.clock.now
+        )
+        self._record(result, operations=1)
+        return int(result.value)  # type: ignore[arg-type]

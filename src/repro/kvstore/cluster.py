@@ -1,0 +1,336 @@
+"""Simulated distributed key/value store cluster.
+
+The cluster is the stateful half of PIQL's architecture (Figure 2 in the
+paper).  It exposes exactly the operations PIQL requires from a key/value
+store (Section 3):
+
+* point ``get`` / ``put`` / ``delete`` with predictable latency,
+* ``test_and_set`` (used for uniqueness constraints and conditional updates),
+* **range requests** over an order-preserving key encoding (used by index
+  scans), and
+* ``count_range`` (used by the cardinality-constraint insert protocol).
+
+Data is stored exactly (one logically-global ordered map per namespace) so
+query results are always correct; performance is simulated by attributing
+each request to a storage node chosen by a hash-based partitioner and
+charging a latency from that node's service-time model.  Every call returns
+an :class:`OpResult` carrying the charged latency so callers (the
+:class:`~repro.kvstore.client.StorageClient`) can advance their simulated
+clocks and combine sequential/parallel request latencies correctly.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError
+from .latency import LatencyParameters
+from .memory import OrderedKVMap
+from .node import StorageNode
+
+KeyValue = Tuple[bytes, bytes]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Configuration of a simulated cluster.
+
+    Parameters mirror the experimental setup in Section 8 of the paper:
+    a number of storage nodes, two-fold replication, and a per-node
+    capacity that drives queueing under load.
+    """
+
+    storage_nodes: int = 10
+    replication: int = 2
+    node_capacity_ops_per_second: float = 4000.0
+    latency: LatencyParameters = field(default_factory=LatencyParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.storage_nodes < 1:
+            raise ValueError("storage_nodes must be >= 1")
+        if not (1 <= self.replication <= self.storage_nodes):
+            raise ValueError("replication must be between 1 and storage_nodes")
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Result of a single cluster operation.
+
+    Attributes
+    ----------
+    value:
+        Operation-specific payload (a value, a list of key/value pairs, a
+        count, or a success flag).
+    latency_seconds:
+        Simulated latency charged for the operation.
+    node_id:
+        The node that served the request (for diagnostics).
+    keys_touched:
+        How many keys the request read or wrote; used to verify operation
+        bounds in tests.
+    """
+
+    value: object
+    latency_seconds: float
+    node_id: int
+    keys_touched: int = 1
+
+
+class KeyValueCluster:
+    """An in-process simulation of a partitioned, replicated key/value store."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self._namespaces: Dict[str, OrderedKVMap] = {}
+        self._rng = random.Random(self.config.seed)
+        self.nodes: List[StorageNode] = [
+            StorageNode.create(
+                node_id=i,
+                params=self.config.latency,
+                seed=self.config.seed,
+                capacity_ops_per_second=self.config.node_capacity_ops_per_second,
+            )
+            for i in range(self.config.storage_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    # Namespace management
+    # ------------------------------------------------------------------
+    def create_namespace(self, name: str) -> None:
+        """Create an (empty) namespace; creating an existing one is a no-op."""
+        self._namespaces.setdefault(name, OrderedKVMap())
+
+    def drop_namespace(self, name: str) -> None:
+        """Remove a namespace and all its data."""
+        self._namespaces.pop(name, None)
+
+    def namespaces(self) -> List[str]:
+        """Names of all namespaces, sorted."""
+        return sorted(self._namespaces)
+
+    def namespace_size(self, name: str) -> int:
+        """Number of keys stored in a namespace."""
+        return len(self._require(name))
+
+    def _require(self, name: str) -> OrderedKVMap:
+        try:
+            return self._namespaces[name]
+        except KeyError:
+            raise ExecutionError(f"unknown namespace: {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # Partitioning / load
+    # ------------------------------------------------------------------
+    def _node_for_key(self, namespace: str, key: bytes) -> StorageNode:
+        """Pick the node (among replicas) that serves a request for ``key``."""
+        digest = zlib.crc32(namespace.encode("utf-8") + b"\x00" + key)
+        primary = digest % len(self.nodes)
+        replica_offset = self._rng.randrange(self.config.replication)
+        return self.nodes[(primary + replica_offset) % len(self.nodes)]
+
+    def set_offered_load(self, total_ops_per_second: float) -> None:
+        """Spread an offered operation rate evenly over the nodes.
+
+        The benchmark harness calls this to model a cluster serving a given
+        aggregate request rate; each node's utilisation then inflates its
+        latencies through the queueing factor.
+        """
+        per_node = total_ops_per_second / len(self.nodes)
+        for node in self.nodes:
+            node.set_offered_load(per_node)
+
+    def reset_stats(self) -> None:
+        """Reset per-node operation counters."""
+        for node in self.nodes:
+            node.stats.reset()
+
+    def total_keys_stored(self) -> int:
+        """Total number of keys across all namespaces (before replication)."""
+        return sum(len(ns) for ns in self._namespaces.values())
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def load(self, namespace: str, key: bytes, value: bytes) -> None:
+        """Store a key without charging any latency.
+
+        Used for bulk-loading benchmark datasets; the paper's experiments
+        likewise bulk load their data before measuring (Section 8.4).
+        """
+        self._require(namespace).put(key, value)
+
+    # ------------------------------------------------------------------
+    # Point operations
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
+        """Read one key; ``value`` is the bytes stored or ``None``."""
+        ns = self._require(namespace)
+        value = ns.get(key)
+        node = self._node_for_key(namespace, key)
+        nbytes = len(value) if value is not None else 0
+        latency = node.charge_read(1, nbytes, sim_time)
+        return OpResult(value, latency, node.node_id, keys_touched=1)
+
+    def put(
+        self, namespace: str, key: bytes, value: bytes, sim_time: float = 0.0
+    ) -> OpResult:
+        """Write one key.  Writes are replicated; latency is the slowest replica."""
+        ns = self._require(namespace)
+        ns.put(key, value)
+        latency = 0.0
+        node = self._node_for_key(namespace, key)
+        for replica in range(self.config.replication):
+            replica_node = self.nodes[(node.node_id + replica) % len(self.nodes)]
+            latency = max(
+                latency, replica_node.charge_write(1, len(value), sim_time)
+            )
+        return OpResult(True, latency, node.node_id, keys_touched=1)
+
+    def delete(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
+        """Delete one key; ``value`` is ``True`` if the key existed."""
+        ns = self._require(namespace)
+        existed = ns.delete(key)
+        node = self._node_for_key(namespace, key)
+        latency = node.charge_write(1, 0, sim_time)
+        return OpResult(existed, latency, node.node_id, keys_touched=1)
+
+    def test_and_set(
+        self,
+        namespace: str,
+        key: bytes,
+        expected: Optional[bytes],
+        new_value: bytes,
+        sim_time: float = 0.0,
+    ) -> OpResult:
+        """Compare-and-swap; ``value`` is ``True`` iff the swap happened."""
+        ns = self._require(namespace)
+        ok = ns.test_and_set(key, expected, new_value)
+        node = self._node_for_key(namespace, key)
+        latency = node.charge_write(1, len(new_value), sim_time)
+        return OpResult(ok, latency, node.node_id, keys_touched=1)
+
+    # ------------------------------------------------------------------
+    # Batched point reads
+    # ------------------------------------------------------------------
+    def multi_get(
+        self,
+        namespace: str,
+        keys: Sequence[bytes],
+        parallel: bool = True,
+        sim_time: float = 0.0,
+    ) -> OpResult:
+        """Read many keys in one logical request.
+
+        When ``parallel`` is true the keys are grouped by serving node, each
+        group is charged a single RPC, and the overall latency is the
+        maximum over groups (requests issued concurrently).  When false the
+        keys are fetched one at a time and latencies add up — this is what
+        the Lazy executor of Figure 12 does.
+        """
+        ns = self._require(namespace)
+        values = [ns.get(k) for k in keys]
+        if not keys:
+            return OpResult([], 0.0, 0, keys_touched=0)
+        if parallel:
+            groups: Dict[int, List[bytes]] = {}
+            for key in keys:
+                node = self._node_for_key(namespace, key)
+                groups.setdefault(node.node_id, []).append(key)
+            latency = 0.0
+            for node_id, group in groups.items():
+                nbytes = sum(
+                    len(ns.get(k)) if ns.get(k) is not None else 0 for k in group
+                )
+                latency = max(
+                    latency,
+                    self.nodes[node_id].charge_read(len(group), nbytes, sim_time),
+                )
+            return OpResult(values, latency, -1, keys_touched=len(keys))
+        latency = 0.0
+        for key in keys:
+            node = self._node_for_key(namespace, key)
+            value = ns.get(key)
+            nbytes = len(value) if value is not None else 0
+            latency += node.charge_read(1, nbytes, sim_time)
+        return OpResult(values, latency, -1, keys_touched=len(keys))
+
+    # ------------------------------------------------------------------
+    # Range operations
+    # ------------------------------------------------------------------
+    def get_range(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+        sim_time: float = 0.0,
+    ) -> OpResult:
+        """Return ``(key, value)`` pairs with ``start <= key < end``.
+
+        A bounded range (both endpoints given, typically a key prefix) is
+        served by a single node.  An unbounded scan touches every node and
+        its latency is the *sum* of per-node scan latencies, which is what
+        makes table scans scale-dependent.
+        """
+        ns = self._require(namespace)
+        pairs = ns.range(start, end, limit, ascending)
+        nbytes = sum(len(v) for _, v in pairs)
+        if start is not None and end is not None:
+            node = self._node_for_key(namespace, start)
+            latency = node.charge_range(len(pairs), nbytes, sim_time)
+            return OpResult(pairs, latency, node.node_id, keys_touched=len(pairs))
+        # Full (or half-open) scan: every partition must be visited.
+        latency = 0.0
+        per_node_keys = max(1, len(pairs) // len(self.nodes))
+        per_node_bytes = max(0, nbytes // len(self.nodes))
+        for node in self.nodes:
+            latency += node.charge_range(per_node_keys, per_node_bytes, sim_time)
+        return OpResult(pairs, latency, -1, keys_touched=len(pairs))
+
+    def multi_get_range(
+        self,
+        namespace: str,
+        ranges: Sequence[Tuple[Optional[bytes], Optional[bytes], Optional[int], bool]],
+        parallel: bool = True,
+        sim_time: float = 0.0,
+    ) -> OpResult:
+        """Issue several bounded range requests as one logical request.
+
+        Used by the SortedIndexJoin operator, which needs one range request
+        per tuple of its child.  With ``parallel=True`` the overall latency
+        is the max over the individual requests, otherwise the sum.
+        """
+        results: List[List[KeyValue]] = []
+        latencies: List[float] = []
+        keys_touched = 0
+        for start, end, limit, ascending in ranges:
+            result = self.get_range(
+                namespace, start, end, limit, ascending, sim_time=sim_time
+            )
+            results.append(result.value)  # type: ignore[arg-type]
+            latencies.append(result.latency_seconds)
+            keys_touched += result.keys_touched
+        if not latencies:
+            return OpResult([], 0.0, -1, keys_touched=0)
+        latency = max(latencies) if parallel else sum(latencies)
+        return OpResult(results, latency, -1, keys_touched=keys_touched)
+
+    def count_range(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        sim_time: float = 0.0,
+    ) -> OpResult:
+        """Count keys in a range (used by the cardinality insert protocol)."""
+        ns = self._require(namespace)
+        count = ns.count_range(start, end)
+        anchor = start if start is not None else b""
+        node = self._node_for_key(namespace, anchor)
+        latency = node.charge_range(1, 8, sim_time)
+        return OpResult(count, latency, node.node_id, keys_touched=1)

@@ -1,0 +1,121 @@
+"""Simulated storage node.
+
+A node does not own data in this simulator (the cluster keeps each
+namespace in a single logically-global ordered map so that range semantics
+are exact); a node exists to model the *performance* side of the system:
+it has a latency model, a capacity, a current utilisation, and counters.
+
+This split — exact data semantics, simulated performance — is the key
+substitution that lets a single Python process stand in for the paper's
+150-machine EC2 cluster while still exercising all of PIQL's code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .latency import LatencyModel, LatencyParameters
+
+
+@dataclass
+class NodeStats:
+    """Operation counters for one storage node."""
+
+    gets: int = 0
+    puts: int = 0
+    range_requests: int = 0
+    keys_read: int = 0
+    keys_written: int = 0
+    total_latency_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.gets = 0
+        self.puts = 0
+        self.range_requests = 0
+        self.keys_read = 0
+        self.keys_written = 0
+        self.total_latency_seconds = 0.0
+
+
+@dataclass
+class StorageNode:
+    """Performance model of one storage server.
+
+    Parameters
+    ----------
+    node_id:
+        Position of the node in the cluster.
+    latency_model:
+        Service-time model used to charge requests served by this node.
+    capacity_ops_per_second:
+        Sustainable operation rate; offered load above this drives queueing
+        delay through the utilisation factor.
+    """
+
+    node_id: int
+    latency_model: LatencyModel
+    capacity_ops_per_second: float = 4000.0
+    utilization: float = 0.0
+    stats: NodeStats = field(default_factory=NodeStats)
+
+    @classmethod
+    def create(
+        cls,
+        node_id: int,
+        params: Optional[LatencyParameters] = None,
+        seed: int = 0,
+        capacity_ops_per_second: float = 4000.0,
+    ) -> "StorageNode":
+        """Build a node with its own deterministic latency stream."""
+        model = LatencyModel(params, seed=seed * 10_007 + node_id)
+        return cls(
+            node_id=node_id,
+            latency_model=model,
+            capacity_ops_per_second=capacity_ops_per_second,
+        )
+
+    def set_offered_load(self, ops_per_second: float) -> None:
+        """Update the node's utilisation given an offered operation rate."""
+        if ops_per_second < 0:
+            raise ValueError("offered load must be non-negative")
+        self.utilization = ops_per_second / self.capacity_ops_per_second
+
+    def charge_read(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
+        """Charge one read RPC touching ``num_keys`` keys; return latency (s)."""
+        latency = self.latency_model.sample_seconds(
+            num_keys=num_keys,
+            num_bytes=num_bytes,
+            utilization=self.utilization,
+            sim_time=sim_time,
+        )
+        self.stats.gets += 1
+        self.stats.keys_read += num_keys
+        self.stats.total_latency_seconds += latency
+        return latency
+
+    def charge_range(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
+        """Charge one range RPC returning ``num_keys`` keys; return latency (s)."""
+        latency = self.latency_model.sample_seconds(
+            num_keys=num_keys,
+            num_bytes=num_bytes,
+            utilization=self.utilization,
+            sim_time=sim_time,
+        )
+        self.stats.range_requests += 1
+        self.stats.keys_read += num_keys
+        self.stats.total_latency_seconds += latency
+        return latency
+
+    def charge_write(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
+        """Charge one write RPC writing ``num_keys`` keys; return latency (s)."""
+        latency = self.latency_model.sample_seconds(
+            num_keys=num_keys,
+            num_bytes=num_bytes,
+            utilization=self.utilization,
+            sim_time=sim_time,
+        )
+        self.stats.puts += 1
+        self.stats.keys_written += num_keys
+        self.stats.total_latency_seconds += latency
+        return latency

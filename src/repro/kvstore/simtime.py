@@ -1,0 +1,74 @@
+"""Simulated time.
+
+The PIQL paper measures wall-clock latency against a real key/value store
+cluster running on EC2.  This reproduction replaces the cluster with a
+simulator, so time itself has to be simulated: every key/value operation is
+charged a latency sampled from a service-time model, and the *simulated*
+clock of the issuing client advances by that amount.
+
+The clock is deliberately simple: it is a monotonically increasing floating
+point number of seconds.  Each emulated client thread owns its own clock so
+that many threads can be simulated without any real concurrency; throughput
+is then "interactions completed per simulated second".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """A simulated wall clock measured in seconds.
+
+    Parameters
+    ----------
+    now:
+        The current simulated time in seconds.  Defaults to zero.
+    """
+
+    now: float = 0.0
+    _total_advanced: float = field(default=0.0, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        Negative advances are rejected because simulated time, like real
+        time, only moves forward.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self.now += seconds
+        self._total_advanced += seconds
+        return self.now
+
+    def reset(self, now: float = 0.0) -> None:
+        """Reset the clock to ``now`` (default zero)."""
+        self.now = now
+        self._total_advanced = 0.0
+
+    @property
+    def total_advanced(self) -> float:
+        """Total seconds this clock has been advanced since creation/reset."""
+        return self._total_advanced
+
+    def interval_index(self, interval_seconds: float) -> int:
+        """Return the index of the SLO interval containing the current time.
+
+        SLOs in the paper are defined over fixed, non-overlapping intervals
+        (e.g. "99% of queries during each ten-minute interval").  The
+        prediction framework bins observations by this index.
+        """
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        return int(self.now // interval_seconds)
+
+
+def milliseconds(seconds: float) -> float:
+    """Convert seconds to milliseconds (convenience for reporting)."""
+    return seconds * 1000.0
+
+
+def seconds_from_ms(ms: float) -> float:
+    """Convert milliseconds to seconds (convenience for configuration)."""
+    return ms / 1000.0

@@ -1,0 +1,22 @@
+"""The scale-independent PIQL optimizer and its baselines/assistant."""
+
+from .assistant import PerformanceInsightAssistant, QueryDiagnosis
+from .cost_based import CostBasedOptimizer, CostedPlan, TableStatistics
+from .optimizer import OptimizedQuery, PiqlOptimizer
+from .phase1 import AccessInfo, PreparedPlan, StopOperatorPrepare
+from .phase2 import GeneratedPlan, PlanGenerator
+
+__all__ = [
+    "AccessInfo",
+    "CostBasedOptimizer",
+    "CostedPlan",
+    "GeneratedPlan",
+    "OptimizedQuery",
+    "PerformanceInsightAssistant",
+    "PiqlOptimizer",
+    "PlanGenerator",
+    "PreparedPlan",
+    "QueryDiagnosis",
+    "StopOperatorPrepare",
+    "TableStatistics",
+]

@@ -1,0 +1,228 @@
+"""A conventional cost-based optimizer used as the baseline of Section 8.3.
+
+The paper contrasts PIQL's scale-independent plan selection with a
+traditional cost-based optimizer that minimises the *average* number of
+key/value store operations given current statistics.  For the subscriber
+intersection query::
+
+    SELECT * FROM subscriptions
+    WHERE target = <target_user> AND owner IN <friends>
+
+the cost-based optimizer prefers a single unbounded index scan over the
+``target`` index (on average only ~126 subscribers per user) followed by a
+local filter, whereas PIQL performs one bounded random read per friend.
+The scan is 4x faster for unpopular users but blows through the SLO for
+popular ones (Figure 7).
+
+This module implements that baseline: given table statistics it enumerates
+the same access paths PIQL knows about *plus* unbounded index scans, and it
+chooses by expected operation count instead of worst-case bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+#: How many secondary-index matches the baseline assumes fit in one batched
+#: dereference round trip when estimating average cost.
+_DEREFERENCE_BATCH_SIZE = 50
+
+from ..errors import PlanningError
+from ..plans import logical as L
+from ..plans import physical as P
+from ..plans.builder import LogicalPlanBuilder
+from ..schema.catalog import Catalog
+from ..schema.ddl import IndexColumn, IndexDefinition
+from ..sql import ast
+from ..sql.parser import parse_select
+
+
+@dataclass
+class TableStatistics:
+    """Average-case statistics the cost-based optimizer relies on.
+
+    ``avg_rows_per_value`` maps a tuple of column names to the average
+    number of rows sharing one combination of values for those columns
+    (e.g. ``("target",) -> 126`` for the average number of subscribers).
+    """
+
+    row_count: int = 0
+    avg_rows_per_value: Dict[Tuple[str, ...], float] = field(default_factory=dict)
+
+    def expected_matches(self, columns: Tuple[str, ...]) -> float:
+        key = tuple(sorted(columns))
+        for stat_columns, value in self.avg_rows_per_value.items():
+            if tuple(sorted(stat_columns)) == key:
+                return value
+        return float(self.row_count)
+
+
+@dataclass
+class CostedPlan:
+    """A candidate plan with its estimated average cost."""
+
+    physical_plan: P.PhysicalOperator
+    expected_operations: float
+    description: str
+    scale_independent: bool
+    required_indexes: List[IndexDefinition] = field(default_factory=list)
+
+
+class CostBasedOptimizer:
+    """Chooses the cheapest plan *on average*, ignoring worst-case bounds."""
+
+    def __init__(self, catalog: Catalog, statistics: Dict[str, TableStatistics]):
+        self.catalog = catalog
+        self.statistics = statistics
+        self._builder = LogicalPlanBuilder(catalog)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(
+        self, query: Union[str, ast.SelectStatement]
+    ) -> CostedPlan:
+        """Return the cheapest candidate plan for a single-relation query."""
+        candidates = self.enumerate_plans(query)
+        if not candidates:
+            raise PlanningError("cost-based optimizer found no candidate plan")
+        return min(candidates, key=lambda plan: plan.expected_operations)
+
+    def enumerate_plans(
+        self, query: Union[str, ast.SelectStatement]
+    ) -> List[CostedPlan]:
+        """Enumerate bounded-lookup and index-scan plans for the query.
+
+        Only single-relation queries are supported — that is all the paper's
+        comparison (Section 8.3) requires, and it keeps the baseline honest:
+        both optimizers see exactly the same access paths.
+        """
+        statement = parse_select(query) if isinstance(query, str) else query
+        spec = self._builder.build_spec(statement)
+        if len(spec.relations) != 1:
+            raise PlanningError(
+                "the cost-based baseline supports single-relation queries only"
+            )
+        relation = spec.relations[0]
+        table = self.catalog.table(relation.table)
+        stats = self.statistics.get(
+            table.name.lower(), self.statistics.get(table.name, TableStatistics())
+        )
+        equalities = {p.column.column: p.value for p in relation.equalities}
+        in_predicates = relation.in_predicates
+        candidates: List[CostedPlan] = []
+
+        # Candidate 1: bounded random lookups (the PIQL plan) whenever the
+        # primary key is covered by equalities plus one IN list.
+        for in_predicate in in_predicates:
+            covered = set(equalities) | {in_predicate.column.column}
+            if set(table.primary_key) <= covered:
+                bound = in_predicate.max_cardinality()
+                key_parts: List[object] = []
+                for pk_column in table.primary_key:
+                    if pk_column == in_predicate.column.column:
+                        key_parts.append(P.InListPart(in_predicate.values))
+                    else:
+                        key_parts.append(equalities[pk_column])
+                lookup = P.PhysicalIndexLookup(
+                    relation_alias=relation.alias,
+                    table=table.name,
+                    key_parts=tuple(key_parts),
+                    bound=bound,
+                )
+                plan = self._finish(lookup, spec)
+                expected = float(bound if bound is not None else len(in_predicates))
+                candidates.append(
+                    CostedPlan(
+                        physical_plan=plan,
+                        expected_operations=expected,
+                        description=(
+                            f"bounded random lookups ({bound} point reads "
+                            "against the primary key)"
+                        ),
+                        scale_independent=True,
+                    )
+                )
+
+        # Candidate 2: an (unbounded) index scan over the equality columns,
+        # filtering everything else locally.
+        if equalities:
+            columns = tuple(sorted(equalities))
+            index_columns = [IndexColumn(c) for c in columns]
+            definition = self.catalog.find_index(table.name, index_columns)
+            required: List[IndexDefinition] = []
+            if definition is None:
+                full = list(index_columns) + [
+                    IndexColumn(c) for c in table.primary_key if c not in columns
+                ]
+                definition = IndexDefinition(
+                    name=Catalog.index_name(table.name, full),
+                    table=table.name,
+                    columns=tuple(full),
+                )
+                required.append(definition)
+            use_primary = list(table.primary_key[: len(columns)]) == sorted(columns)
+            index = P.IndexChoice(
+                table=table.name,
+                primary=use_primary,
+                definition=None if use_primary else definition,
+            )
+            scan = P.PhysicalIndexScan(
+                relation_alias=relation.alias,
+                table=table.name,
+                index=index,
+                prefix=tuple(equalities[c] for c in columns),
+                ascending=True,
+                limit_hint=None,
+                data_stop=None,
+                needs_dereference=not use_primary,
+                scan_id="costscan0",
+            )
+            residual: List[L.ValuePredicate] = list(relation.in_predicates) + list(
+                relation.inequalities
+            ) + list(relation.token_matches)
+            root: P.PhysicalOperator = scan
+            if residual:
+                root = P.PhysicalLocalSelection(child=root, predicates=tuple(residual))
+            plan = self._finish(root, spec)
+            expected_matches = stats.expected_matches(columns)
+            # Cost metric: expected client-to-store round trips.  A range scan
+            # is one round trip; dereferencing its matches is batched (the
+            # average-case result easily fits a handful of batches), whereas
+            # the bounded-lookup plan pays one round trip per key in a
+            # traditional, non-batching engine.  This is what makes the
+            # unbounded scan look cheap on average (Section 8.3).
+            deref_round_trips = (
+                math.ceil(expected_matches / _DEREFERENCE_BATCH_SIZE)
+                if not use_primary
+                else 0.0
+            )
+            expected = 1.0 + deref_round_trips
+            candidates.append(
+                CostedPlan(
+                    physical_plan=plan,
+                    expected_operations=expected,
+                    description=(
+                        f"unbounded index scan over {table.name}({', '.join(columns)}) "
+                        f"(~{expected_matches:.0f} rows expected), local filter"
+                    ),
+                    scale_independent=False,
+                    required_indexes=required,
+                )
+            )
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish(plan: P.PhysicalOperator, spec: L.QuerySpec) -> P.PhysicalOperator:
+        if spec.sort_keys:
+            plan = P.PhysicalLocalSort(child=plan, keys=tuple(spec.sort_keys))
+        if spec.stop is not None:
+            plan = P.PhysicalLocalStop(
+                child=plan, count=spec.stop.count, paginate=spec.stop.paginate
+            )
+        return P.PhysicalLocalProjection(child=plan, items=spec.projection)

@@ -1,0 +1,246 @@
+"""Phase I of the PIQL optimizer: StopOperatorPrepare (Algorithm 1).
+
+Phase I takes the analyzed query, finds a linear join ordering, pushes
+predicates down to their relations, and inserts stop / data-stop operators:
+
+* a **data-stop of cardinality 1** wherever equality predicates cover an
+  entire primary key,
+* a **data-stop of cardinality n** wherever equality predicates cover all
+  the columns of a ``CARDINALITY LIMIT n`` constraint, and
+* (as an extension needed by the subscriber-intersection access path) a
+  data-stop wherever equalities plus a *bounded* ``IN`` list cover a primary
+  key.
+
+Data-stops are pushed below every predicate except the ones that caused
+them (Section 5.1), which in this representation simply means the causing
+predicates end up *below* the data-stop in the per-relation access subtree
+and everything else ends up above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import NotScaleIndependentError
+from ..schema.catalog import Catalog
+from ..plans import logical as L
+
+
+@dataclass
+class AccessInfo:
+    """How one relation instance of the query will be accessed.
+
+    ``causing`` are the predicates that justified ``data_stop`` (they must
+    stay below it); ``residual`` are the remaining value predicates, which a
+    data-stop may be pushed past and which therefore become local selections
+    above the bounded access.
+    """
+
+    alias: str
+    table: str
+    causing: List[L.ValuePredicate] = field(default_factory=list)
+    residual: List[L.ValuePredicate] = field(default_factory=list)
+    data_stop: Optional[int] = None
+    data_stop_columns: Tuple[str, ...] = ()
+    data_stop_from_primary_key: bool = False
+
+    def all_predicates(self) -> List[L.ValuePredicate]:
+        return list(self.causing) + list(self.residual)
+
+
+@dataclass
+class PreparedPlan:
+    """Output of Phase I, consumed by Phase II."""
+
+    spec: L.QuerySpec
+    join_order: List[str]
+    access: Dict[str, AccessInfo]
+    logical_plan: L.LogicalOperator
+
+    def access_for(self, alias: str) -> AccessInfo:
+        return self.access[alias]
+
+
+class StopOperatorPrepare:
+    """Implements Algorithm 1 over the normalized query specification."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def prepare(self, spec: L.QuerySpec) -> PreparedPlan:
+        join_order = self.find_linear_join_ordering(spec)
+        access = {
+            alias: self._build_access_info(spec.relation(alias)) for alias in join_order
+        }
+        logical_plan = self._build_logical_plan(spec, join_order, access)
+        return PreparedPlan(
+            spec=spec, join_order=join_order, access=access, logical_plan=logical_plan
+        )
+
+    # ------------------------------------------------------------------
+    # Line 1: linear join ordering
+    # ------------------------------------------------------------------
+    def find_linear_join_ordering(self, spec: L.QuerySpec) -> List[str]:
+        """Order relations so that each one joins to the already-placed prefix.
+
+        The driving (first) relation is the most selectively accessible one:
+        full primary-key equality beats a cardinality-constraint match beats
+        any value predicate.  Queries whose join graph is disconnected have
+        an implicit Cartesian product and are rejected as not
+        scale-independent.
+        """
+        if len(spec.relations) == 1:
+            return [spec.relations[0].alias]
+
+        def driving_score(relation: L.RelationSpec) -> Tuple[int, int]:
+            table = self.catalog.table(relation.table)
+            eq_columns = {p.column.column for p in relation.equalities}
+            in_columns = {
+                p.column.column
+                for p in relation.in_predicates
+                if p.max_cardinality() is not None
+            }
+            score = 0
+            if table.covers_primary_key(eq_columns):
+                score = 4
+            elif table.covers_primary_key(eq_columns | in_columns):
+                score = 3
+            elif table.matching_cardinality(eq_columns) is not None:
+                score = 2
+            elif relation.equalities or relation.token_matches:
+                score = 1
+            # Prefer higher scores; among equals, prefer more predicates.
+            return (score, len(relation.all_value_predicates()))
+
+        ordered = sorted(spec.relations, key=driving_score, reverse=True)
+        placed = [ordered[0].alias]
+        remaining = [r.alias for r in ordered[1:]]
+        while remaining:
+            progressed = False
+            for alias in list(remaining):
+                if spec.join_predicates_between(placed, alias):
+                    placed.append(alias)
+                    remaining.remove(alias)
+                    progressed = True
+                    break
+            if not progressed:
+                raise NotScaleIndependentError(
+                    "query contains a Cartesian product (no join predicate "
+                    f"connects {remaining} to {placed}); Cartesian products "
+                    "grow super-linearly with database size (Class IV)",
+                    relation=remaining[0],
+                    suggestions=[
+                        "add a join predicate connecting every relation",
+                    ],
+                )
+        return placed
+
+    # ------------------------------------------------------------------
+    # Lines 3-11: data-stop insertion
+    # ------------------------------------------------------------------
+    def _build_access_info(self, relation: L.RelationSpec) -> AccessInfo:
+        table = self.catalog.table(relation.table)
+        info = AccessInfo(alias=relation.alias, table=table.name)
+        equalities = list(relation.equalities)
+        eq_columns = {p.column.column for p in equalities}
+        all_predicates = relation.all_value_predicates()
+
+        # Primary-key equality -> data-stop of cardinality 1.
+        if table.covers_primary_key(eq_columns):
+            info.data_stop = 1
+            info.data_stop_columns = tuple(table.primary_key)
+            info.data_stop_from_primary_key = True
+            causing_columns = set(table.primary_key)
+            info.causing = [
+                p for p in equalities if p.column.column in causing_columns
+            ]
+            info.residual = [p for p in all_predicates if p not in info.causing]
+            return info
+
+        # Primary key covered by equalities plus a bounded IN list.
+        bounded_ins = [
+            p for p in relation.in_predicates if p.max_cardinality() is not None
+        ]
+        for in_predicate in bounded_ins:
+            if table.covers_primary_key(eq_columns | {in_predicate.column.column}):
+                info.data_stop = in_predicate.max_cardinality()
+                info.data_stop_columns = tuple(table.primary_key)
+                info.data_stop_from_primary_key = True
+                causing_columns = set(table.primary_key)
+                info.causing = [
+                    p for p in equalities if p.column.column in causing_columns
+                ] + [in_predicate]
+                info.residual = [p for p in all_predicates if p not in info.causing]
+                return info
+
+        # CARDINALITY LIMIT covered by equality predicates (and, for keyword
+        # searches over single-word columns such as an author's last name,
+        # token-match predicates: the tokenised lookup returns at most the
+        # rows sharing one value of the constrained column).
+        token_columns = {p.column.column for p in relation.token_matches}
+        limit = table.cardinality_limit_for(eq_columns | token_columns)
+        if limit is not None:
+            info.data_stop = limit.limit
+            info.data_stop_columns = tuple(limit.columns)
+            causing_columns = set(limit.columns)
+            info.causing = [
+                p for p in equalities if p.column.column in causing_columns
+            ] + [
+                p for p in relation.token_matches
+                if p.column.column in causing_columns
+            ]
+            info.residual = [p for p in all_predicates if p not in info.causing]
+            return info
+
+        info.causing = []
+        info.residual = all_predicates
+        return info
+
+    # ------------------------------------------------------------------
+    # Line 12: canonical (pushed-down) logical plan for display / Phase II
+    # ------------------------------------------------------------------
+    def _build_logical_plan(
+        self,
+        spec: L.QuerySpec,
+        join_order: List[str],
+        access: Dict[str, AccessInfo],
+    ) -> L.LogicalOperator:
+        plan = self._access_subtree(access[join_order[0]])
+        placed = [join_order[0]]
+        for alias in join_order[1:]:
+            right = self._access_subtree(access[alias])
+            predicates = tuple(spec.join_predicates_between(placed, alias))
+            plan = L.Join(left=plan, right=right, predicates=predicates)
+            placed.append(alias)
+        if spec.aggregates or spec.group_by:
+            plan = L.Aggregate(
+                child=plan, group_by=spec.group_by, aggregates=spec.aggregates
+            )
+        if spec.sort_keys:
+            plan = L.Sort(child=plan, keys=tuple(spec.sort_keys))
+        if spec.stop is not None:
+            plan = L.Stop(
+                child=plan, count=spec.stop.count, paginate=spec.stop.paginate
+            )
+        return L.Project(child=plan, items=spec.projection)
+
+    @staticmethod
+    def _access_subtree(info: AccessInfo) -> L.LogicalOperator:
+        plan: L.LogicalOperator = L.Relation(table=info.table, alias=info.alias)
+        if info.causing:
+            plan = L.Selection(child=plan, predicates=tuple(info.causing))
+        if info.data_stop is not None:
+            plan = L.DataStop(
+                child=plan,
+                count=info.data_stop,
+                relation=info.alias,
+                constraint_columns=info.data_stop_columns,
+                caused_by=tuple(info.causing),
+            )
+        if info.residual:
+            plan = L.Selection(child=plan, predicates=tuple(info.residual))
+        return plan

@@ -1,0 +1,657 @@
+"""Phase II of the PIQL optimizer: physical operator selection (Algorithm 2).
+
+Phase II maps the prepared logical plan onto PIQL's physical operators.  The
+invariant it enforces is the one that makes query plans scale-independent:
+**every remote operator must carry an explicit bound** — either a stop
+operator (LIMIT / PAGINATE), a data-stop derived from a schema constraint,
+or a primary-key / foreign-key uniqueness guarantee.  If any plan section
+cannot be bounded, the plan is rejected with
+:class:`~repro.errors.NotScaleIndependentError` describing the unbounded
+relation and candidate ``CARDINALITY LIMIT`` columns (this feeds the
+Performance Insight Assistant).
+
+The mapping rules follow Figure 4 of the paper:
+
+* IndexScan       — predicates describing a contiguous index section,
+* IndexFKJoin     — a join whose predicates cover the target's primary key,
+* SortedIndexJoin — a join with a per-join-key limit hint, optionally
+                    satisfying a sort through a composite index,
+* IndexLookup     — a bounded set of random primary-key reads (the access
+                    path of the subscriber-intersection query, Section 8.3),
+
+plus local selection / sort / stop / aggregation / projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NotScaleIndependentError, PlanningError
+from ..plans import logical as L
+from ..plans import physical as P
+from ..schema.catalog import Catalog
+from ..schema.ddl import IndexColumn, IndexDefinition, Table
+from ..sql.ast import Parameter
+from .phase1 import AccessInfo, PreparedPlan
+
+
+@dataclass
+class GeneratedPlan:
+    """Output of Phase II."""
+
+    physical_plan: P.PhysicalOperator
+    required_indexes: List[IndexDefinition] = field(default_factory=list)
+
+
+class PlanGenerator:
+    """Generates a bounded physical plan from a prepared logical plan."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def generate(self, prepared: PreparedPlan) -> GeneratedPlan:
+        spec = prepared.spec
+        required_indexes: List[IndexDefinition] = []
+        scan_counter = [0]
+
+        stop_count = self._static_stop_count(spec)
+        sort_pending = list(spec.sort_keys)
+        sort_consumed_by_driving = False
+
+        driving_alias = prepared.join_order[0]
+        plan, sort_consumed_by_driving = self._build_driving(
+            prepared.access_for(driving_alias),
+            spec,
+            stop_count=stop_count,
+            is_only_relation=len(prepared.join_order) == 1,
+            required_indexes=required_indexes,
+            scan_counter=scan_counter,
+        )
+
+        placed = [driving_alias]
+        for alias in prepared.join_order[1:]:
+            is_last = alias == prepared.join_order[-1]
+            plan, consumed_sort = self._build_join(
+                plan,
+                prepared.access_for(alias),
+                spec,
+                placed=placed,
+                is_last=is_last,
+                stop_count=stop_count,
+                sort_pending=sort_pending,
+                required_indexes=required_indexes,
+            )
+            if consumed_sort:
+                sort_pending = []
+                sort_consumed_by_driving = False
+            elif sort_consumed_by_driving and not isinstance(
+                plan, (P.PhysicalIndexFKJoin, P.PhysicalLocalSelection)
+            ):
+                # A multiplying join below the sort invalidates the ordering
+                # produced by the driving scan; fall back to a local sort.
+                sort_consumed_by_driving = False
+            placed.append(alias)
+
+        if sort_consumed_by_driving:
+            sort_pending = []
+
+        # Top of the plan: aggregation, residual sort, stop, projection.
+        if spec.aggregates or spec.group_by:
+            plan = P.PhysicalLocalAggregate(
+                child=plan, group_by=spec.group_by, aggregates=spec.aggregates
+            )
+        if sort_pending:
+            plan = P.PhysicalLocalSort(child=plan, keys=tuple(sort_pending))
+        if spec.stop is not None:
+            plan = P.PhysicalLocalStop(
+                child=plan, count=spec.stop.count, paginate=spec.stop.paginate
+            )
+        plan = P.PhysicalLocalProjection(child=plan, items=spec.projection)
+        return GeneratedPlan(physical_plan=plan, required_indexes=required_indexes)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _static_stop_count(spec: L.QuerySpec) -> Optional[int]:
+        if spec.stop is None:
+            return None
+        count = spec.stop.count
+        if isinstance(count, int):
+            return count
+        if isinstance(count, Parameter) and count.max_cardinality is not None:
+            return count.max_cardinality
+        return None
+
+    @staticmethod
+    def _split_predicates(info: AccessInfo):
+        predicates = info.all_predicates()
+        equalities = [p for p in predicates if isinstance(p, L.AttributeEquality)]
+        tokens = [p for p in predicates if isinstance(p, L.TokenMatch)]
+        ins = [p for p in predicates if isinstance(p, L.AttributeIn)]
+        inequalities = [p for p in predicates if isinstance(p, L.AttributeInequality)]
+        return equalities, tokens, ins, inequalities
+
+    def _sort_keys_on(self, spec: L.QuerySpec, alias: str) -> bool:
+        return bool(spec.sort_keys) and all(
+            column.relation == alias for column, _ in spec.sort_keys
+        )
+
+    @staticmethod
+    def _sort_direction(spec: L.QuerySpec) -> Optional[bool]:
+        """The common scan direction of the sort, or None for mixed directions."""
+        directions = {asc for _, asc in spec.sort_keys}
+        if len(directions) == 1:
+            return directions.pop()
+        return None
+
+    def _find_or_create_index(
+        self,
+        table: Table,
+        columns: Sequence[IndexColumn],
+        required_indexes: List[IndexDefinition],
+    ) -> IndexDefinition:
+        """Reuse an existing index with the right leading columns or create one."""
+        existing = self.catalog.find_index(table.name, list(columns))
+        if existing is not None:
+            return existing
+        for candidate in required_indexes:
+            if candidate.table == table.name and list(candidate.columns[: len(columns)]) == list(columns):
+                return candidate
+        full_columns = list(columns) + [
+            IndexColumn(pk)
+            for pk in table.primary_key
+            if pk not in {c.name for c in columns if not c.tokenized}
+        ]
+        index = IndexDefinition(
+            name=self.catalog.index_name(table.name, full_columns),
+            table=table.name,
+            columns=tuple(full_columns),
+        )
+        required_indexes.append(index)
+        return index
+
+    @staticmethod
+    def _is_primary_prefix(table: Table, columns: Sequence[str]) -> bool:
+        """True if ``columns`` (as a set) equal the first len(columns) pk columns."""
+        prefix = list(table.primary_key[: len(columns)])
+        return sorted(prefix) == sorted(columns)
+
+    @staticmethod
+    def _pk_follows(table: Table, prefix_len: int, columns: Sequence[str]) -> bool:
+        """True if ``columns`` appear, in order, right after the pk prefix."""
+        following = list(table.primary_key[prefix_len : prefix_len + len(columns)])
+        return following == list(columns)
+
+    # ------------------------------------------------------------------
+    # Driving relation
+    # ------------------------------------------------------------------
+    def _build_driving(
+        self,
+        info: AccessInfo,
+        spec: L.QuerySpec,
+        stop_count: Optional[int],
+        is_only_relation: bool,
+        required_indexes: List[IndexDefinition],
+        scan_counter: List[int],
+    ) -> Tuple[P.PhysicalOperator, bool]:
+        """Build the access operator for the first relation of the join order.
+
+        Returns the operator and whether it satisfies the query's sort order.
+        """
+        table = self.catalog.table(info.table)
+        equalities, tokens, ins, inequalities = self._split_predicates(info)
+
+        # ---- Case A: primary key fully covered -> bounded point lookups.
+        if info.data_stop is not None and info.data_stop_from_primary_key:
+            return self._build_primary_lookup(info, table), False
+
+        sort_here = self._sort_keys_on(spec, info.alias)
+        sort_direction = self._sort_direction(spec) if sort_here else None
+
+        # ---- Case B: cardinality-constraint data-stop.
+        if info.data_stop is not None:
+            return self._build_datastop_scan(
+                info,
+                table,
+                spec,
+                stop_count,
+                sort_here,
+                sort_direction,
+                required_indexes,
+                scan_counter,
+            )
+
+        # ---- Case C: bounded by the query's stop operator.
+        #
+        # A LIMIT/PAGINATE may bound the driving scan only when fetching the
+        # first ``stop_count`` matching rows is guaranteed to be enough to
+        # answer the query: the query is over a single relation, or the scan
+        # itself produces the final sort order (later FK joins preserve it),
+        # or no ordering was requested at all.  Otherwise — e.g. the
+        # thoughtstream query without its subscription cardinality limit —
+        # rows beyond the first ``stop_count`` could still contribute to the
+        # result and no bounded plan exists (Section 6.4).
+        stop_usable = stop_count is not None and (
+            is_only_relation or sort_here or not spec.sort_keys
+        )
+        if stop_usable:
+            return self._build_stop_bounded_scan(
+                info,
+                table,
+                spec,
+                stop_count,
+                equalities,
+                tokens,
+                inequalities,
+                sort_here,
+                sort_direction,
+                required_indexes,
+                scan_counter,
+            )
+
+        # ---- Case D: nothing bounds this access path.
+        eq_columns = [p.column.column for p in equalities]
+        raise NotScaleIndependentError(
+            f"access to relation {info.alias!r} ({info.table}) is unbounded: "
+            "no primary-key equality, CARDINALITY LIMIT, or LIMIT/PAGINATE "
+            "clause bounds the number of tuples",
+            relation=info.alias,
+            candidate_attributes=eq_columns or [c for c in table.primary_key],
+            suggestions=[
+                "add a LIMIT or PAGINATE clause to the query",
+                "add a CARDINALITY LIMIT on the predicate columns "
+                f"({', '.join(eq_columns) if eq_columns else 'none present'})",
+            ],
+        )
+
+    def _build_primary_lookup(
+        self, info: AccessInfo, table: Table
+    ) -> P.PhysicalOperator:
+        """Bounded random reads: equality (and bounded IN) covering the pk."""
+        causing_by_column: Dict[str, object] = {}
+        for predicate in info.causing:
+            if isinstance(predicate, L.AttributeEquality):
+                causing_by_column[predicate.column.column] = predicate.value
+            elif isinstance(predicate, L.AttributeIn):
+                causing_by_column[predicate.column.column] = P.InListPart(
+                    predicate.values
+                )
+        key_parts = tuple(causing_by_column[c] for c in table.primary_key)
+        lookup = P.PhysicalIndexLookup(
+            relation_alias=info.alias,
+            table=table.name,
+            key_parts=key_parts,
+            bound=info.data_stop,
+        )
+        if info.residual:
+            return P.PhysicalLocalSelection(
+                child=lookup, predicates=tuple(info.residual)
+            )
+        return lookup
+
+    def _build_datastop_scan(
+        self,
+        info: AccessInfo,
+        table: Table,
+        spec: L.QuerySpec,
+        stop_count: Optional[int],
+        sort_here: bool,
+        sort_direction: Optional[bool],
+        required_indexes: List[IndexDefinition],
+        scan_counter: List[int],
+    ) -> Tuple[P.PhysicalOperator, bool]:
+        """IndexScan bounded by a data-stop from a CARDINALITY LIMIT."""
+        causing_equalities = [
+            p for p in info.causing if isinstance(p, L.AttributeEquality)
+        ]
+        causing_tokens = [
+            p for p in info.causing if isinstance(p, L.TokenMatch)
+        ]
+        causing_columns = [p.column.column for p in causing_equalities]
+        causing_values = {p.column.column: p.value for p in causing_equalities}
+        if causing_tokens:
+            # A keyword search can never be served by the primary index; it
+            # needs an inverted (tokenised) secondary index.
+            index_columns = [
+                IndexColumn(p.column.column, tokenized=True) for p in causing_tokens
+            ] + [IndexColumn(c) for c in causing_columns]
+            definition = self._find_or_create_index(
+                table, index_columns, required_indexes
+            )
+            index = P.IndexChoice(
+                table=table.name, primary=False, definition=definition
+            )
+            ordered_prefix = [p.value for p in causing_tokens] + [
+                causing_values[c] for c in causing_columns
+            ]
+            sort_satisfied = False
+        elif self._is_primary_prefix(table, causing_columns):
+            index = P.IndexChoice(table=table.name, primary=True)
+            ordered_prefix = [
+                causing_values[c]
+                for c in table.primary_key[: len(causing_columns)]
+            ]
+            sort_satisfied = (
+                sort_here
+                and sort_direction is not None
+                and not info.residual
+                and self._pk_follows(
+                    table,
+                    len(causing_columns),
+                    [c.column for c, _ in spec.sort_keys],
+                )
+            )
+        else:
+            index_columns = [IndexColumn(c) for c in causing_columns]
+            definition = self._find_or_create_index(
+                table, index_columns, required_indexes
+            )
+            index = P.IndexChoice(
+                table=table.name, primary=False, definition=definition
+            )
+            ordered_prefix = [causing_values[c] for c in causing_columns]
+            sort_satisfied = False
+
+        limit_hint: Optional[int] = None
+        if stop_count is not None and not info.residual and (
+            sort_satisfied or not spec.sort_keys
+        ):
+            limit_hint = min(stop_count, info.data_stop or stop_count)
+
+        scan = P.PhysicalIndexScan(
+            relation_alias=info.alias,
+            table=table.name,
+            index=index,
+            prefix=tuple(ordered_prefix),
+            ascending=sort_direction if sort_satisfied else True,
+            limit_hint=limit_hint,
+            data_stop=info.data_stop,
+            needs_dereference=not index.primary,
+            scan_id=self._next_scan_id(scan_counter),
+        )
+        plan: P.PhysicalOperator = scan
+        if info.residual:
+            plan = P.PhysicalLocalSelection(
+                child=plan, predicates=tuple(info.residual)
+            )
+        return plan, sort_satisfied
+
+    def _build_stop_bounded_scan(
+        self,
+        info: AccessInfo,
+        table: Table,
+        spec: L.QuerySpec,
+        stop_count: int,
+        equalities: List[L.AttributeEquality],
+        tokens: List[L.TokenMatch],
+        inequalities: List[L.AttributeInequality],
+        sort_here: bool,
+        sort_direction: Optional[bool],
+        required_indexes: List[IndexDefinition],
+        scan_counter: List[int],
+    ) -> Tuple[P.PhysicalOperator, bool]:
+        """IndexScan whose bound comes from the query's LIMIT / PAGINATE.
+
+        Because a standard stop operator may not be pushed past reductive
+        predicates (Section 5.1), *every* predicate of the relation must be
+        covered by the chosen index; otherwise the plan would be incorrect
+        or unbounded and we reject it.
+        """
+        if len(tokens) > 1:
+            raise NotScaleIndependentError(
+                f"relation {info.alias!r} has multiple keyword-search "
+                "predicates; at most one token match per relation is supported",
+                relation=info.alias,
+            )
+        inequality_columns = {p.column.column for p in inequalities}
+        if len(inequality_columns) > 1:
+            raise NotScaleIndependentError(
+                f"predicates on {info.alias!r} reference inequalities over "
+                f"{sorted(inequality_columns)}; a contiguous index section can "
+                "include at most one inequality attribute (Figure 4a)",
+                relation=info.alias,
+                candidate_attributes=sorted(inequality_columns),
+            )
+        if sort_here and sort_direction is None:
+            raise NotScaleIndependentError(
+                "mixed ASC/DESC sort directions cannot be satisfied by an "
+                "index scan, so the LIMIT cannot bound the scan; add a "
+                "CARDINALITY LIMIT instead",
+                relation=info.alias,
+            )
+        sort_columns = (
+            [c.column for c, _ in spec.sort_keys] if sort_here else []
+        )
+        if inequality_columns and sort_columns:
+            ineq_column = next(iter(inequality_columns))
+            if sort_columns[0] != ineq_column:
+                raise NotScaleIndependentError(
+                    f"the inequality attribute {ineq_column!r} must be the "
+                    "first sort field for an index scan to satisfy the sort "
+                    "(Section 5.2.1)",
+                    relation=info.alias,
+                )
+
+        equality_columns = [p.column.column for p in equalities]
+        equality_values = {p.column.column: p.value for p in equalities}
+        token = tokens[0] if tokens else None
+        ineq_column = next(iter(inequality_columns)) if inequality_columns else None
+
+        # Column order of the index the scan needs.
+        wanted: List[IndexColumn] = []
+        if token is not None:
+            wanted.append(IndexColumn(token.column.column, tokenized=True))
+        wanted.extend(IndexColumn(c) for c in equality_columns)
+        range_columns: List[str] = []
+        if ineq_column is not None and ineq_column not in equality_columns:
+            range_columns.append(ineq_column)
+        for column in sort_columns:
+            if column not in range_columns and column not in equality_columns:
+                range_columns.append(column)
+
+        use_primary = (
+            token is None
+            and self._is_primary_prefix(table, equality_columns)
+            and self._pk_follows(table, len(equality_columns), range_columns)
+        )
+        if use_primary:
+            index = P.IndexChoice(table=table.name, primary=True)
+            ordered_prefix = [
+                equality_values[c]
+                for c in table.primary_key[: len(equality_columns)]
+            ]
+        else:
+            wanted.extend(IndexColumn(c) for c in range_columns)
+            definition = self._find_or_create_index(table, wanted, required_indexes)
+            index = P.IndexChoice(
+                table=table.name, primary=False, definition=definition
+            )
+            ordered_prefix = []
+            if token is not None:
+                ordered_prefix.append(token.value)
+            ordered_prefix.extend(equality_values[c] for c in equality_columns)
+
+        inequality_spec = None
+        if inequalities:
+            # All inequalities share one column; the executor applies the
+            # tightest one to the range and re-checks the rest locally.
+            first = inequalities[0]
+            inequality_spec = (first.column.column, first.op, first.value)
+
+        scan = P.PhysicalIndexScan(
+            relation_alias=info.alias,
+            table=table.name,
+            index=index,
+            prefix=tuple(ordered_prefix),
+            inequality=inequality_spec,
+            ascending=sort_direction if sort_here else True,
+            limit_hint=spec.stop.count if spec.stop is not None else stop_count,
+            data_stop=None,
+            needs_dereference=not use_primary,
+            scan_id=self._next_scan_id(scan_counter),
+        )
+        plan: P.PhysicalOperator = scan
+        extra_inequalities = inequalities[1:]
+        if extra_inequalities:
+            plan = P.PhysicalLocalSelection(
+                child=plan, predicates=tuple(extra_inequalities)
+            )
+        return plan, sort_here
+
+    # ------------------------------------------------------------------
+    # Join relations
+    # ------------------------------------------------------------------
+    def _build_join(
+        self,
+        child: P.PhysicalOperator,
+        info: AccessInfo,
+        spec: L.QuerySpec,
+        placed: List[str],
+        is_last: bool,
+        stop_count: Optional[int],
+        sort_pending: List[Tuple[L.BoundColumn, bool]],
+        required_indexes: List[IndexDefinition],
+    ) -> Tuple[P.PhysicalOperator, bool]:
+        """Build the join operator bringing relation ``info`` into the plan.
+
+        Returns the new plan root and whether the join consumed the sort.
+        """
+        table = self.catalog.table(info.table)
+        join_predicates = spec.join_predicates_between(placed, info.alias)
+        if not join_predicates:
+            raise PlanningError(
+                f"no join predicate connects {info.alias!r} to {placed}"
+            )
+        join_columns = [p.column_for(info.alias).column for p in join_predicates]
+        join_sources = {
+            p.column_for(info.alias).column: p.other(info.alias)
+            for p in join_predicates
+        }
+        equalities, tokens, ins, inequalities = self._split_predicates(info)
+        equality_values = {p.column.column: p.value for p in equalities}
+
+        # ---- IndexFKJoin: join + equality predicates cover the primary key.
+        covered = set(join_columns) | set(equality_values)
+        if set(table.primary_key) <= covered:
+            key_parts: List[P.KeyPart] = []
+            for pk_column in table.primary_key:
+                if pk_column in join_sources:
+                    key_parts.append(join_sources[pk_column])
+                else:
+                    key_parts.append(equality_values[pk_column])
+            join_op: P.PhysicalOperator = P.PhysicalIndexFKJoin(
+                child=child,
+                relation_alias=info.alias,
+                table=table.name,
+                key_parts=tuple(key_parts),
+            )
+            used = set(table.primary_key)
+            residual = [
+                p
+                for p in info.all_predicates()
+                if not (
+                    isinstance(p, L.AttributeEquality) and p.column.column in used
+                )
+            ]
+            if residual:
+                join_op = P.PhysicalLocalSelection(
+                    child=join_op, predicates=tuple(residual)
+                )
+            return join_op, False
+
+        # ---- SortedIndexJoin: needs a per-join-key bound.
+        sort_here = bool(sort_pending) and all(
+            column.relation == info.alias for column, _ in sort_pending
+        )
+        sort_direction = self._sort_direction(spec) if sort_here else None
+        residual = [
+            p for p in info.all_predicates()
+            if not isinstance(p, L.AttributeEquality)
+        ]
+
+        limit_hint: Optional[int] = None
+        consumed_sort = False
+        stop_for_join: Optional[object] = None
+        cardinality = table.matching_cardinality(
+            set(join_columns) | set(equality_values)
+        )
+        if (
+            is_last
+            and stop_count is not None
+            and sort_here
+            and sort_direction is not None
+            and not residual
+        ):
+            limit_hint = stop_count
+            consumed_sort = True
+            stop_for_join = spec.stop.count if spec.stop is not None else stop_count
+        elif cardinality is not None:
+            limit_hint = cardinality
+        else:
+            raise NotScaleIndependentError(
+                f"the join against {info.alias!r} ({table.name}) is unbounded: "
+                "the number of matching tuples per join key has no limit",
+                relation=info.alias,
+                candidate_attributes=join_columns,
+                suggestions=[
+                    "add a CARDINALITY LIMIT on "
+                    f"{table.name}({', '.join(join_columns)})",
+                    "add an ORDER BY on the joined relation together with a "
+                    "LIMIT so a SortedIndexJoin can bound the fetch",
+                ],
+            )
+
+        sort_columns = [c.column for c, _ in sort_pending] if consumed_sort else []
+        prefix_columns = list(equality_values.keys()) + [
+            c for c in join_columns if c not in equality_values
+        ]
+        use_primary = self._is_primary_prefix(
+            table, prefix_columns
+        ) and self._pk_follows(table, len(prefix_columns), sort_columns)
+        if use_primary:
+            index = P.IndexChoice(table=table.name, primary=True)
+            ordered_columns = list(table.primary_key[: len(prefix_columns)])
+        else:
+            wanted = [IndexColumn(c) for c in prefix_columns + sort_columns]
+            definition = self._find_or_create_index(table, wanted, required_indexes)
+            index = P.IndexChoice(
+                table=table.name, primary=False, definition=definition
+            )
+            ordered_columns = prefix_columns
+
+        prefix_parts: List[P.KeyPart] = []
+        for column in ordered_columns:
+            if column in equality_values:
+                prefix_parts.append(equality_values[column])
+            else:
+                prefix_parts.append(join_sources[column])
+
+        join_op = P.PhysicalSortedIndexJoin(
+            child=child,
+            relation_alias=info.alias,
+            table=table.name,
+            index=index,
+            prefix=tuple(prefix_parts),
+            sort_keys=tuple(
+                (column.column, asc) for column, asc in (sort_pending if consumed_sort else [])
+            ),
+            ascending=sort_direction if consumed_sort else True,
+            limit_hint=limit_hint,
+            stop_count=stop_for_join,
+            needs_dereference=not use_primary,
+        )
+        plan: P.PhysicalOperator = join_op
+        if residual:
+            plan = P.PhysicalLocalSelection(child=plan, predicates=tuple(residual))
+        return plan, consumed_sort
+
+    @staticmethod
+    def _next_scan_id(scan_counter: List[int]) -> str:
+        scan_id = f"scan{scan_counter[0]}"
+        scan_counter[0] += 1
+        return scan_id

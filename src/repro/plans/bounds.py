@@ -1,0 +1,108 @@
+"""Static operation-bound calculation (Section 1.3 / 5.2 of the paper).
+
+Given a physical plan in which every remote operator carries an explicit
+bound, this module computes an upper bound on
+
+* the number of tuples each operator can produce, and
+* the number of key/value store operations the whole plan can perform,
+
+independent of the database size.  The execution engine's tests assert that
+actually-executed queries never exceed these bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NotScaleIndependentError
+from . import physical as P
+
+
+@dataclass(frozen=True)
+class PlanBound:
+    """Upper bounds for one (sub)plan."""
+
+    max_tuples: int
+    max_operations: int
+
+    def __add__(self, other: "PlanBound") -> "PlanBound":
+        return PlanBound(
+            self.max_tuples + other.max_tuples,
+            self.max_operations + other.max_operations,
+        )
+
+
+def compute_bound(plan: P.PhysicalOperator) -> PlanBound:
+    """Compute the operation bound of a physical plan.
+
+    Raises :class:`NotScaleIndependentError` if some remote operator carries
+    no usable bound (which the optimizer should already have rejected).
+    """
+    if isinstance(plan, P.PhysicalIndexScan):
+        hint = plan.static_limit_hint()
+        if hint is None:
+            raise NotScaleIndependentError(
+                f"index scan over {plan.table} has no limit hint or data-stop",
+                relation=plan.table,
+            )
+        operations = 1 + (hint if plan.needs_dereference else 0)
+        return PlanBound(max_tuples=hint, max_operations=operations)
+
+    if isinstance(plan, P.PhysicalIndexLookup):
+        bound = plan.bound
+        if bound is None:
+            raise NotScaleIndependentError(
+                f"index lookup on {plan.table} has an unbounded IN list",
+                relation=plan.table,
+            )
+        return PlanBound(max_tuples=bound, max_operations=bound)
+
+    if isinstance(plan, P.PhysicalIndexFKJoin):
+        child = compute_bound(plan.child)
+        return PlanBound(
+            max_tuples=child.max_tuples,
+            max_operations=child.max_operations + child.max_tuples,
+        )
+
+    if isinstance(plan, P.PhysicalSortedIndexJoin):
+        child = compute_bound(plan.child)
+        if plan.limit_hint is None:
+            raise NotScaleIndependentError(
+                f"sorted index join against {plan.table} has no limit hint",
+                relation=plan.table,
+            )
+        fetched = child.max_tuples * plan.limit_hint
+        stop = plan.static_stop_count()
+        max_tuples = min(fetched, stop) if stop is not None else fetched
+        operations = child.max_operations + child.max_tuples
+        if plan.needs_dereference:
+            operations += fetched
+        return PlanBound(max_tuples=max_tuples, max_operations=operations)
+
+    if isinstance(plan, P.PhysicalLocalStop):
+        child = compute_bound(plan.child)
+        count = plan.static_count()
+        max_tuples = (
+            min(count, child.max_tuples) if count is not None else child.max_tuples
+        )
+        return PlanBound(max_tuples=max_tuples, max_operations=child.max_operations)
+
+    if isinstance(
+        plan,
+        (
+            P.PhysicalLocalSelection,
+            P.PhysicalLocalSort,
+            P.PhysicalLocalProjection,
+            P.PhysicalLocalAggregate,
+        ),
+    ):
+        return compute_bound(plan.children()[0])
+
+    raise NotScaleIndependentError(
+        f"cannot bound unknown operator {type(plan).__name__}"
+    )
+
+
+def operation_bound(plan: P.PhysicalOperator) -> int:
+    """Convenience accessor: the maximum number of key/value operations."""
+    return compute_bound(plan).max_operations

@@ -1,0 +1,284 @@
+"""Analyzer: turns a parsed SELECT statement into a logical plan.
+
+Name resolution follows standard SQL rules: a qualified reference
+``alias.column`` is looked up against the relation bound to that alias; an
+unqualified column must resolve to exactly one of the FROM relations.
+Table and column name comparison is case-insensitive, as in the paper's
+TPC-W queries (``I_TITLE`` vs ``i_title``).
+
+The builder produces both a :class:`~repro.plans.logical.QuerySpec`
+(normalized form used by the optimizer) and the *initial* logical plan tree
+(Figure 3(b) in the paper), before any optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import PlanningError, SchemaError, UnknownColumnError
+from ..schema.catalog import Catalog
+from ..schema.ddl import Table
+from ..sql import ast
+from . import logical as L
+
+
+class LogicalPlanBuilder:
+    """Builds logical plans for SELECT statements against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def build_spec(self, statement: ast.SelectStatement) -> L.QuerySpec:
+        """Analyze ``statement`` into a normalized :class:`QuerySpec`."""
+        bindings = self._resolve_tables(statement.tables)
+        relations = [
+            L.RelationSpec(alias=alias, table=table.name)
+            for alias, table in bindings.items()
+        ]
+        spec = L.QuerySpec(
+            relations=relations,
+            join_predicates=[],
+            sort_keys=[],
+            stop=None,
+            projection=(),
+        )
+
+        for predicate in statement.where:
+            self._add_predicate(spec, bindings, predicate)
+
+        spec.sort_keys = [
+            (self._resolve_column(item.column, bindings), item.ascending)
+            for item in statement.order_by
+        ]
+
+        if statement.limit is not None:
+            spec.stop = L.Stop(
+                child=None,  # type: ignore[arg-type]
+                count=statement.limit.count,
+                paginate=statement.limit.paginate,
+            )
+
+        spec.group_by = tuple(
+            self._resolve_column(ref, bindings) for ref in statement.group_by
+        )
+        spec.aggregates = tuple(
+            self._resolve_aggregate(item, bindings)
+            for item in statement.select_items
+            if isinstance(item, ast.AggregateCall)
+        )
+        spec.projection = self._resolve_projection(statement.select_items, bindings)
+        self._validate_aggregation(statement, spec)
+        return spec
+
+    def build_initial_plan(self, spec: L.QuerySpec) -> L.LogicalOperator:
+        """Construct the naive (pre-optimization) logical plan tree."""
+        plan: L.LogicalOperator = L.Relation(
+            table=spec.relations[0].table, alias=spec.relations[0].alias
+        )
+        for relation in spec.relations[1:]:
+            right = L.Relation(table=relation.table, alias=relation.alias)
+            plan = L.Join(left=plan, right=right, predicates=())
+        value_predicates: List[L.ValuePredicate] = []
+        for relation in spec.relations:
+            value_predicates.extend(relation.all_value_predicates())
+        if spec.join_predicates and len(spec.relations) > 1:
+            # Attach join predicates to the topmost join for display purposes.
+            top = plan
+            assert isinstance(top, L.Join)
+            top.predicates = tuple(spec.join_predicates)
+        if value_predicates:
+            plan = L.Selection(child=plan, predicates=tuple(value_predicates))
+        if spec.aggregates or spec.group_by:
+            plan = L.Aggregate(
+                child=plan, group_by=spec.group_by, aggregates=spec.aggregates
+            )
+        if spec.sort_keys:
+            plan = L.Sort(child=plan, keys=tuple(spec.sort_keys))
+        if spec.stop is not None:
+            plan = L.Stop(child=plan, count=spec.stop.count, paginate=spec.stop.paginate)
+        return L.Project(child=plan, items=spec.projection)
+
+    # ------------------------------------------------------------------
+    # Name resolution
+    # ------------------------------------------------------------------
+    def _resolve_tables(self, tables: List[ast.TableRef]) -> Dict[str, Table]:
+        if not tables:
+            raise PlanningError("query has no FROM clause")
+        bindings: Dict[str, Table] = {}
+        for ref in tables:
+            table = self.catalog.table(ref.name)
+            binding = (ref.alias or ref.name)
+            if binding.lower() in {b.lower() for b in bindings}:
+                raise PlanningError(f"duplicate table binding: {binding!r}")
+            bindings[binding] = table
+        return bindings
+
+    def _find_binding(
+        self, qualifier: Optional[str], column: str, bindings: Dict[str, Table]
+    ) -> Tuple[str, Table]:
+        if qualifier is not None:
+            for binding, table in bindings.items():
+                if binding.lower() == qualifier.lower():
+                    return binding, table
+            # A qualifier may also be the underlying table name even when an
+            # alias was declared (common in hand-written queries).
+            for binding, table in bindings.items():
+                if table.name.lower() == qualifier.lower():
+                    return binding, table
+            raise UnknownColumnError(column, qualifier)
+        matches = [
+            (binding, table)
+            for binding, table in bindings.items()
+            if self._canonical_column(table, column) is not None
+        ]
+        if not matches:
+            raise UnknownColumnError(column)
+        if len(matches) > 1:
+            names = ", ".join(binding for binding, _ in matches)
+            raise PlanningError(
+                f"ambiguous column {column!r}: present in {names}"
+            )
+        return matches[0]
+
+    @staticmethod
+    def _canonical_column(table: Table, column: str) -> Optional[str]:
+        for name in table.column_names():
+            if name.lower() == column.lower():
+                return name
+        return None
+
+    def _resolve_column(
+        self, ref: ast.ColumnRef, bindings: Dict[str, Table]
+    ) -> L.BoundColumn:
+        binding, table = self._find_binding(ref.table, ref.column, bindings)
+        canonical = self._canonical_column(table, ref.column)
+        if canonical is None:
+            raise UnknownColumnError(ref.column, table.name)
+        return L.BoundColumn(relation=binding, table=table.name, column=canonical)
+
+    def _resolve_aggregate(
+        self, call: ast.AggregateCall, bindings: Dict[str, Table]
+    ) -> L.AggregateSpec:
+        argument = (
+            self._resolve_column(call.argument, bindings)
+            if call.argument is not None
+            else None
+        )
+        if call.function != "COUNT" and argument is None:
+            raise PlanningError(f"{call.function} requires a column argument")
+        default_name = (
+            f"{call.function.lower()}_{argument.column.lower()}"
+            if argument is not None
+            else "count"
+        )
+        return L.AggregateSpec(
+            function=call.function,
+            argument=argument,
+            output_name=call.alias or default_name,
+        )
+
+    def _resolve_projection(
+        self, items: List[ast.SelectItem], bindings: Dict[str, Table]
+    ) -> Tuple[L.ProjectionItem, ...]:
+        resolved: List[L.ProjectionItem] = []
+        for item in items:
+            if isinstance(item, ast.Star):
+                if item.table is None:
+                    resolved.append(L.StarItem(relation=None))
+                else:
+                    binding, _ = self._find_binding(item.table, "*", bindings)
+                    resolved.append(L.StarItem(relation=binding))
+            elif isinstance(item, ast.ColumnRef):
+                resolved.append(self._resolve_column(item, bindings))
+            elif isinstance(item, ast.AggregateCall):
+                resolved.append(self._resolve_aggregate(item, bindings))
+            else:  # pragma: no cover - parser only produces the above
+                raise PlanningError(f"unsupported select item: {item!r}")
+        return tuple(resolved)
+
+    def _validate_aggregation(
+        self, statement: ast.SelectStatement, spec: L.QuerySpec
+    ) -> None:
+        if not spec.aggregates and spec.group_by:
+            raise PlanningError("GROUP BY requires at least one aggregate")
+        if spec.aggregates:
+            group_cols = set(spec.group_by)
+            for item in spec.projection:
+                if isinstance(item, L.BoundColumn) and item not in group_cols:
+                    raise PlanningError(
+                        f"column {item.render()} must appear in GROUP BY"
+                    )
+                if isinstance(item, L.StarItem):
+                    raise PlanningError("cannot mix * with aggregates")
+
+    # ------------------------------------------------------------------
+    # Predicate classification
+    # ------------------------------------------------------------------
+    def _add_predicate(
+        self,
+        spec: L.QuerySpec,
+        bindings: Dict[str, Table],
+        predicate: ast.Predicate,
+    ) -> None:
+        if isinstance(predicate, ast.Comparison):
+            self._add_comparison(spec, bindings, predicate)
+        elif isinstance(predicate, ast.LikePredicate):
+            column = self._resolve_column(predicate.column, bindings)
+            spec.relation(column.relation).token_matches.append(
+                L.TokenMatch(column=column, value=self._as_value(predicate.pattern))
+            )
+        elif isinstance(predicate, ast.ContainsPredicate):
+            column = self._resolve_column(predicate.column, bindings)
+            spec.relation(column.relation).token_matches.append(
+                L.TokenMatch(column=column, value=self._as_value(predicate.token))
+            )
+        elif isinstance(predicate, ast.InPredicate):
+            column = self._resolve_column(predicate.column, bindings)
+            spec.relation(column.relation).in_predicates.append(
+                L.AttributeIn(column=column, values=predicate.values)
+            )
+        else:  # pragma: no cover
+            raise PlanningError(f"unsupported predicate: {predicate!r}")
+
+    def _add_comparison(
+        self,
+        spec: L.QuerySpec,
+        bindings: Dict[str, Table],
+        predicate: ast.Comparison,
+    ) -> None:
+        left = self._resolve_column(predicate.left, bindings)
+        right = predicate.right
+        if isinstance(right, ast.ColumnRef):
+            right_column = self._resolve_column(right, bindings)
+            if right_column.relation == left.relation:
+                raise PlanningError(
+                    "column-to-column predicates within one relation are not "
+                    f"supported: {left.render()} {predicate.op} {right_column.render()}"
+                )
+            if predicate.op != "=":
+                raise PlanningError(
+                    f"only equi-joins are supported, found {predicate.op!r}"
+                )
+            spec.join_predicates.append(
+                L.JoinEquality(left=left, right=right_column)
+            )
+            return
+        value = self._as_value(right)
+        relation = spec.relation(left.relation)
+        if predicate.op == "=":
+            relation.equalities.append(L.AttributeEquality(column=left, value=value))
+        elif predicate.op in ("<", "<=", ">", ">=", "<>"):
+            relation.inequalities.append(
+                L.AttributeInequality(column=left, op=predicate.op, value=value)
+            )
+        else:  # pragma: no cover
+            raise PlanningError(f"unsupported comparison operator: {predicate.op!r}")
+
+    @staticmethod
+    def _as_value(value: ast.Value) -> Union[ast.Literal, ast.Parameter]:
+        if isinstance(value, (ast.Literal, ast.Parameter)):
+            return value
+        raise SchemaError(f"expected a literal or parameter, got {value!r}")

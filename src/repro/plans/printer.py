@@ -1,0 +1,33 @@
+"""Pretty-printing of logical and physical plans.
+
+Both operator families expose ``label()`` and ``children()``, so a single
+renderer handles Figure-3-style plan diagrams for diagnostics, tests, and
+the Performance Insight Assistant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from .logical import LogicalOperator
+from .physical import PhysicalOperator
+
+PlanNode = Union[LogicalOperator, PhysicalOperator]
+
+
+def plan_to_string(plan: PlanNode, indent: int = 0) -> str:
+    """Render a plan as an indented tree, one operator per line."""
+    lines: List[str] = []
+    _render(plan, indent, lines)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: List[str]) -> None:
+    lines.append("  " * depth + node.label())
+    for child in node.children():
+        _render(child, depth + 1, lines)
+
+
+def plan_operators(plan: PlanNode) -> List[str]:
+    """The operator labels of a plan in pre-order (useful in tests)."""
+    return [line.strip() for line in plan_to_string(plan).splitlines()]

@@ -1,0 +1,30 @@
+"""SLO compliance prediction framework (Section 6 of the paper)."""
+
+from .heatmap import Heatmap, prediction_heatmap, thoughtstream_heatmap
+from .histogram import LatencyHistogram, convolve_all
+from .model import (
+    OperatorModelKey,
+    OperatorModelStore,
+    OperatorRequirement,
+    QueryLatencyModel,
+)
+from .slo import SLOPrediction, ServiceLevelObjective, observed_interval_quantiles
+from .training import OperatorModelTrainer, TrainingConfig, train_default_model
+
+__all__ = [
+    "Heatmap",
+    "LatencyHistogram",
+    "OperatorModelKey",
+    "OperatorModelStore",
+    "OperatorModelTrainer",
+    "OperatorRequirement",
+    "QueryLatencyModel",
+    "SLOPrediction",
+    "ServiceLevelObjective",
+    "TrainingConfig",
+    "convolve_all",
+    "observed_interval_quantiles",
+    "prediction_heatmap",
+    "thoughtstream_heatmap",
+    "train_default_model",
+]

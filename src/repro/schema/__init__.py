@@ -1,0 +1,55 @@
+"""Schema layer: column types, tables, PIQL DDL extensions, key encoding."""
+
+from .catalog import Catalog
+from .ddl import (
+    CardinalityLimit,
+    Column,
+    ForeignKey,
+    IndexColumn,
+    IndexDefinition,
+    Table,
+)
+from .keys import (
+    KeyEncodingError,
+    decode_key,
+    decode_value,
+    encode_key,
+    encode_value,
+    prefix_range,
+    prefix_upper_bound,
+    successor,
+)
+from .types import (
+    BooleanType,
+    ColumnType,
+    FloatType,
+    IntType,
+    TimestampType,
+    VarcharType,
+    type_from_name,
+)
+
+__all__ = [
+    "BooleanType",
+    "Catalog",
+    "CardinalityLimit",
+    "Column",
+    "ColumnType",
+    "FloatType",
+    "ForeignKey",
+    "IndexColumn",
+    "IndexDefinition",
+    "IntType",
+    "KeyEncodingError",
+    "Table",
+    "TimestampType",
+    "VarcharType",
+    "decode_key",
+    "decode_value",
+    "encode_key",
+    "encode_value",
+    "prefix_range",
+    "prefix_upper_bound",
+    "successor",
+    "type_from_name",
+]

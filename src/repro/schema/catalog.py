@@ -1,0 +1,125 @@
+"""Schema catalog: the set of tables and indexes known to a PIQL database."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SchemaError, UnknownTableError
+from .ddl import IndexColumn, IndexDefinition, Table
+
+
+class Catalog:
+    """Holds all table and index definitions for one database instance.
+
+    The catalog is consulted by the parser (column resolution), the
+    optimizer (cardinality constraints, available indexes), and the storage
+    layer (which namespaces and index structures to maintain on writes).
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, IndexDefinition] = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise UnknownTableError(name)
+        del self._tables[key]
+        for index_name in [
+            n for n, ix in self._indexes.items() if ix.table.lower() == key
+        ]:
+            del self._indexes[index_name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(name) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> List[Table]:
+        return [self._tables[k] for k in sorted(self._tables)]
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def add_index(self, index: IndexDefinition) -> IndexDefinition:
+        """Register an index; adding an identical index twice is a no-op."""
+        if not self.has_table(index.table):
+            raise UnknownTableError(index.table)
+        table = self.table(index.table)
+        for column in index.columns:
+            if not table.has_column(column.name):
+                raise SchemaError(
+                    f"index {index.name!r} references unknown column "
+                    f"{column.name!r} of table {index.table!r}"
+                )
+        key = index.name.lower()
+        existing = self._indexes.get(key)
+        if existing is not None:
+            if existing.columns == index.columns and existing.table == index.table:
+                return existing
+            raise SchemaError(f"index {index.name!r} already exists")
+        self._indexes[key] = index
+        return index
+
+    def index(self, name: str) -> IndexDefinition:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown index: {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def indexes(self) -> List[IndexDefinition]:
+        return [self._indexes[k] for k in sorted(self._indexes)]
+
+    def indexes_for_table(self, table: str) -> List[IndexDefinition]:
+        return [ix for ix in self.indexes() if ix.table.lower() == table.lower()]
+
+    # ------------------------------------------------------------------
+    # Index search (used by the optimizer's index selection, Section 5.3)
+    # ------------------------------------------------------------------
+    def find_index(
+        self,
+        table: str,
+        prefix_columns: Sequence[IndexColumn],
+        followed_by: Sequence[str] = (),
+    ) -> Optional[IndexDefinition]:
+        """Find an index on ``table`` whose leading columns match exactly.
+
+        ``prefix_columns`` must match the index's leading columns (name and
+        tokenisation); ``followed_by`` (plain column names) must then appear
+        in order.  Returns ``None`` if no such index exists.
+        """
+        wanted = list(prefix_columns) + [IndexColumn(c) for c in followed_by]
+        for index in self.indexes_for_table(table):
+            if len(index.columns) < len(wanted):
+                continue
+            if all(
+                index.columns[i].name == wanted[i].name
+                and index.columns[i].tokenized == wanted[i].tokenized
+                for i in range(len(wanted))
+            ):
+                return index
+        return None
+
+    @staticmethod
+    def index_name(table: str, columns: Iterable[IndexColumn]) -> str:
+        """Canonical generated name for an index on ``columns`` of ``table``."""
+        parts = []
+        for column in columns:
+            parts.append(("tok_" if column.tokenized else "") + column.name.lower())
+        return f"idx_{table.lower()}__" + "__".join(parts)

@@ -1,0 +1,156 @@
+"""Column types for the PIQL schema layer.
+
+The paper's benchmark schemas (TPC-W and SCADr) only need a small set of
+scalar types.  Each type knows how to validate/coerce Python values and how
+to estimate its serialised size in bytes — the size feeds the tuple-size
+parameter (beta) of the SLO prediction model (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnType:
+    """Base class for column types."""
+
+    def validate(self, value: Any) -> Any:
+        """Coerce ``value`` to this type, raising :class:`SchemaError` on failure."""
+        raise NotImplementedError
+
+    def estimated_size(self) -> int:
+        """Estimated serialised size in bytes of one value of this type."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.upper()
+
+
+@dataclass(frozen=True)
+class IntType(ColumnType):
+    """64-bit signed integer (also used for timestamps stored as epoch micros)."""
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool):
+            raise SchemaError(f"expected INT, got boolean {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SchemaError(f"expected INT, got {value!r}")
+
+    def estimated_size(self) -> int:
+        return 8
+
+    @property
+    def name(self) -> str:
+        return "INT"
+
+
+@dataclass(frozen=True)
+class FloatType(ColumnType):
+    """Double-precision floating point number."""
+
+    def validate(self, value: Any) -> float:
+        if isinstance(value, bool):
+            raise SchemaError(f"expected FLOAT, got boolean {value!r}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise SchemaError(f"expected FLOAT, got {value!r}")
+
+    def estimated_size(self) -> int:
+        return 8
+
+    @property
+    def name(self) -> str:
+        return "FLOAT"
+
+
+@dataclass(frozen=True)
+class BooleanType(ColumnType):
+    """Boolean flag (e.g. the ``approved`` column of SCADr subscriptions)."""
+
+    def validate(self, value: Any) -> bool:
+        if isinstance(value, bool):
+            return value
+        if value in (0, 1):
+            return bool(value)
+        raise SchemaError(f"expected BOOLEAN, got {value!r}")
+
+    def estimated_size(self) -> int:
+        return 1
+
+    @property
+    def name(self) -> str:
+        return "BOOLEAN"
+
+
+@dataclass(frozen=True)
+class VarcharType(ColumnType):
+    """Variable-length string with a declared maximum length."""
+
+    max_length: int = 255
+
+    def validate(self, value: Any) -> str:
+        if not isinstance(value, str):
+            raise SchemaError(f"expected VARCHAR, got {value!r}")
+        if len(value) > self.max_length:
+            raise SchemaError(
+                f"string of length {len(value)} exceeds VARCHAR({self.max_length})"
+            )
+        return value
+
+    def estimated_size(self) -> int:
+        # Average string length is assumed to be half the declared maximum,
+        # which matches how the paper's tuple sizes (e.g. 40 bytes for a
+        # subscription) relate to their schemas.
+        return max(1, self.max_length // 2)
+
+    @property
+    def name(self) -> str:
+        return f"VARCHAR({self.max_length})"
+
+
+@dataclass(frozen=True)
+class TimestampType(ColumnType):
+    """A point in time stored as integer epoch microseconds."""
+
+    def validate(self, value: Any) -> int:
+        if isinstance(value, bool):
+            raise SchemaError(f"expected TIMESTAMP, got boolean {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise SchemaError(f"expected TIMESTAMP (epoch micros), got {value!r}")
+
+    def estimated_size(self) -> int:
+        return 8
+
+    @property
+    def name(self) -> str:
+        return "TIMESTAMP"
+
+
+def type_from_name(name: str, argument: int = None) -> ColumnType:
+    """Build a :class:`ColumnType` from its DDL spelling.
+
+    ``argument`` carries the parenthesised length for ``VARCHAR(n)``.
+    """
+    upper = name.upper()
+    if upper in ("INT", "INTEGER", "BIGINT"):
+        return IntType()
+    if upper in ("FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL"):
+        return FloatType()
+    if upper in ("BOOLEAN", "BOOL"):
+        return BooleanType()
+    if upper in ("VARCHAR", "CHAR", "TEXT", "STRING"):
+        return VarcharType(argument if argument is not None else 255)
+    if upper in ("TIMESTAMP", "DATETIME", "DATE"):
+        return TimestampType()
+    raise SchemaError(f"unknown column type: {name!r}")

@@ -1,0 +1,7 @@
+"""PIQL language front end: lexer, AST, and parser."""
+
+from . import ast
+from .lexer import Token, tokenize
+from .parser import Parser, parse, parse_select
+
+__all__ = ["Parser", "Token", "ast", "parse", "parse_select", "tokenize"]

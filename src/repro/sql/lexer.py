@@ -1,0 +1,97 @@
+"""Tokenizer for the PIQL dialect of SQL.
+
+PIQL is "a minimal extension to SQL" (Section 1.5); the lexical extensions
+are:
+
+* bracketed query parameters, ``[1: titleWord]``, optionally carrying a
+  declared maximum cardinality for list-valued parameters,
+  ``[2: friends(50)]``;
+* angle-bracket named parameters, ``<uname>``, as used in the paper's
+  example queries;
+* the ``PAGINATE`` and ``CARDINALITY`` keywords.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "JOIN", "INNER", "ON", "AS",
+    "ORDER", "BY", "ASC", "DESC", "LIMIT", "PAGINATE", "LIKE", "IN",
+    "CONTAINS", "TRUE", "FALSE", "NULL", "NOT",
+    "CREATE", "TABLE", "PRIMARY", "KEY", "FOREIGN", "REFERENCES",
+    "CARDINALITY", "UNIQUE", "INDEX", "TOKEN",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str          # KEYWORD, IDENT, NUMBER, STRING, OP, PARAM_OPEN, ...
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>--[^\n]*)
+  | (?P<NAMED_PARAM><[A-Za-z_][A-Za-z0-9_]*>)
+  | (?P<NUMBER>\d+(\.\d+)?)
+  | (?P<STRING>'(?:[^']|'')*')
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP><=|>=|<>|!=|=|<|>|\*|,|\(|\)|\.|\[|\]|:)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn PIQL source text into a list of tokens.
+
+    Raises :class:`ParseError` on any character that cannot start a token.
+    """
+    return list(_iter_tokens(text))
+
+
+def _iter_tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        kind = match.lastgroup or ""
+        value = match.group()
+        position = match.end()
+        if kind in ("WS", "COMMENT"):
+            continue
+        if kind == "IDENT":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, match.start())
+            else:
+                yield Token("IDENT", value, match.start())
+        elif kind == "STRING":
+            literal = value[1:-1].replace("''", "'")
+            yield Token("STRING", literal, match.start())
+        elif kind == "NAMED_PARAM":
+            yield Token("NAMED_PARAM", value[1:-1], match.start())
+        else:
+            yield Token(kind, value, match.start())
+    yield Token("EOF", "", length)

@@ -1,0 +1,44 @@
+"""Tokenisation for inverted full-text indexes (Section 7.3).
+
+PIQL does not evaluate arbitrary ``LIKE`` patterns — that would require
+scanning an ever-growing amount of data and is therefore not
+scale-independent.  Instead, string search is supported through an inverted
+index over lower-cased word tokens; a ``LIKE [1: word]`` predicate becomes
+an equality lookup of that token in the index.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> List[str]:
+    """Split ``text`` into distinct lower-case alphanumeric tokens.
+
+    Order of first appearance is preserved so that index-entry generation is
+    deterministic; duplicates are removed because an inverted index needs a
+    single posting per (token, document).
+    """
+    if not text:
+        return []
+    seen = set()
+    tokens: List[str] = []
+    for token in _TOKEN_RE.findall(text.lower()):
+        if token not in seen:
+            seen.add(token)
+            tokens.append(token)
+    return tokens
+
+
+def query_token(value: str) -> str:
+    """Normalise a user-supplied search term to a single token.
+
+    ``LIKE`` patterns may arrive with SQL wildcards (``%word%``); those are
+    stripped.  Multi-word search terms use only the first token — matching
+    the prototype's single-token keyword search.
+    """
+    tokens = tokenize(value.replace("%", " "))
+    return tokens[0] if tokens else ""

@@ -1,0 +1,81 @@
+"""Row (tuple) serialisation and key construction.
+
+Rows are stored in the key/value store as JSON-encoded dictionaries keyed by
+their order-preserving primary-key encoding.  Secondary index entries store
+the serialised primary key as their value so that the execution engine can
+dereference an index entry with a single point ``get`` (the "extra round
+trip" of Section 5.1).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..schema.ddl import IndexDefinition, Table
+from ..schema.keys import encode_key
+from .fulltext import tokenize
+
+
+def serialize_row(row: Dict[str, Any]) -> bytes:
+    """Serialise a row dictionary to compact JSON bytes."""
+    return json.dumps(row, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def deserialize_row(data: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`serialize_row`."""
+    return json.loads(data.decode("utf-8"))
+
+
+def serialize_pk(values: Sequence[Any]) -> bytes:
+    """Serialise primary-key values for storage in index-entry payloads."""
+    return json.dumps(list(values), separators=(",", ":")).encode("utf-8")
+
+
+def deserialize_pk(data: bytes) -> List[Any]:
+    """Inverse of :func:`serialize_pk`."""
+    return json.loads(data.decode("utf-8"))
+
+
+def record_key(table: Table, row: Dict[str, Any]) -> bytes:
+    """The key under which ``row`` is stored in the table's namespace."""
+    return encode_key(table.primary_key_values(row))
+
+
+def pk_key(values: Sequence[Any]) -> bytes:
+    """Encode explicit primary-key values into a record key."""
+    return encode_key(list(values))
+
+
+def index_namespace(index: IndexDefinition) -> str:
+    """Key/value namespace holding the entries of a secondary index."""
+    return f"index:{index.name.lower()}"
+
+
+def index_entries(index: IndexDefinition, table: Table, row: Dict[str, Any]):
+    """Yield ``(key, value)`` pairs this row contributes to ``index``.
+
+    A tokenised column contributes one entry per distinct token of its
+    value; other columns contribute their value directly.  The entry key is
+    the index column values followed by the primary key (making entries
+    unique); the value is the serialised primary key for dereferencing.
+    """
+    pk_values = table.primary_key_values(row)
+    payload = serialize_pk(pk_values)
+
+    def expand(position: int, prefix: List[Any]):
+        if position == len(index.columns):
+            yield encode_key(prefix + pk_values), payload
+            return
+        column = index.columns[position]
+        value = row.get(column.name)
+        if column.tokenized:
+            tokens = tokenize(value) if isinstance(value, str) else []
+            if not tokens:
+                return
+            for token in tokens:
+                yield from expand(position + 1, prefix + [token])
+        else:
+            yield from expand(position + 1, prefix + [value])
+
+    yield from expand(0, [])

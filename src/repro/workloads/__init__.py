@@ -1,0 +1,13 @@
+"""Benchmark workloads used in the paper's evaluation: TPC-W and SCADr."""
+
+from .base import InteractionResult, Workload, WorkloadScale
+from .scadr.workload import ScadrWorkload
+from .tpcw.workload import TpcwWorkload
+
+__all__ = [
+    "InteractionResult",
+    "ScadrWorkload",
+    "TpcwWorkload",
+    "Workload",
+    "WorkloadScale",
+]

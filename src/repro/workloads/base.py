@@ -1,0 +1,91 @@
+"""Common infrastructure shared by the TPC-W and SCADr benchmark workloads."""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.database import PiqlDatabase
+
+
+@dataclass
+class InteractionResult:
+    """Cost of one simulated web interaction (one "page render")."""
+
+    name: str
+    latency_seconds: float
+    operations: int
+    query_latencies: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_seconds * 1000.0
+
+
+@dataclass
+class WorkloadScale:
+    """How much data to load, expressed per storage node as in the paper.
+
+    The paper keeps the amount of data per server constant while varying the
+    number of servers (Section 8.4); the generators multiply the per-node
+    quantities by the cluster size.  The default per-node quantities are
+    scaled down from the paper's (60,000 SCADr users per node, 75 emulated
+    browsers of TPC-W data per node) so experiments complete quickly in the
+    simulator; the scaling *shape* does not depend on the absolute sizes.
+    """
+
+    storage_nodes: int = 10
+    users_per_node: int = 200
+    items_total: int = 1000
+    seed: int = 42
+
+
+class Workload(abc.ABC):
+    """A benchmark: schema + data generator + interaction mix."""
+
+    #: Human-readable benchmark name ("TPC-W" or "SCADr").
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def setup(self, db: PiqlDatabase, scale: WorkloadScale) -> None:
+        """Create the schema and bulk load data sized for ``scale``."""
+
+    @abc.abstractmethod
+    def query_names(self) -> List[str]:
+        """Names of the read queries (the rows of Table 1)."""
+
+    @abc.abstractmethod
+    def query_sql(self, name: str) -> str:
+        """The PIQL text of one named query."""
+
+    @abc.abstractmethod
+    def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:
+        """Random parameter bindings for one named query."""
+
+    @abc.abstractmethod
+    def interaction(
+        self, db: PiqlDatabase, rng: random.Random
+    ) -> InteractionResult:
+        """Run one web interaction against ``db`` and report its cost."""
+
+    # ------------------------------------------------------------------
+    # Convenience helpers shared by the harness
+    # ------------------------------------------------------------------
+    def run_query(
+        self,
+        db: PiqlDatabase,
+        name: str,
+        rng: random.Random,
+        parameters: Optional[Dict[str, object]] = None,
+    ):
+        """Execute one named query with random (or given) parameters."""
+        prepared = db.prepare(self.query_sql(name))
+        bound = parameters or self.sample_parameters(name, rng)
+        return prepared.execute(bound)
+
+    def prepare_all(self, db: PiqlDatabase) -> None:
+        """Compile every query (and create required indexes) ahead of time."""
+        for name in self.query_names():
+            db.prepare(self.query_sql(name))

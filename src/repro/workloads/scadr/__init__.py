@@ -1,0 +1,25 @@
+"""SCADr: the paper's Twitter-like micro-blogging benchmark."""
+
+from .data import ScadrDataConfig, ScadrDataGenerator
+from .queries import EXTRA_QUERIES, QUERIES
+from .schema import (
+    DEFAULT_MAX_SUBSCRIPTIONS,
+    SUBSCRIPTION_TUPLE_BYTES,
+    THOUGHT_TUPLE_BYTES,
+    USER_TUPLE_BYTES,
+    scadr_ddl,
+)
+from .workload import ScadrWorkload
+
+__all__ = [
+    "DEFAULT_MAX_SUBSCRIPTIONS",
+    "EXTRA_QUERIES",
+    "QUERIES",
+    "SUBSCRIPTION_TUPLE_BYTES",
+    "ScadrDataConfig",
+    "ScadrDataGenerator",
+    "ScadrWorkload",
+    "THOUGHT_TUPLE_BYTES",
+    "USER_TUPLE_BYTES",
+    "scadr_ddl",
+]

@@ -1,0 +1,107 @@
+"""Synthetic data generator for SCADr.
+
+The paper's scale experiment loads 60,000 users per storage node, 100
+thoughts per user, and 10 random subscriptions per user (Section 8.4.2).
+The generator reproduces that layout with configurable (scaled-down)
+per-node quantities; the resulting dataset grows linearly with the number of
+storage nodes, exactly like the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+from ...engine.database import PiqlDatabase
+
+_HOMETOWNS = [
+    "berkeley", "seattle", "austin", "boston", "chicago",
+    "portland", "denver", "atlanta", "madison", "pittsburgh",
+]
+
+_WORDS = [
+    "coffee", "cloud", "database", "scaling", "lunch", "paper", "deadline",
+    "music", "weekend", "keyboard", "bicycle", "sunshine", "query", "index",
+    "latency", "berkeley", "hack", "release", "bug", "ship",
+]
+
+
+@dataclass
+class ScadrDataConfig:
+    """Sizing knobs for the SCADr dataset."""
+
+    users: int = 2000
+    thoughts_per_user: int = 20
+    subscriptions_per_user: int = 10
+    seed: int = 42
+
+    def username(self, index: int) -> str:
+        return f"user{index:08d}"
+
+
+class ScadrDataGenerator:
+    """Generates and bulk loads the SCADr dataset."""
+
+    def __init__(self, config: ScadrDataConfig):
+        self.config = config
+        self._rng = random.Random(config.seed)
+
+    # ------------------------------------------------------------------
+    # Row generators
+    # ------------------------------------------------------------------
+    def users(self) -> Iterator[Dict[str, object]]:
+        for index in range(self.config.users):
+            yield {
+                "username": self.config.username(index),
+                "password": f"secret{index % 997}",
+                "hometown": self._rng.choice(_HOMETOWNS),
+                "created": 1_300_000_000 + index,
+            }
+
+    def subscriptions(self) -> Iterator[Dict[str, object]]:
+        total = self.config.users
+        per_user = min(self.config.subscriptions_per_user, max(total - 1, 0))
+        for index in range(total):
+            owner = self.config.username(index)
+            targets = set()
+            while len(targets) < per_user:
+                target_index = self._rng.randrange(total)
+                if target_index != index:
+                    targets.add(target_index)
+            for target_index in sorted(targets):
+                yield {
+                    "owner": owner,
+                    "target": self.config.username(target_index),
+                    # Most subscriptions are approved; a few are pending so
+                    # the thoughtstream's approval filter has work to do.
+                    "approved": self._rng.random() > 0.05,
+                }
+
+    def thoughts(self) -> Iterator[Dict[str, object]]:
+        base_timestamp = 1_300_000_000
+        for index in range(self.config.users):
+            owner = self.config.username(index)
+            for sequence in range(self.config.thoughts_per_user):
+                words = self._rng.sample(_WORDS, 4)
+                yield {
+                    "owner": owner,
+                    "timestamp": base_timestamp + sequence * 60 + index,
+                    "text": " ".join(words)[:140],
+                }
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, db: PiqlDatabase) -> Dict[str, int]:
+        """Bulk load the full dataset; returns per-table row counts."""
+        counts = {
+            "users": db.bulk_load("users", self.users()),
+            "subscriptions": db.bulk_load("subscriptions", self.subscriptions()),
+            "thoughts": db.bulk_load("thoughts", self.thoughts()),
+        }
+        return counts
+
+    def usernames(self) -> List[str]:
+        """All generated usernames (used by workloads to pick random users)."""
+        return [self.config.username(i) for i in range(self.config.users)]

@@ -1,0 +1,79 @@
+"""The five SCADr queries (Section 8.1.2).
+
+Four read queries are executed for every simulated "home page" rendering;
+"Post a new thought" is the single updating interaction and occurs for 1% of
+requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Default page size used by the scale experiment (10 results per page,
+#: Section 8.2).
+DEFAULT_PAGE_SIZE = 10
+
+USERS_FOLLOWED = """
+SELECT u.*
+FROM subscriptions s JOIN users u
+WHERE s.owner = <uname>
+  AND u.username = s.target
+"""
+
+RECENT_THOUGHTS = """
+SELECT *
+FROM thoughts
+WHERE owner = <uname>
+ORDER BY timestamp DESC
+LIMIT 10
+"""
+
+THOUGHTSTREAM = """
+SELECT t.*
+FROM subscriptions s JOIN thoughts t
+WHERE t.owner = s.target
+  AND s.owner = <uname>
+  AND s.approved = true
+ORDER BY t.timestamp DESC
+LIMIT 10
+"""
+
+FIND_USER = """
+SELECT *
+FROM users
+WHERE username = <uname>
+"""
+
+#: "My thoughts, one page at a time" — the pagination example of Section 4.1.
+MY_THOUGHTS_PAGINATED = """
+SELECT *
+FROM thoughts
+WHERE owner = <uname>
+ORDER BY timestamp DESC
+PAGINATE 10
+"""
+
+#: The subscriber intersection query of Section 8.3: which of my friends are
+#: subscribed to the user whose profile I am viewing?  ``friends`` is a
+#: list-valued parameter with a declared maximum cardinality of 50, matching
+#: the experiment.
+SUBSCRIBER_INTERSECTION = """
+SELECT *
+FROM subscriptions
+WHERE target = <target_user>
+  AND owner IN [1: friends(50)]
+"""
+
+#: Query name -> SQL, in the order they appear in Table 1.
+QUERIES: Dict[str, str] = {
+    "users_followed": USERS_FOLLOWED,
+    "recent_thoughts": RECENT_THOUGHTS,
+    "thoughtstream": THOUGHTSTREAM,
+    "find_user": FIND_USER,
+}
+
+#: Queries that exist for specific experiments rather than the Table 1 list.
+EXTRA_QUERIES: Dict[str, str] = {
+    "my_thoughts_paginated": MY_THOUGHTS_PAGINATED,
+    "subscriber_intersection": SUBSCRIBER_INTERSECTION,
+}

@@ -1,0 +1,55 @@
+"""SCADr schema (Section 8.1.2).
+
+SCADr is the paper's simplified micro-blogging benchmark: users post
+"thoughts" of at most 140 characters and subscribe to other users.  The
+schema has three tables; the one PIQL-specific element is the
+``CARDINALITY LIMIT`` on the number of subscriptions a user may own, which
+is what makes the thoughtstream query scale-independent.
+"""
+
+from __future__ import annotations
+
+DEFAULT_MAX_SUBSCRIPTIONS = 100
+
+
+def scadr_ddl(max_subscriptions: int = DEFAULT_MAX_SUBSCRIPTIONS) -> str:
+    """The CREATE TABLE statements for SCADr.
+
+    ``max_subscriptions`` is the relationship cardinality limit discussed in
+    Sections 4.2 and 6.4; the scale experiment of Section 8.4.2 uses 10,
+    while the Figure 6 heatmap explores values up to 500.
+    """
+    return f"""
+CREATE TABLE users (
+    username   VARCHAR(32),
+    password   VARCHAR(32),
+    hometown   VARCHAR(64),
+    created    INT,
+    PRIMARY KEY (username)
+);
+
+CREATE TABLE subscriptions (
+    owner      VARCHAR(32),
+    target     VARCHAR(32),
+    approved   BOOLEAN,
+    PRIMARY KEY (owner, target),
+    FOREIGN KEY (owner) REFERENCES users (username),
+    FOREIGN KEY (target) REFERENCES users (username),
+    CARDINALITY LIMIT {max_subscriptions} (owner)
+);
+
+CREATE TABLE thoughts (
+    owner      VARCHAR(32),
+    timestamp  INT,
+    text       VARCHAR(140),
+    PRIMARY KEY (owner, timestamp),
+    FOREIGN KEY (owner) REFERENCES users (username)
+)
+"""
+
+
+#: Approximate serialised sizes used by the prediction examples (the paper
+#: quotes 40-byte subscription tuples in Section 6.1).
+SUBSCRIPTION_TUPLE_BYTES = 40
+THOUGHT_TUPLE_BYTES = 160
+USER_TUPLE_BYTES = 80

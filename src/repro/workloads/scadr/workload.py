@@ -1,0 +1,119 @@
+"""The SCADr benchmark workload (Section 8.1.2).
+
+Each simulated request renders the SCADr "home page": it executes the four
+read queries (users followed, recent thoughts, thoughtstream, find user) for
+a randomly selected user and measures the overall response time.  "Post a
+new thought" — a single put — occurs with 1% probability, exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ...engine.database import PiqlDatabase
+from ..base import InteractionResult, Workload, WorkloadScale
+from .data import ScadrDataConfig, ScadrDataGenerator
+from .queries import EXTRA_QUERIES, QUERIES
+from .schema import scadr_ddl
+
+
+class ScadrWorkload(Workload):
+    """Schema + data + interaction mix for SCADr."""
+
+    name = "SCADr"
+
+    def __init__(
+        self,
+        max_subscriptions: int = 10,
+        subscriptions_per_user: int = 10,
+        thoughts_per_user: int = 20,
+        post_probability: float = 0.01,
+    ):
+        # The scale experiment sets both the cardinality limit and the actual
+        # number of subscriptions per user to 10 (Section 8.2).
+        self.max_subscriptions = max_subscriptions
+        self.subscriptions_per_user = min(subscriptions_per_user, max_subscriptions)
+        self.thoughts_per_user = thoughts_per_user
+        self.post_probability = post_probability
+        self._usernames: List[str] = []
+        self._next_timestamp = 2_000_000_000
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def setup(self, db: PiqlDatabase, scale: WorkloadScale) -> None:
+        db.execute_ddl(scadr_ddl(self.max_subscriptions))
+        config = ScadrDataConfig(
+            users=scale.users_per_node * scale.storage_nodes,
+            thoughts_per_user=self.thoughts_per_user,
+            subscriptions_per_user=self.subscriptions_per_user,
+            seed=scale.seed,
+        )
+        generator = ScadrDataGenerator(config)
+        generator.load(db)
+        self._usernames = generator.usernames()
+        self.prepare_all(db)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_names(self) -> List[str]:
+        return list(QUERIES)
+
+    def query_sql(self, name: str) -> str:
+        if name in QUERIES:
+            return QUERIES[name]
+        return EXTRA_QUERIES[name]
+
+    def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:
+        uname = rng.choice(self._usernames)
+        if name == "subscriber_intersection":
+            friends = [rng.choice(self._usernames) for _ in range(50)]
+            return {"target_user": uname, "friends": friends}
+        return {"uname": uname}
+
+    # ------------------------------------------------------------------
+    # Interactions
+    # ------------------------------------------------------------------
+    def interaction(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
+        """Render one SCADr home page (plus the occasional new thought)."""
+        uname = rng.choice(self._usernames)
+        query_latencies: Dict[str, float] = {}
+        operations = 0
+        total_latency = 0.0
+        for name in self.query_names():
+            result = db.prepare(self.query_sql(name)).execute(uname=uname)
+            query_latencies[name] = result.latency_seconds
+            operations += result.operations
+            total_latency += result.latency_seconds
+        if rng.random() < self.post_probability:
+            before = db.client.clock.now
+            self._next_timestamp += 1
+            db.insert(
+                "thoughts",
+                {
+                    "owner": uname,
+                    "timestamp": self._next_timestamp,
+                    "text": "a fresh thought",
+                },
+                upsert=True,
+            )
+            post_latency = db.client.clock.now - before
+            query_latencies["post_thought"] = post_latency
+            total_latency += post_latency
+            operations += 1
+        return InteractionResult(
+            name="home_page",
+            latency_seconds=total_latency,
+            operations=operations,
+            query_latencies=query_latencies,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers used by specific experiments
+    # ------------------------------------------------------------------
+    @property
+    def usernames(self) -> List[str]:
+        return self._usernames

@@ -1,0 +1,18 @@
+"""TPC-W: the paper's online-bookstore benchmark (customer-facing subset)."""
+
+from .data import TpcwDataConfig, TpcwDataGenerator
+from .queries import QUERIES, QUERY_MODIFICATIONS
+from .schema import MAX_CART_LINES, SUBJECTS, TPCW_DDL
+from .workload import ORDERING_MIX, TpcwWorkload
+
+__all__ = [
+    "MAX_CART_LINES",
+    "ORDERING_MIX",
+    "QUERIES",
+    "QUERY_MODIFICATIONS",
+    "SUBJECTS",
+    "TPCW_DDL",
+    "TpcwDataConfig",
+    "TpcwDataGenerator",
+    "TpcwWorkload",
+]

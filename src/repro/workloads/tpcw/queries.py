@@ -1,0 +1,105 @@
+"""The TPC-W customer web-interaction queries (the rows of Table 1).
+
+The SQL here is the PIQL form of each query after the modifications listed
+in Table 1: ``LIKE`` predicates are rewritten as tokenised keyword searches,
+and the shopping-cart / order-line relationships carry a cardinality limit
+in the schema.  The analytical Best Sellers and Admin Confirm interactions
+are omitted, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+HOME_WI = """
+SELECT C_FNAME, C_LNAME, C_EMAIL, C_DISCOUNT
+FROM customer
+WHERE C_UNAME = <uname>
+"""
+
+NEW_PRODUCTS_WI = """
+SELECT i.I_ID, i.I_TITLE, i.I_PUB_DATE, a.A_FNAME, a.A_LNAME
+FROM item i JOIN author a
+WHERE i.I_SUBJECT LIKE [1: subject]
+  AND a.A_ID = i.I_A_ID
+ORDER BY i.I_PUB_DATE DESC
+LIMIT 50
+"""
+
+PRODUCT_DETAIL_WI = """
+SELECT i.*, a.A_FNAME, a.A_LNAME
+FROM item i JOIN author a
+WHERE i.I_ID = <item_id>
+  AND a.A_ID = i.I_A_ID
+"""
+
+SEARCH_BY_AUTHOR_WI = """
+SELECT i.I_TITLE, i.I_ID, a.A_FNAME, a.A_LNAME
+FROM author a JOIN item i
+WHERE a.A_LNAME LIKE [1: author_name]
+  AND i.I_A_ID = a.A_ID
+ORDER BY i.I_TITLE ASC
+LIMIT 50
+"""
+
+SEARCH_BY_TITLE_WI = """
+SELECT i.I_TITLE, i.I_ID, i.I_A_ID
+FROM item i
+WHERE i.I_TITLE LIKE [1: title_word]
+ORDER BY i.I_TITLE ASC
+LIMIT 50
+"""
+
+ORDER_DISPLAY_GET_CUSTOMER = """
+SELECT *
+FROM customer
+WHERE C_UNAME = <uname>
+"""
+
+ORDER_DISPLAY_GET_LAST_ORDER = """
+SELECT *
+FROM orders
+WHERE O_C_UNAME = <uname>
+ORDER BY O_DATE_TIME DESC
+LIMIT 1
+"""
+
+ORDER_DISPLAY_GET_ORDER_LINES = """
+SELECT ol.*, i.I_TITLE, i.I_COST
+FROM order_line ol JOIN item i
+WHERE ol.OL_O_ID = <order_id>
+  AND i.I_ID = ol.OL_I_ID
+"""
+
+BUY_REQUEST_WI = """
+SELECT scl.*, i.I_TITLE, i.I_COST, i.I_SRP
+FROM shopping_cart_line scl JOIN item i
+WHERE scl.SCL_SC_ID = <cart_id>
+  AND i.I_ID = scl.SCL_I_ID
+"""
+
+#: Query name -> SQL, following the order of Table 1 in the paper.
+QUERIES: Dict[str, str] = {
+    "home_wi": HOME_WI,
+    "new_products_wi": NEW_PRODUCTS_WI,
+    "product_detail_wi": PRODUCT_DETAIL_WI,
+    "search_by_author_wi": SEARCH_BY_AUTHOR_WI,
+    "search_by_title_wi": SEARCH_BY_TITLE_WI,
+    "order_display_get_customer": ORDER_DISPLAY_GET_CUSTOMER,
+    "order_display_get_last_order": ORDER_DISPLAY_GET_LAST_ORDER,
+    "order_display_get_order_lines": ORDER_DISPLAY_GET_ORDER_LINES,
+    "buy_request_wi": BUY_REQUEST_WI,
+}
+
+#: Table 1's "Query Modifications" column for reporting purposes.
+QUERY_MODIFICATIONS: Dict[str, str] = {
+    "home_wi": "-",
+    "new_products_wi": "Tokenized search",
+    "product_detail_wi": "-",
+    "search_by_author_wi": "Tokenized search; cardinality limit on authors per name",
+    "search_by_title_wi": "Tokenized search",
+    "order_display_get_customer": "-",
+    "order_display_get_last_order": "-",
+    "order_display_get_order_lines": "Cardinality constraint on #order lines",
+    "buy_request_wi": "Cardinality constraint on #items in cart",
+}

@@ -1,0 +1,154 @@
+"""TPC-W schema (customer-facing subset, Section 8.1.1).
+
+The paper evaluates the user-facing web interactions of TPC-W, an online
+bookstore.  This module declares the tables those interactions touch.  Two
+PIQL-specific schema elements appear:
+
+* a ``CARDINALITY LIMIT`` on the number of lines in a shopping cart — the
+  paper notes this is "the only real change required from the developer",
+  and that TPC-W's specification already allows such a limit; and
+* the same limit on order lines per order, which follows from the cart limit
+  (an order is created from a cart at BuyConfirm time).
+
+The analytical "Best Sellers" and "Admin Confirm" interactions are omitted,
+as in the paper (Section 8.2).
+"""
+
+from __future__ import annotations
+
+#: Maximum number of distinct items in a shopping cart / order.  TPC-W's
+#: specification caps the cart at 100 distinct items.
+MAX_CART_LINES = 100
+
+TPCW_DDL = f"""
+CREATE TABLE country (
+    CO_ID        INT,
+    CO_NAME      VARCHAR(50),
+    CO_EXCHANGE  FLOAT,
+    CO_CURRENCY  VARCHAR(18),
+    PRIMARY KEY (CO_ID)
+);
+
+CREATE TABLE address (
+    ADDR_ID      INT,
+    ADDR_STREET1 VARCHAR(40),
+    ADDR_STREET2 VARCHAR(40),
+    ADDR_CITY    VARCHAR(30),
+    ADDR_STATE   VARCHAR(20),
+    ADDR_ZIP     VARCHAR(10),
+    ADDR_CO_ID   INT,
+    PRIMARY KEY (ADDR_ID),
+    FOREIGN KEY (ADDR_CO_ID) REFERENCES country (CO_ID)
+);
+
+CREATE TABLE customer (
+    C_UNAME      VARCHAR(20),
+    C_PASSWD     VARCHAR(20),
+    C_FNAME      VARCHAR(17),
+    C_LNAME      VARCHAR(17),
+    C_EMAIL      VARCHAR(50),
+    C_PHONE      VARCHAR(16),
+    C_ADDR_ID    INT,
+    C_DISCOUNT   FLOAT,
+    C_BALANCE    FLOAT,
+    C_YTD_PMT    FLOAT,
+    C_SINCE      INT,
+    C_LAST_VISIT INT,
+    PRIMARY KEY (C_UNAME),
+    FOREIGN KEY (C_ADDR_ID) REFERENCES address (ADDR_ID)
+);
+
+CREATE TABLE author (
+    A_ID         INT,
+    A_FNAME      VARCHAR(20),
+    A_LNAME      VARCHAR(20),
+    A_MNAME      VARCHAR(20),
+    A_BIO        VARCHAR(255),
+    PRIMARY KEY (A_ID),
+    CARDINALITY LIMIT 100 (A_LNAME)
+);
+
+CREATE TABLE item (
+    I_ID         INT,
+    I_TITLE      VARCHAR(60),
+    I_A_ID       INT,
+    I_PUB_DATE   INT,
+    I_PUBLISHER  VARCHAR(60),
+    I_SUBJECT    VARCHAR(60),
+    I_DESC       VARCHAR(255),
+    I_SRP        FLOAT,
+    I_COST       FLOAT,
+    I_STOCK      INT,
+    I_PAGE       INT,
+    I_BACKING    VARCHAR(15),
+    PRIMARY KEY (I_ID),
+    FOREIGN KEY (I_A_ID) REFERENCES author (A_ID)
+);
+
+CREATE TABLE orders (
+    O_ID           INT,
+    O_C_UNAME      VARCHAR(20),
+    O_DATE_TIME    INT,
+    O_SUB_TOTAL    FLOAT,
+    O_TAX          FLOAT,
+    O_TOTAL        FLOAT,
+    O_SHIP_TYPE    VARCHAR(10),
+    O_SHIP_DATE    INT,
+    O_SHIP_ADDR_ID INT,
+    O_STATUS       VARCHAR(15),
+    PRIMARY KEY (O_ID),
+    FOREIGN KEY (O_C_UNAME) REFERENCES customer (C_UNAME),
+    FOREIGN KEY (O_SHIP_ADDR_ID) REFERENCES address (ADDR_ID)
+);
+
+CREATE TABLE order_line (
+    OL_O_ID      INT,
+    OL_ID        INT,
+    OL_I_ID      INT,
+    OL_QTY       INT,
+    OL_DISCOUNT  FLOAT,
+    OL_COMMENT   VARCHAR(110),
+    PRIMARY KEY (OL_O_ID, OL_ID),
+    FOREIGN KEY (OL_O_ID) REFERENCES orders (O_ID),
+    FOREIGN KEY (OL_I_ID) REFERENCES item (I_ID),
+    CARDINALITY LIMIT {MAX_CART_LINES} (OL_O_ID)
+);
+
+CREATE TABLE cc_xacts (
+    CX_O_ID      INT,
+    CX_TYPE      VARCHAR(10),
+    CX_NUM       VARCHAR(20),
+    CX_NAME      VARCHAR(30),
+    CX_EXPIRE    INT,
+    CX_XACT_AMT  FLOAT,
+    CX_XACT_DATE INT,
+    CX_CO_ID     INT,
+    PRIMARY KEY (CX_O_ID),
+    FOREIGN KEY (CX_O_ID) REFERENCES orders (O_ID)
+);
+
+CREATE TABLE shopping_cart (
+    SC_ID        INT,
+    SC_TIME      INT,
+    SC_C_UNAME   VARCHAR(20),
+    PRIMARY KEY (SC_ID)
+);
+
+CREATE TABLE shopping_cart_line (
+    SCL_SC_ID    INT,
+    SCL_I_ID     INT,
+    SCL_QTY      INT,
+    PRIMARY KEY (SCL_SC_ID, SCL_I_ID),
+    FOREIGN KEY (SCL_SC_ID) REFERENCES shopping_cart (SC_ID),
+    FOREIGN KEY (SCL_I_ID) REFERENCES item (I_ID),
+    CARDINALITY LIMIT {MAX_CART_LINES} (SCL_SC_ID)
+)
+"""
+
+#: The 16 book subjects of the TPC-W specification, used both by the data
+#: generator and by the New Products / Search by Subject interactions.
+SUBJECTS = [
+    "ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+    "HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+    "NONFICTION", "PARENTING", "POLITICS", "REFERENCE",
+]

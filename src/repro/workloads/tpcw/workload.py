@@ -1,0 +1,297 @@
+"""The TPC-W workload: web interactions and the ordering mix (Section 8.1.1).
+
+Each web interaction executes the queries needed to render one page of the
+online bookstore.  The *ordering* mix is used throughout the paper's
+experiments because it is the most update-intensive (roughly 30% of the
+interactions lead to updates); the weights below follow the TPC-W
+specification's ordering mix restricted to the interactions the paper
+implements (Best Sellers and Admin Confirm are omitted).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List
+
+from ...engine.database import PiqlDatabase
+from ..base import InteractionResult, Workload, WorkloadScale
+from .data import TpcwDataConfig, TpcwDataGenerator
+from .queries import QUERIES
+from .schema import SUBJECTS, TPCW_DDL
+
+#: Ordering-mix interaction weights (normalised at use).  Derived from the
+#: TPC-W specification's ordering mix with the omitted interactions' weight
+#: folded into browsing.
+ORDERING_MIX: Dict[str, float] = {
+    "home": 0.14,
+    "new_products": 0.02,
+    "product_detail": 0.16,
+    "search_by_author": 0.065,
+    "search_by_title": 0.065,
+    "order_display": 0.01,
+    "shopping_cart": 0.135,
+    "customer_registration": 0.128,
+    "buy_request": 0.127,
+    "buy_confirm": 0.10,
+}
+
+
+class TpcwWorkload(Workload):
+    """Schema + data + ordering-mix interactions for TPC-W."""
+
+    name = "TPC-W"
+
+    def __init__(self, mix: Dict[str, float] = None):
+        self.mix = dict(mix or ORDERING_MIX)
+        self._unames: List[str] = []
+        self._item_ids: List[int] = []
+        self._order_ids: List[int] = []
+        self._cart_ids: List[int] = []
+        self._author_names: List[str] = []
+        self._title_words: List[str] = []
+        self._order_counter = itertools.count(10_000_000)
+        self._customer_counter = itertools.count(10_000_000)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def setup(self, db: PiqlDatabase, scale: WorkloadScale) -> None:
+        db.execute_ddl(TPCW_DDL)
+        config = TpcwDataConfig(
+            customers=scale.users_per_node * scale.storage_nodes,
+            items=scale.items_total,
+            seed=scale.seed,
+        )
+        generator = TpcwDataGenerator(config)
+        generator.load(db)
+        self._unames = generator.customer_unames()
+        self._item_ids = generator.item_ids()
+        self._order_ids = generator.order_ids()
+        self._cart_ids = generator.cart_ids()
+        self._author_names = generator.author_last_names()
+        self._title_words = generator.title_words()
+        self.prepare_all(db)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_names(self) -> List[str]:
+        return list(QUERIES)
+
+    def query_sql(self, name: str) -> str:
+        return QUERIES[name]
+
+    def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:
+        if name in ("home_wi", "order_display_get_customer",
+                    "order_display_get_last_order"):
+            return {"uname": rng.choice(self._unames)}
+        if name == "new_products_wi":
+            return {"subject": rng.choice(SUBJECTS)}
+        if name == "product_detail_wi":
+            return {"item_id": rng.choice(self._item_ids)}
+        if name == "search_by_author_wi":
+            return {"author_name": rng.choice(self._author_names)}
+        if name == "search_by_title_wi":
+            return {"title_word": rng.choice(self._title_words)}
+        if name == "order_display_get_order_lines":
+            return {"order_id": rng.choice(self._order_ids)}
+        if name == "buy_request_wi":
+            return {"cart_id": rng.choice(self._cart_ids)}
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Web interactions
+    # ------------------------------------------------------------------
+    def interaction(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
+        """Run one web interaction chosen from the ordering mix."""
+        names = list(self.mix)
+        weights = [self.mix[n] for n in names]
+        choice = rng.choices(names, weights=weights, k=1)[0]
+        handler = getattr(self, f"_wi_{choice}")
+        return handler(db, rng)
+
+    # -- read-dominant interactions ------------------------------------
+    def _run_queries(
+        self, db: PiqlDatabase, rng: random.Random, name: str, queries: List[tuple]
+    ) -> InteractionResult:
+        latencies: Dict[str, float] = {}
+        operations = 0
+        total = 0.0
+        for query_name, parameters in queries:
+            result = db.prepare(self.query_sql(query_name)).execute(parameters)
+            latencies[query_name] = result.latency_seconds
+            operations += result.operations
+            total += result.latency_seconds
+        return InteractionResult(
+            name=name,
+            latency_seconds=total,
+            operations=operations,
+            query_latencies=latencies,
+        )
+
+    def _wi_home(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
+        uname = rng.choice(self._unames)
+        return self._run_queries(db, rng, "home", [("home_wi", {"uname": uname})])
+
+    def _wi_new_products(self, db, rng) -> InteractionResult:
+        return self._run_queries(
+            db, rng, "new_products",
+            [("new_products_wi", {"subject": rng.choice(SUBJECTS)})],
+        )
+
+    def _wi_product_detail(self, db, rng) -> InteractionResult:
+        return self._run_queries(
+            db, rng, "product_detail",
+            [("product_detail_wi", {"item_id": rng.choice(self._item_ids)})],
+        )
+
+    def _wi_search_by_author(self, db, rng) -> InteractionResult:
+        return self._run_queries(
+            db, rng, "search_by_author",
+            [("search_by_author_wi", {"author_name": rng.choice(self._author_names)})],
+        )
+
+    def _wi_search_by_title(self, db, rng) -> InteractionResult:
+        return self._run_queries(
+            db, rng, "search_by_title",
+            [("search_by_title_wi", {"title_word": rng.choice(self._title_words)})],
+        )
+
+    def _wi_order_display(self, db, rng) -> InteractionResult:
+        uname = rng.choice(self._unames)
+        order_id = rng.choice(self._order_ids)
+        return self._run_queries(
+            db, rng, "order_display",
+            [
+                ("order_display_get_customer", {"uname": uname}),
+                ("order_display_get_last_order", {"uname": uname}),
+                ("order_display_get_order_lines", {"order_id": order_id}),
+            ],
+        )
+
+    def _wi_buy_request(self, db, rng) -> InteractionResult:
+        uname = rng.choice(self._unames)
+        cart_id = rng.choice(self._cart_ids)
+        return self._run_queries(
+            db, rng, "buy_request",
+            [
+                ("order_display_get_customer", {"uname": uname}),
+                ("buy_request_wi", {"cart_id": cart_id}),
+            ],
+        )
+
+    # -- updating interactions ------------------------------------------
+    def _timed_writes(self, db: PiqlDatabase, name: str, write) -> InteractionResult:
+        stats_before = db.client.stats.snapshot()
+        before = db.client.clock.now
+        write()
+        latency = db.client.clock.now - before
+        operations = db.client.stats.snapshot().delta(stats_before).operations
+        return InteractionResult(
+            name=name,
+            latency_seconds=latency,
+            operations=operations,
+            query_latencies={name: latency},
+        )
+
+    def _wi_shopping_cart(self, db, rng) -> InteractionResult:
+        cart_id = rng.choice(self._cart_ids)
+        item_id = rng.choice(self._item_ids)
+
+        def write() -> None:
+            db.insert(
+                "shopping_cart_line",
+                {"SCL_SC_ID": cart_id, "SCL_I_ID": item_id, "SCL_QTY": rng.randrange(1, 4)},
+                upsert=True,
+            )
+
+        return self._timed_writes(db, "shopping_cart", write)
+
+    def _wi_customer_registration(self, db, rng) -> InteractionResult:
+        index = next(self._customer_counter)
+        uname = f"newcust{index:09d}"
+
+        def write() -> None:
+            db.insert(
+                "customer",
+                {
+                    "C_UNAME": uname,
+                    "C_PASSWD": "pw",
+                    "C_FNAME": "new",
+                    "C_LNAME": "customer",
+                    "C_EMAIL": f"{uname}@example.com",
+                    "C_PHONE": "510-555-0000",
+                    "C_ADDR_ID": 1,
+                    "C_DISCOUNT": 0.0,
+                    "C_BALANCE": 0.0,
+                    "C_YTD_PMT": 0.0,
+                    "C_SINCE": 1_330_000_000,
+                    "C_LAST_VISIT": 1_330_000_000,
+                },
+                upsert=True,
+            )
+
+        self._unames.append(uname)
+        return self._timed_writes(db, "customer_registration", write)
+
+    def _wi_buy_confirm(self, db, rng) -> InteractionResult:
+        """Create an order from a cart: the most write-heavy interaction."""
+        uname = rng.choice(self._unames)
+        order_id = next(self._order_counter)
+        cart_result = db.prepare(self.query_sql("buy_request_wi")).execute(
+            cart_id=rng.choice(self._cart_ids)
+        )
+
+        def write() -> None:
+            date_time = 1_330_000_000 + order_id
+            db.insert(
+                "orders",
+                {
+                    "O_ID": order_id,
+                    "O_C_UNAME": uname,
+                    "O_DATE_TIME": date_time,
+                    "O_SUB_TOTAL": 100.0,
+                    "O_TAX": 8.25,
+                    "O_TOTAL": 108.25,
+                    "O_SHIP_TYPE": "GROUND",
+                    "O_SHIP_DATE": date_time + 86_400,
+                    "O_SHIP_ADDR_ID": 1,
+                    "O_STATUS": "PENDING",
+                },
+                upsert=True,
+            )
+            for line_number, row in enumerate(cart_result.rows[:10], start=1):
+                db.insert(
+                    "order_line",
+                    {
+                        "OL_O_ID": order_id,
+                        "OL_ID": line_number,
+                        "OL_I_ID": row.get("SCL_I_ID", rng.choice(self._item_ids)),
+                        "OL_QTY": row.get("SCL_QTY", 1),
+                        "OL_DISCOUNT": 0.0,
+                        "OL_COMMENT": "",
+                    },
+                    upsert=True,
+                )
+            db.insert(
+                "cc_xacts",
+                {
+                    "CX_O_ID": order_id,
+                    "CX_TYPE": "VISA",
+                    "CX_NUM": "4111-0000",
+                    "CX_NAME": uname,
+                    "CX_EXPIRE": 1_400_000_000,
+                    "CX_XACT_AMT": 108.25,
+                    "CX_XACT_DATE": date_time,
+                    "CX_CO_ID": 1,
+                },
+                upsert=True,
+            )
+
+        result = self._timed_writes(db, "buy_confirm", write)
+        result.latency_seconds += cart_result.latency_seconds
+        result.operations += cart_result.operations
+        result.query_latencies["buy_request_wi"] = cart_result.latency_seconds
+        self._order_ids.append(order_id)
+        return result

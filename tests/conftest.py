@@ -1,0 +1,98 @@
+"""Shared fixtures for the PIQL reproduction test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.workloads import ScadrWorkload, TpcwWorkload, WorkloadScale
+from repro.workloads.scadr.schema import scadr_ddl
+
+
+@pytest.fixture
+def empty_db() -> PiqlDatabase:
+    """A fresh database with no schema on a small simulated cluster."""
+    return PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=1234))
+
+
+@pytest.fixture
+def scadr_db() -> PiqlDatabase:
+    """A small, hand-populated SCADr database used by many tests.
+
+    Layout: four users; ``alice`` subscribes to the other three (one of them
+    unapproved); every user has 20 thoughts with increasing timestamps.
+    """
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=7))
+    db.execute_ddl(scadr_ddl(max_subscriptions=100))
+    users = ["alice", "bob", "carol", "dave"]
+    for index, name in enumerate(users):
+        db.insert(
+            "users",
+            {
+                "username": name,
+                "password": f"pw{index}",
+                "hometown": "berkeley" if index % 2 == 0 else "seattle",
+                "created": 1_000 + index,
+            },
+        )
+    for target in ["bob", "carol", "dave"]:
+        db.insert(
+            "subscriptions",
+            {"owner": "alice", "target": target, "approved": target != "dave"},
+        )
+    db.insert("subscriptions", {"owner": "bob", "target": "alice", "approved": True})
+    for name in users:
+        for sequence in range(20):
+            db.insert(
+                "thoughts",
+                {
+                    "owner": name,
+                    "timestamp": 1_000_000 + sequence,
+                    "text": f"thought {sequence} from {name}",
+                },
+            )
+    return db
+
+
+THOUGHTSTREAM_SQL = """
+SELECT t.*
+FROM subscriptions s JOIN thoughts t
+WHERE t.owner = s.target
+  AND s.owner = <uname>
+  AND s.approved = true
+ORDER BY t.timestamp DESC
+LIMIT 10
+"""
+
+
+@pytest.fixture
+def thoughtstream_sql() -> str:
+    return THOUGHTSTREAM_SQL
+
+
+@pytest.fixture(scope="session")
+def loaded_scadr():
+    """A generated SCADr dataset shared (read-only) across the session."""
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=6, seed=99))
+    workload = ScadrWorkload(max_subscriptions=10, subscriptions_per_user=5,
+                             thoughts_per_user=10)
+    workload.setup(db, WorkloadScale(storage_nodes=2, users_per_node=60))
+    return db, workload
+
+
+@pytest.fixture(scope="session")
+def loaded_tpcw():
+    """A generated TPC-W dataset shared (read-only) across the session."""
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=6, seed=101))
+    workload = TpcwWorkload()
+    workload.setup(
+        db, WorkloadScale(storage_nodes=2, users_per_node=50, items_total=200)
+    )
+    return db, workload
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(2024)

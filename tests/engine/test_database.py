@@ -1,0 +1,98 @@
+"""Tests for the PiqlDatabase facade."""
+
+import pytest
+
+from repro import ClusterConfig, ExecutionStrategy, PiqlDatabase
+from repro.errors import SchemaError
+from repro.workloads.scadr.schema import scadr_ddl
+
+
+class TestDdlExecution:
+    def test_execute_ddl_creates_tables_and_storage(self, empty_db):
+        created = empty_db.execute_ddl(scadr_ddl(50))
+        assert created == ["users", "subscriptions", "thoughts"]
+        assert empty_db.catalog.has_table("users")
+        assert "table:users" in empty_db.storage_summary()
+
+    def test_execute_ddl_accepts_statement_list(self, empty_db):
+        created = empty_db.execute_ddl(
+            [
+                "CREATE TABLE a (x INT, PRIMARY KEY (x))",
+                "CREATE INDEX idx_a ON a (x)",
+                "INSERT INTO a (x) VALUES (1)",
+            ]
+        )
+        assert created == ["a", "idx_a"]
+        assert empty_db.get("a", [1]) == {"x": 1}
+
+    def test_execute_ddl_rejects_select(self, empty_db):
+        with pytest.raises(SchemaError):
+            empty_db.execute_ddl("SELECT * FROM x")
+
+    def test_constraint_index_auto_created(self, empty_db):
+        # A cardinality limit on a non-prefix column needs a supporting index
+        # for the insert-time count; it must be provisioned automatically.
+        empty_db.execute_ddl(
+            "CREATE TABLE msgs (sender VARCHAR(10), id INT, room VARCHAR(10), "
+            "PRIMARY KEY (sender, id), CARDINALITY LIMIT 3 (room))"
+        )
+        assert any(
+            index.table == "msgs" for index in empty_db.catalog.indexes()
+        )
+        for i in range(3):
+            empty_db.insert("msgs", {"sender": "a", "id": i, "room": "r1"})
+        from repro.errors import CardinalityViolationError
+
+        with pytest.raises(CardinalityViolationError):
+            empty_db.insert("msgs", {"sender": "a", "id": 99, "room": "r1"})
+
+
+class TestPrepare:
+    def test_prepare_caches(self, scadr_db, thoughtstream_sql):
+        assert scadr_db.prepare(thoughtstream_sql) is scadr_db.prepare(thoughtstream_sql)
+
+    def test_prepare_creates_required_indexes(self, scadr_db):
+        before = len(scadr_db.catalog.indexes())
+        scadr_db.prepare(
+            "SELECT * FROM users WHERE hometown LIKE [1: town] LIMIT 5"
+        )
+        assert len(scadr_db.catalog.indexes()) == before + 1
+        # The new inverted index is immediately usable.
+        result = scadr_db.execute(
+            "SELECT * FROM users WHERE hometown LIKE [1: town] LIMIT 5",
+            {"town": "berkeley"},
+        )
+        assert {row["username"] for row in result.rows} == {"alice", "carol"}
+
+    def test_diagnose_passthrough(self, scadr_db):
+        diagnosis = scadr_db.diagnose("SELECT * FROM users WHERE hometown = 'x'")
+        assert not diagnosis.scale_independent
+
+    def test_keyword_and_dict_parameters(self, scadr_db):
+        prepared = scadr_db.prepare("SELECT * FROM users WHERE username = <u>")
+        assert prepared.execute({"u": "alice"}).rows == prepared.execute(u="alice").rows
+
+
+class TestClientViews:
+    def test_new_client_shares_data_but_not_clock(self, scadr_db):
+        view = scadr_db.new_client(strategy=ExecutionStrategy.LAZY)
+        assert view.cluster is scadr_db.cluster
+        assert view.catalog is scadr_db.catalog
+        result = view.execute("SELECT * FROM users WHERE username = <u>", {"u": "bob"})
+        assert result.rows[0]["username"] == "bob"
+        assert view.client.clock.now > 0
+        assert view.client.clock.now != scadr_db.client.clock.now
+        assert view.executor.config.strategy is ExecutionStrategy.LAZY
+
+    def test_reset_measurements(self, scadr_db):
+        scadr_db.execute("SELECT * FROM users WHERE username = <u>", {"u": "bob"})
+        assert scadr_db.client.clock.now > 0
+        scadr_db.reset_measurements()
+        assert scadr_db.client.clock.now == 0
+        assert scadr_db.client.stats.operations == 0
+
+    def test_set_offered_load(self, scadr_db):
+        scadr_db.set_offered_load(
+            scadr_db.cluster.config.storage_nodes * 4000 * 0.5
+        )
+        assert all(node.utilization == pytest.approx(0.5) for node in scadr_db.cluster.nodes)

@@ -1,0 +1,219 @@
+"""Execution engine tests: correctness, strategies, bounds, pagination."""
+
+import pytest
+
+from repro import ClusterConfig, ExecutionStrategy, PiqlDatabase
+from repro.errors import CursorError
+from repro.execution.cursor import PaginationCursor, query_fingerprint
+
+
+class TestQueryCorrectness:
+    """Query results must match a straightforward reference computation."""
+
+    def test_point_lookup(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM users WHERE username = <u>", {"u": "bob"}
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0]["username"] == "bob"
+
+    def test_point_lookup_missing(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM users WHERE username = <u>", {"u": "nobody"}
+        )
+        assert result.rows == []
+
+    def test_projection_of_columns(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT password, hometown FROM users WHERE username = <u>", {"u": "bob"}
+        )
+        assert result.rows[0] == {"password": "pw1", "hometown": "seattle"}
+
+    def test_recent_thoughts_order_and_limit(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 5",
+            {"u": "carol"},
+        )
+        timestamps = [row["timestamp"] for row in result.rows]
+        assert timestamps == sorted(timestamps, reverse=True)
+        assert len(timestamps) == 5
+        assert timestamps[0] == 1_000_019
+
+    def test_ascending_scan(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp ASC LIMIT 3",
+            {"u": "carol"},
+        )
+        assert [row["timestamp"] for row in result.rows] == [
+            1_000_000, 1_000_001, 1_000_002
+        ]
+
+    def test_inequality_range(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM thoughts WHERE owner = <u> AND timestamp >= 1000015 "
+            "ORDER BY timestamp ASC LIMIT 10",
+            {"u": "carol"},
+        )
+        assert [row["timestamp"] for row in result.rows] == list(
+            range(1_000_015, 1_000_020)
+        )
+
+    def test_thoughtstream_join(self, scadr_db, thoughtstream_sql):
+        result = scadr_db.execute(thoughtstream_sql, {"uname": "alice"})
+        # alice follows bob and carol (approved) and dave (not approved);
+        # the 10 most recent thoughts therefore come from bob and carol only.
+        owners = {row["owner"] for row in result.rows}
+        assert owners == {"bob", "carol"}
+        assert len(result.rows) == 10
+        timestamps = [row["timestamp"] for row in result.rows]
+        assert timestamps == sorted(timestamps, reverse=True)
+
+    def test_fk_join(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT u.* FROM subscriptions s JOIN users u "
+            "WHERE s.owner = <u> AND u.username = s.target",
+            {"u": "alice"},
+        )
+        assert {row["username"] for row in result.rows} == {"bob", "carol", "dave"}
+
+    def test_in_predicate_lookup(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT * FROM subscriptions WHERE target = <t> AND owner IN [1: friends(10)]",
+            {"t": "alice", "friends": ["bob", "carol", "nobody"]},
+        )
+        assert [row["owner"] for row in result.rows] == ["bob"]
+
+    def test_aggregate_count(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT COUNT(*) FROM subscriptions WHERE owner = <u>", {"u": "alice"}
+        )
+        assert result.rows[0]["count"] == 3
+
+    def test_aggregate_group_by(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT approved, COUNT(*) AS n FROM subscriptions WHERE owner = <u> "
+            "GROUP BY approved",
+            {"u": "alice"},
+        )
+        counts = {row["approved"]: row["n"] for row in result.rows}
+        assert counts == {True: 2, False: 1}
+
+    def test_aggregate_min_max_avg(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT MIN(timestamp), MAX(timestamp), AVG(timestamp) FROM thoughts "
+            "WHERE owner = <u> LIMIT 100",
+            {"u": "bob"},
+        )
+        row = result.rows[0]
+        assert row["min_timestamp"] == 1_000_000
+        assert row["max_timestamp"] == 1_000_019
+        assert row["avg_timestamp"] == pytest.approx(1_000_009.5)
+
+    def test_missing_parameter_raises(self, scadr_db):
+        with pytest.raises(KeyError):
+            scadr_db.execute("SELECT * FROM users WHERE username = <u>", {})
+
+
+class TestExecutionStrategies:
+    def test_all_strategies_return_identical_rows(self, scadr_db, thoughtstream_sql):
+        prepared = scadr_db.prepare(thoughtstream_sql)
+        results = {
+            strategy: prepared.execute({"uname": "alice"}, strategy=strategy).rows
+            for strategy in ExecutionStrategy
+        }
+        assert results[ExecutionStrategy.LAZY] == results[ExecutionStrategy.SIMPLE]
+        assert results[ExecutionStrategy.SIMPLE] == results[ExecutionStrategy.PARALLEL]
+
+    def test_latency_ordering_lazy_simple_parallel(self, scadr_db, thoughtstream_sql):
+        prepared = scadr_db.prepare(thoughtstream_sql)
+
+        def average_latency(strategy):
+            return sum(
+                prepared.execute({"uname": "alice"}, strategy=strategy).latency_seconds
+                for _ in range(30)
+            ) / 30
+
+        lazy = average_latency(ExecutionStrategy.LAZY)
+        simple = average_latency(ExecutionStrategy.SIMPLE)
+        parallel = average_latency(ExecutionStrategy.PARALLEL)
+        assert lazy > simple > parallel
+
+    def test_operations_never_exceed_bound(self, scadr_db, thoughtstream_sql):
+        prepared = scadr_db.prepare(thoughtstream_sql)
+        for strategy in ExecutionStrategy:
+            result = prepared.execute({"uname": "alice"}, strategy=strategy)
+            assert result.operations <= prepared.operation_bound
+
+
+class TestPagination:
+    PAGINATED = (
+        "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp ASC PAGINATE 7"
+    )
+
+    def test_pages_cover_everything_without_duplicates(self, scadr_db):
+        prepared = scadr_db.prepare(self.PAGINATED)
+        seen = []
+        for page in prepared.pages(u="carol"):
+            seen.extend(row["timestamp"] for row in page.rows)
+            assert len(page.rows) <= 7
+        assert seen == list(range(1_000_000, 1_000_020))
+
+    def test_descending_pagination(self, scadr_db):
+        prepared = scadr_db.prepare(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 6"
+        )
+        seen = []
+        for page in prepared.pages(u="carol"):
+            seen.extend(row["timestamp"] for row in page.rows)
+        assert seen == list(range(1_000_019, 999_999, -1))
+
+    def test_cursor_is_serializable_and_resumable(self, scadr_db):
+        prepared = scadr_db.prepare(self.PAGINATED)
+        first = prepared.execute(u="carol")
+        assert first.has_more
+        assert isinstance(first.cursor, str)
+        # The cursor round-trips through its string form (it could be shipped
+        # to the browser and back, Section 4.1).
+        token = PaginationCursor.deserialize(first.cursor).serialize()
+        second = prepared.execute({"u": "carol"}, cursor=token)
+        assert [r["timestamp"] for r in second.rows] == list(
+            range(1_000_007, 1_000_014)
+        )
+
+    def test_cursor_for_wrong_query_rejected(self, scadr_db):
+        prepared = scadr_db.prepare(self.PAGINATED)
+        other = scadr_db.prepare(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC PAGINATE 6"
+        )
+        cursor = prepared.execute(u="carol").cursor
+        with pytest.raises(CursorError):
+            other.execute({"u": "carol"}, cursor=cursor)
+
+    def test_cursor_on_non_paginated_query_rejected(self, scadr_db):
+        prepared = scadr_db.prepare(
+            "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp ASC LIMIT 5"
+        )
+        cursor = PaginationCursor(query_fingerprint("x", "y")).serialize()
+        with pytest.raises(CursorError):
+            prepared.execute({"u": "carol"}, cursor=cursor)
+
+    def test_corrupt_cursor_rejected(self, scadr_db):
+        prepared = scadr_db.prepare(self.PAGINATED)
+        with pytest.raises(CursorError):
+            prepared.execute({"u": "carol"}, cursor="not-a-cursor")
+
+    def test_each_page_is_bounded(self, scadr_db):
+        prepared = scadr_db.prepare(self.PAGINATED)
+        for page in prepared.pages(u="carol"):
+            assert page.operations <= prepared.operation_bound
+
+
+class TestResultMetadata:
+    def test_latency_and_operations_reported(self, scadr_db, thoughtstream_sql):
+        result = scadr_db.execute(thoughtstream_sql, {"uname": "alice"})
+        assert result.latency_seconds > 0
+        assert result.latency_ms == pytest.approx(result.latency_seconds * 1000)
+        assert result.operations >= 2
+        assert result.rpcs >= 2
+        assert len(result) == len(result.rows)
+        assert list(iter(result)) == result.rows

@@ -1,0 +1,100 @@
+"""Unit tests for the latency model and simulated clock."""
+
+import pytest
+
+from repro.kvstore.latency import LatencyModel, LatencyParameters
+from repro.kvstore.simtime import SimClock, milliseconds, seconds_from_ms
+
+
+class TestSimClock:
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.now == pytest.approx(0.75)
+        assert clock.total_advanced == pytest.approx(0.75)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(3)
+        clock.reset()
+        assert clock.now == 0
+        assert clock.total_advanced == 0
+
+    def test_interval_index(self):
+        clock = SimClock(now=1250.0)
+        assert clock.interval_index(600) == 2
+        with pytest.raises(ValueError):
+            clock.interval_index(0)
+
+    def test_unit_conversions(self):
+        assert milliseconds(0.5) == 500
+        assert seconds_from_ms(250) == 0.25
+
+
+class TestLatencyParameters:
+    def test_scaled(self):
+        params = LatencyParameters(base_rpc_ms=2.0, per_key_ms=0.1)
+        scaled = params.scaled(3.0)
+        assert scaled.base_rpc_ms == pytest.approx(6.0)
+        assert scaled.per_key_ms == pytest.approx(0.3)
+        # Non-latency parameters are untouched.
+        assert scaled.lognormal_sigma == params.lognormal_sigma
+
+
+class TestLatencyModel:
+    def test_deterministic_given_seed(self):
+        a = LatencyModel(seed=5)
+        b = LatencyModel(seed=5)
+        samples_a = [a.sample_seconds(num_keys=10) for _ in range(20)]
+        samples_b = [b.sample_seconds(num_keys=10) for _ in range(20)]
+        assert samples_a == samples_b
+
+    def test_samples_positive(self):
+        model = LatencyModel(seed=1)
+        assert all(model.sample_seconds() > 0 for _ in range(100))
+
+    def test_median_grows_with_keys_and_bytes(self):
+        model = LatencyModel(seed=1)
+        assert model.median_ms(100, 0) > model.median_ms(1, 0)
+        assert model.median_ms(1, 100_000) > model.median_ms(1, 0)
+
+    def test_queueing_inflation(self):
+        model = LatencyModel(seed=1)
+        assert model.queueing_factor(0.0) == pytest.approx(1.0)
+        assert model.queueing_factor(0.5) == pytest.approx(2.0)
+        # Utilisation is clamped so the factor never explodes.
+        assert model.queueing_factor(5.0) == model.queueing_factor(0.99)
+
+    def test_mean_latency_grows_with_utilization(self):
+        low = LatencyModel(seed=3)
+        high = LatencyModel(seed=3)
+        low_mean = sum(low.sample_seconds(utilization=0.0) for _ in range(500)) / 500
+        high_mean = sum(high.sample_seconds(utilization=0.8) for _ in range(500)) / 500
+        assert high_mean > low_mean * 2
+
+    def test_weather_is_per_interval_and_deterministic(self):
+        model = LatencyModel(seed=9)
+        params = model.params
+        w0 = model.weather(10.0)
+        w0_again = model.weather(params.weather_interval_seconds - 1.0)
+        w1 = model.weather(params.weather_interval_seconds + 1.0)
+        assert w0 == pytest.approx(w0_again)
+        assert w0 != w1
+        assert LatencyModel(seed=9).weather(10.0) == pytest.approx(w0)
+
+    def test_weather_disabled_when_sigma_zero(self):
+        model = LatencyModel(LatencyParameters(weather_sigma=0.0), seed=1)
+        assert model.weather(0) == 1.0
+        assert model.weather(10_000) == 1.0
+
+    def test_reseed_restarts_stream(self):
+        model = LatencyModel(seed=4)
+        first = [model.sample_seconds() for _ in range(5)]
+        model.reseed(4)
+        second = [model.sample_seconds() for _ in range(5)]
+        assert first == second

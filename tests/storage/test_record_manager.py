@@ -1,0 +1,172 @@
+"""Unit tests for the record manager, index maintenance, and constraints."""
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.errors import CardinalityViolationError, UniquenessViolationError
+from repro.schema.ddl import IndexColumn, IndexDefinition
+from repro.storage.fulltext import query_token, tokenize
+from repro.storage.rows import (
+    deserialize_pk,
+    deserialize_row,
+    index_entries,
+    index_namespace,
+    record_key,
+    serialize_pk,
+    serialize_row,
+)
+from repro.workloads.scadr.schema import scadr_ddl
+
+
+@pytest.fixture
+def db() -> PiqlDatabase:
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=3, seed=11))
+    db.execute_ddl(scadr_ddl(max_subscriptions=3))
+    return db
+
+
+class TestTokenizer:
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("Hello, World! HELLO") == ["hello", "world"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("") == []
+        assert tokenize("!!!") == []
+
+    def test_query_token_strips_wildcards(self):
+        assert query_token("%Database%") == "database"
+        assert query_token("two words") == "two"
+        assert query_token("") == ""
+
+
+class TestRowSerialization:
+    def test_row_roundtrip(self):
+        row = {"a": 1, "b": "text", "c": None, "d": True}
+        assert deserialize_row(serialize_row(row)) == row
+
+    def test_pk_roundtrip(self):
+        assert deserialize_pk(serialize_pk(["alice", 42])) == ["alice", 42]
+
+    def test_index_entries_tokenized(self, db):
+        catalog = db.catalog
+        users = catalog.table("users")
+        index = IndexDefinition(
+            "idx_town", "users", (IndexColumn("hometown", tokenized=True),)
+        )
+        row = {"username": "a", "password": "p", "hometown": "san francisco",
+               "created": 1}
+        entries = list(index_entries(index, users, row))
+        assert len(entries) == 2  # one posting per token
+        assert all(deserialize_pk(value) == ["a"] for _, value in entries)
+
+    def test_index_entries_skip_missing_token_value(self, db):
+        users = db.catalog.table("users")
+        index = IndexDefinition(
+            "idx_town", "users", (IndexColumn("hometown", tokenized=True),)
+        )
+        row = {"username": "a", "password": "p", "hometown": None, "created": 1}
+        assert list(index_entries(index, users, row)) == []
+
+
+class TestInsertProtocol:
+    def test_insert_and_get(self, db):
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        assert db.get("users", ["bob"])["hometown"] == "sf"
+
+    def test_duplicate_primary_key_rejected(self, db):
+        row = {"username": "bob", "password": "x", "hometown": "sf", "created": 1}
+        db.insert("users", row)
+        with pytest.raises(UniquenessViolationError):
+            db.insert("users", row)
+
+    def test_upsert_allows_overwrite(self, db):
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        db.insert("users", {"username": "bob", "password": "y", "hometown": "la",
+                            "created": 2}, upsert=True)
+        assert db.get("users", ["bob"])["hometown"] == "la"
+
+    def test_cardinality_limit_enforced(self, db):
+        for target in ("a", "b", "c"):
+            db.insert("subscriptions", {"owner": "bob", "target": target,
+                                        "approved": True})
+        with pytest.raises(CardinalityViolationError):
+            db.insert("subscriptions", {"owner": "bob", "target": "d",
+                                        "approved": True})
+        # The violating record was rolled back.
+        assert db.get("subscriptions", ["bob", "d"]) is None
+        # A different owner is unaffected.
+        db.insert("subscriptions", {"owner": "carol", "target": "a",
+                                    "approved": True})
+
+    def test_delete_removes_record(self, db):
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        assert db.delete("users", ["bob"]) is True
+        assert db.get("users", ["bob"]) is None
+        assert db.delete("users", ["bob"]) is False
+
+
+class TestIndexMaintenance:
+    def _entry_count(self, db, index_name):
+        index = db.catalog.index(index_name)
+        return db.cluster.namespace_size(index_namespace(index))
+
+    def test_secondary_index_updated_on_insert_and_delete(self, db):
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        assert self._entry_count(db, "idx_hometown") == 1
+        db.delete("users", ["bob"])
+        assert self._entry_count(db, "idx_hometown") == 0
+
+    def test_update_replaces_stale_entries(self, db):
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        db.update("users", {"username": "bob", "password": "x", "hometown": "la",
+                            "created": 1})
+        index = db.catalog.index("idx_hometown")
+        entries = list(
+            db.cluster._namespaces[index_namespace(index)].iter_items()
+        )
+        assert len(entries) == 1
+        # The remaining entry is for the new value.
+        row = db.get("users", ["bob"])
+        assert row["hometown"] == "la"
+
+    def test_backfill_on_late_index_creation(self, db):
+        for name in ("a", "b", "c"):
+            db.insert("users", {"username": name, "password": "x",
+                                "hometown": "sf", "created": 1})
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        assert self._entry_count(db, "idx_hometown") == 3
+
+    def test_bulk_load_populates_indexes(self, db):
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        count = db.bulk_load(
+            "users",
+            ({"username": f"u{i}", "password": "x", "hometown": "sf", "created": i}
+             for i in range(10)),
+        )
+        assert count == 10
+        assert db.records.count("users") == 10
+        assert self._entry_count(db, "idx_hometown") == 10
+
+    def test_record_key_uses_primary_key_order(self, db):
+        table = db.catalog.table("subscriptions")
+        row = {"owner": "a", "target": "b", "approved": True}
+        assert record_key(table, row) == record_key(table, dict(reversed(list(row.items()))))
