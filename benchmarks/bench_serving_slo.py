@@ -1,0 +1,58 @@
+"""Serving tier — SLO violation under a traffic surge, then recovery.
+
+Not a figure from the paper but the serving-tier scenario its SLO
+methodology implies (Sections 6.2/6.3 applied to a running system): an
+open-loop TPC-W fleet whose arrival rate surges past cluster capacity.
+Without admission control the p99 response time diverges and SLO windows
+stay violated through the recovery phase; with the admission controller
+enabled, part of the offered load is shed and the admitted requests return
+to compliance within one SLO interval of the surge ending.
+
+Run with ``pytest benchmarks/bench_serving_slo.py --benchmark-only -s``
+or directly via ``python -m repro.bench.bench_serving_slo``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ServingSloExperiment, format_table, save_results
+
+
+def run_experiment():
+    return ServingSloExperiment().run()
+
+
+def test_serving_slo_violation_and_recovery(run_once):
+    result = run_once(run_experiment)
+    slo = result.config.slo
+
+    print(
+        f"\nServing tier — surge scenario (SLO: {slo.quantile:.0%} under "
+        f"{slo.latency_ms:.0f} ms per {slo.interval_seconds:.0f} s interval)"
+    )
+    for label, summaries in result.phase_summaries.items():
+        report = result.reports[label]
+        shed = report.admission.shed if report.admission else 0
+        print(f"\n{label} (completed={report.completed}, shed={shed})")
+        print(
+            format_table(
+                ["phase", "completed", "p50 ms", "p99 ms", "SLO compliance"],
+                [
+                    (s.phase, s.completed, s.p50_ms, s.p99_ms, s.compliance)
+                    for s in summaries
+                ],
+            )
+        )
+    save_results("serving_slo", result.summary_payload())
+
+    without = {s.phase: s for s in result.phase_summaries["no_admission"]}
+    with_ac = {s.phase: s for s in result.phase_summaries["admission"]}
+    # Both runs start healthy.
+    assert without["normal"].compliance > 0.95
+    assert with_ac["normal"].compliance > 0.95
+    # The surge violates the SLO when every request is accepted...
+    assert without["surge"].compliance < 0.5
+    assert any(w.violated for w in result.reports["no_admission"].windows)
+    # ...and shedding restores compliance for the admitted requests.
+    assert result.reports["admission"].admission.shed > 0
+    assert with_ac["surge"].compliance > without["surge"].compliance + 0.3
+    assert with_ac["recovery"].compliance > 0.95

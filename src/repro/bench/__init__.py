@@ -1,5 +1,11 @@
 """Benchmark harnesses reproducing the paper's evaluation (Section 8)."""
 
+from .bench_serving_slo import (
+    PhaseSummary,
+    ServingSloConfig,
+    ServingSloExperiment,
+    ServingSloResult,
+)
 from .harness import ClientSimulationConfig, RunMeasurement, run_workload
 from .intersection import (
     IntersectionExperimentConfig,
@@ -32,10 +38,14 @@ __all__ = [
     "IntersectionExperimentConfig",
     "IntersectionPoint",
     "IntersectionResult",
+    "PhaseSummary",
     "PredictionAccuracyExperiment",
     "PredictionExperimentConfig",
     "PredictionRow",
     "RunMeasurement",
+    "ServingSloConfig",
+    "ServingSloExperiment",
+    "ServingSloResult",
     "ScalePoint",
     "ScalingExperiment",
     "ScalingExperimentConfig",

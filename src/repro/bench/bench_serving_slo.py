@@ -1,0 +1,240 @@
+"""Serving-tier benchmark: SLO violation under a traffic surge, then recovery.
+
+The scenario models the event the PIQL paper's SLO methodology is designed
+to survive — a site whose traffic suddenly outgrows its provisioned
+capacity:
+
+* **normal** phase: open-loop TPC-W traffic well under cluster capacity;
+  the SLO holds comfortably.
+* **surge** phase: the arrival rate jumps past what the storage nodes can
+  absorb; dispatch backlogs and per-node queues build and the observed SLO
+  quantile blows through the objective.
+* **recovery** phase: traffic returns to normal and the backlog drains.
+
+The experiment runs the scenario twice — once with the admission controller
+disabled (every request is accepted and the p99 diverges) and once enabled
+(a fraction of requests is shed, the requests that are admitted stay close
+to the objective) — and reports per-phase and per-SLO-window summaries, the
+shape of Figures 8–11 of the paper.
+
+Run with ``PYTHONPATH=src python -m repro.bench.bench_serving_slo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import PiqlDatabase
+from ..kvstore.cluster import ClusterConfig
+from ..prediction.slo import ServiceLevelObjective
+from ..serving.simulator import ServingConfig, ServingReport, ServingSimulation
+from ..workloads.base import WorkloadScale
+from ..workloads.tpcw.workload import TpcwWorkload
+from .reporting import format_table, percentile, save_results
+
+
+@dataclass(frozen=True)
+class ServingSloConfig:
+    """Cluster, workload, and traffic shape of the surge scenario."""
+
+    storage_nodes: int = 4
+    node_capacity_ops_per_second: float = 400.0
+    users_per_node: int = 30
+    items_total: int = 100
+    clients: int = 50
+    normal_rate_per_second: float = 40.0
+    surge_rate_per_second: float = 200.0
+    normal_seconds: float = 10.0
+    surge_seconds: float = 10.0
+    recovery_seconds: float = 10.0
+    slo: ServiceLevelObjective = field(
+        default_factory=lambda: ServiceLevelObjective(
+            quantile=0.99, latency_seconds=0.1, interval_seconds=5.0
+        )
+    )
+    seed: int = 7
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.normal_seconds + self.surge_seconds + self.recovery_seconds
+
+    def phases(self) -> List[Tuple[str, float, float]]:
+        """(name, start, end) of each traffic phase."""
+        surge_start = self.normal_seconds
+        surge_end = surge_start + self.surge_seconds
+        return [
+            ("normal", 0.0, surge_start),
+            ("surge", surge_start, surge_end),
+            ("recovery", surge_end, self.duration_seconds),
+        ]
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Latency summary of one traffic phase of one run."""
+
+    phase: str
+    completed: int
+    shed: int
+    p50_ms: float
+    p99_ms: float
+    compliance: float
+
+
+@dataclass
+class ServingSloResult:
+    """Reports and per-phase summaries for both runs of the scenario."""
+
+    config: ServingSloConfig
+    reports: Dict[str, ServingReport]
+    phase_summaries: Dict[str, List[PhaseSummary]]
+
+    def summary_payload(self) -> Dict:
+        return {
+            label: [summary.__dict__ for summary in summaries]
+            for label, summaries in self.phase_summaries.items()
+        }
+
+
+class ServingSloExperiment:
+    """Run the surge scenario with and without admission control."""
+
+    def __init__(self, config: Optional[ServingSloConfig] = None):
+        self.config = config or ServingSloConfig()
+
+    # ------------------------------------------------------------------
+    # One variant
+    # ------------------------------------------------------------------
+    def _fresh_database(self) -> Tuple[PiqlDatabase, TpcwWorkload]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(
+                storage_nodes=config.storage_nodes,
+                node_capacity_ops_per_second=config.node_capacity_ops_per_second,
+                seed=config.seed,
+            )
+        )
+        workload = TpcwWorkload()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=max(2, config.storage_nodes // 2),
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=config.seed,
+            ),
+        )
+        return db, workload
+
+    def run_variant(self, admission_enabled: bool) -> ServingReport:
+        """Run the three-phase scenario once (fresh database per variant)."""
+        config = self.config
+        db, workload = self._fresh_database()
+        serving_config = ServingConfig(
+            mode="open",
+            clients=config.clients,
+            arrival_rate_per_second=config.normal_rate_per_second,
+            duration_seconds=config.duration_seconds,
+            slo=config.slo,
+            admission_enabled=admission_enabled,
+            seed=config.seed,
+        )
+        simulation = ServingSimulation(db, workload, serving_config)
+        driver = simulation.driver
+
+        surge_start = config.normal_seconds
+        surge_end = surge_start + config.surge_seconds
+        simulation.sim.schedule_at(
+            surge_start,
+            lambda _sim: driver.set_rate(config.surge_rate_per_second),
+            name="surge-begins",
+        )
+        simulation.sim.schedule_at(
+            surge_end,
+            lambda _sim: driver.set_rate(config.normal_rate_per_second),
+            name="surge-ends",
+        )
+        return simulation.run()
+
+    # ------------------------------------------------------------------
+    # Whole experiment
+    # ------------------------------------------------------------------
+    def summarise_phases(self, report: ServingReport) -> List[PhaseSummary]:
+        slo = self.config.slo
+        summaries = []
+        for name, start, end in self.config.phases():
+            responses = [
+                record.response_seconds
+                for record in report.log.records
+                if start <= record.arrival_seconds < end
+            ]
+            if responses:
+                compliant = sum(1 for r in responses if r <= slo.latency_seconds)
+                summaries.append(
+                    PhaseSummary(
+                        phase=name,
+                        completed=len(responses),
+                        shed=0,  # per-phase shed counts live in the log total
+                        p50_ms=percentile(responses, 0.50) * 1000.0,
+                        p99_ms=percentile(responses, 0.99) * 1000.0,
+                        compliance=compliant / len(responses),
+                    )
+                )
+            else:
+                summaries.append(
+                    PhaseSummary(
+                        phase=name, completed=0, shed=0,
+                        p50_ms=0.0, p99_ms=0.0, compliance=1.0,
+                    )
+                )
+        return summaries
+
+    def run(self) -> ServingSloResult:
+        reports: Dict[str, ServingReport] = {}
+        summaries: Dict[str, List[PhaseSummary]] = {}
+        for label, admission in (("no_admission", False), ("admission", True)):
+            report = self.run_variant(admission)
+            reports[label] = report
+            summaries[label] = self.summarise_phases(report)
+        return ServingSloResult(
+            config=self.config, reports=reports, phase_summaries=summaries
+        )
+
+
+def main() -> None:
+    experiment = ServingSloExperiment()
+    result = experiment.run()
+    slo = experiment.config.slo
+    print(
+        f"SLO: {slo.quantile:.0%} of interactions under {slo.latency_ms:.0f} ms "
+        f"per {slo.interval_seconds:.0f} s interval\n"
+    )
+    for label, summaries in result.phase_summaries.items():
+        report = result.reports[label]
+        shed = report.admission.shed if report.admission else 0
+        print(f"== {label} (completed={report.completed}, shed={shed}) ==")
+        print(
+            format_table(
+                ["phase", "completed", "p50 ms", "p99 ms", "SLO compliance"],
+                [
+                    (s.phase, s.completed, s.p50_ms, s.p99_ms, s.compliance)
+                    for s in summaries
+                ],
+            )
+        )
+        print(
+            format_table(
+                ["window", "count", "p50 ms", "p99 ms", "violated"],
+                [
+                    (w.index, w.count, w.p50_ms, w.quantile_ms, w.violated)
+                    for w in report.windows
+                ],
+            )
+        )
+        print()
+    save_results("serving_slo", result.summary_payload())
+
+
+if __name__ == "__main__":
+    main()

@@ -77,10 +77,7 @@ def run_workload(
     the run's duration is the slowest thread's simulated elapsed time.
     """
     config = config or ClientSimulationConfig()
-    total_capacity = (
-        db.cluster.config.storage_nodes
-        * db.cluster.config.node_capacity_ops_per_second
-    )
+    total_capacity = db.cluster.total_capacity_ops_per_second()
     db.cluster.set_offered_load(total_capacity * config.utilization)
 
     interaction_latencies: List[float] = []

@@ -7,16 +7,12 @@ import math
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence
 
+from ..stats import nearest_rank_percentile
+
 
 def percentile(values: Sequence[float], fraction: float) -> float:
     """Empirical percentile (nearest-rank) of a sample."""
-    if not values:
-        raise ValueError("cannot take the percentile of an empty sample")
-    if not (0.0 < fraction <= 1.0):
-        raise ValueError("fraction must be in (0, 1]")
-    ordered = sorted(values)
-    index = min(int(fraction * len(ordered)), len(ordered) - 1)
-    return ordered[index]
+    return nearest_rank_percentile(values, fraction)
 
 
 def linear_fit_r_squared(xs: Sequence[float], ys: Sequence[float]) -> float:

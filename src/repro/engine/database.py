@@ -22,13 +22,14 @@ Insight Assistant.  A typical session::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import PiqlError, SchemaError
 from ..execution.context import ExecutionStrategy, QueryResult
 from ..execution.executor import QueryExecutor
 from ..kvstore.client import StorageClient
 from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..kvstore.simtime import SimClock
 from ..optimizer.assistant import PerformanceInsightAssistant, QueryDiagnosis
 from ..optimizer.optimizer import PiqlOptimizer
 from ..schema.catalog import Catalog
@@ -55,7 +56,7 @@ class PiqlDatabase:
         self.optimizer = PiqlOptimizer(self.catalog)
         self.executor = QueryExecutor(self.client, self.catalog, strategy=strategy)
         self.assistant = PerformanceInsightAssistant(self.catalog)
-        self._prepared_cache: Dict[str, PreparedQuery] = {}
+        self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -70,19 +71,23 @@ class PiqlDatabase:
         return cls(cluster=KeyValueCluster(config or ClusterConfig()), strategy=strategy)
 
     def new_client(
-        self, strategy: Optional[ExecutionStrategy] = None
+        self,
+        strategy: Optional[ExecutionStrategy] = None,
+        clock: Optional[SimClock] = None,
     ) -> "PiqlDatabase":
         """A second application-server view onto the *same* cluster and schema.
 
         The new instance shares the cluster and catalog (so data and indexes
         are visible) but has its own simulated clock and statistics — this
         is how the benchmark harness models many stateless application
-        servers issuing queries concurrently (Figure 2).
+        servers issuing queries concurrently (Figure 2).  The serving tier's
+        discrete-event kernel passes its own ``clock`` so it can interleave
+        this client's timeline with every other client's.
         """
         clone = PiqlDatabase.__new__(PiqlDatabase)
         clone.cluster = self.cluster
         clone.catalog = self.catalog
-        clone.client = StorageClient(cluster=self.cluster)
+        clone.client = StorageClient(cluster=self.cluster, clock=clock or SimClock())
         clone.records = RecordManager(self.catalog, clone.client)
         clone.optimizer = PiqlOptimizer(self.catalog)
         clone.executor = QueryExecutor(
@@ -200,15 +205,18 @@ class PiqlDatabase:
         Any secondary indexes the plan requires (Section 5.3) are created
         automatically and backfilled before the query is returned.
         """
+        # Cache entries are stamped with the catalog version they were
+        # compiled under.  The catalog is shared by every `new_client` view,
+        # so DDL issued through *any* view invalidates stale plans here too.
         cached = self._prepared_cache.get(sql)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == self.catalog.version:
+            return cached[1]
         optimized = self.optimizer.optimize(sql)
         for index in optimized.required_indexes:
             if not self.catalog.has_index(index.name):
                 self.create_index(index)
         prepared = PreparedQuery(optimized, self.executor)
-        self._prepared_cache[sql] = prepared
+        self._prepared_cache[sql] = (self.catalog.version, prepared)
         return prepared
 
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None, **kwargs: Any) -> QueryResult:

@@ -16,24 +16,56 @@ Latency composition rules
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from ..stats import nearest_rank_percentile
 from .cluster import KeyValueCluster, OpResult
 from .simtime import SimClock
 
 KeyValue = Tuple[bytes, bytes]
 RangeSpec = Tuple[Optional[bytes], Optional[bytes], Optional[int], bool]
 
+#: Default size of the per-client latency reservoir.  Large enough for a
+#: stable 99th percentile, small enough that long simulations stay O(1).
+RESERVOIR_CAPACITY = 512
+
 
 @dataclass
 class ClientStats:
-    """Counters of the key/value traffic issued by one client."""
+    """Counters of the key/value traffic issued by one client.
+
+    Besides the running totals, the stats keep a bounded reservoir of
+    per-call latencies (Vitter's algorithm R with a deterministic stream)
+    so any client can report p50/p99 via :meth:`percentile` without
+    recording every sample.
+    """
 
     operations: int = 0
     keys_touched: int = 0
     rpcs: int = 0
     total_latency_seconds: float = 0.0
+    latency_samples: List[float] = field(default_factory=list)
+    samples_seen: int = 0
+    reservoir_capacity: int = RESERVOIR_CAPACITY
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(0x5EED), repr=False, compare=False
+    )
+
+    def record_latency(self, seconds: float) -> None:
+        """Offer one latency observation to the bounded reservoir."""
+        self.samples_seen += 1
+        if len(self.latency_samples) < self.reservoir_capacity:
+            self.latency_samples.append(seconds)
+            return
+        slot = self._rng.randrange(self.samples_seen)
+        if slot < self.reservoir_capacity:
+            self.latency_samples[slot] = seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (e.g. ``0.99``) of the sampled latencies."""
+        return nearest_rank_percentile(self.latency_samples, fraction)
 
     def snapshot(self) -> "ClientStats":
         return ClientStats(
@@ -41,10 +73,17 @@ class ClientStats:
             keys_touched=self.keys_touched,
             rpcs=self.rpcs,
             total_latency_seconds=self.total_latency_seconds,
+            latency_samples=list(self.latency_samples),
+            samples_seen=self.samples_seen,
+            reservoir_capacity=self.reservoir_capacity,
         )
 
     def delta(self, earlier: "ClientStats") -> "ClientStats":
-        """Return the difference between this snapshot and an earlier one."""
+        """Return the difference between this snapshot and an earlier one.
+
+        Only the additive counters are differenced; the latency reservoir is
+        a sample (not a sum), so the delta starts with an empty one.
+        """
         return ClientStats(
             operations=self.operations - earlier.operations,
             keys_touched=self.keys_touched - earlier.keys_touched,
@@ -52,6 +91,7 @@ class ClientStats:
             total_latency_seconds=(
                 self.total_latency_seconds - earlier.total_latency_seconds
             ),
+            reservoir_capacity=self.reservoir_capacity,
         )
 
 
@@ -72,6 +112,7 @@ class StorageClient:
         self.stats.keys_touched += result.keys_touched
         self.stats.rpcs += rpcs
         self.stats.total_latency_seconds += result.latency_seconds
+        self.stats.record_latency(result.latency_seconds)
 
     @property
     def now(self) -> float:

@@ -21,7 +21,6 @@ clocks and combine sequential/parallel request latencies correctly.
 
 from __future__ import annotations
 
-import random
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -41,6 +40,11 @@ class ClusterConfig:
     Parameters mirror the experimental setup in Section 8 of the paper:
     a number of storage nodes, two-fold replication, and a per-node
     capacity that drives queueing under load.
+
+    ``replica_seed`` salts replica selection in :meth:`KeyValueCluster.route`;
+    it defaults to ``seed``.  Routing is a pure function of ``(key,
+    replica_seed)``, so runs with many interleaved clients pick the same
+    replicas no matter the order in which their requests arrive.
     """
 
     storage_nodes: int = 10
@@ -48,12 +52,17 @@ class ClusterConfig:
     node_capacity_ops_per_second: float = 4000.0
     latency: LatencyParameters = field(default_factory=LatencyParameters)
     seed: int = 0
+    replica_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.storage_nodes < 1:
             raise ValueError("storage_nodes must be >= 1")
         if not (1 <= self.replication <= self.storage_nodes):
             raise ValueError("replication must be between 1 and storage_nodes")
+
+    @property
+    def effective_replica_seed(self) -> int:
+        return self.seed if self.replica_seed is None else self.replica_seed
 
 
 @dataclass(frozen=True)
@@ -86,7 +95,7 @@ class KeyValueCluster:
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config or ClusterConfig()
         self._namespaces: Dict[str, OrderedKVMap] = {}
-        self._rng = random.Random(self.config.seed)
+        self._offered_load_total = 0.0
         self.nodes: List[StorageNode] = [
             StorageNode.create(
                 node_id=i,
@@ -125,12 +134,26 @@ class KeyValueCluster:
     # ------------------------------------------------------------------
     # Partitioning / load
     # ------------------------------------------------------------------
-    def _node_for_key(self, namespace: str, key: bytes) -> StorageNode:
-        """Pick the node (among replicas) that serves a request for ``key``."""
+    def route(self, namespace: str, key: bytes) -> StorageNode:
+        """Pick the node (among replicas) that serves a request for ``key``.
+
+        The replica choice is a pure function of the key and the configured
+        ``replica_seed``, never of shared mutable state, so experiments that
+        interleave many clients route identically from run to run regardless
+        of request arrival order.
+        """
         digest = zlib.crc32(namespace.encode("utf-8") + b"\x00" + key)
         primary = digest % len(self.nodes)
-        replica_offset = self._rng.randrange(self.config.replication)
-        return self.nodes[(primary + replica_offset) % len(self.nodes)]
+        if self.config.replication > 1:
+            seed = self.config.effective_replica_seed & 0xFFFFFFFF
+            salt = zlib.crc32(key, digest ^ seed)
+            offset = salt % self.config.replication
+        else:
+            offset = 0
+        return self.nodes[(primary + offset) % len(self.nodes)]
+
+    # Backwards-compatible internal alias.
+    _node_for_key = route
 
     def set_offered_load(self, total_ops_per_second: float) -> None:
         """Spread an offered operation rate evenly over the nodes.
@@ -139,9 +162,57 @@ class KeyValueCluster:
         aggregate request rate; each node's utilisation then inflates its
         latencies through the queueing factor.
         """
+        self._offered_load_total = total_ops_per_second
         per_node = total_ops_per_second / len(self.nodes)
         for node in self.nodes:
             node.set_offered_load(per_node)
+
+    def total_capacity_ops_per_second(self) -> float:
+        """Aggregate sustainable operation rate of the live node set."""
+        return sum(node.capacity_ops_per_second for node in self.nodes)
+
+    def add_node(self) -> StorageNode:
+        """Grow the cluster by one storage node (elastic provisioning).
+
+        Data never moves (namespaces are logically global); adding a node
+        only changes how requests are attributed, spreading load over more
+        performance models.  ``config.storage_nodes`` keeps the provisioned
+        size; ``len(cluster.nodes)`` is the live size.
+        """
+        # node_id doubles as the node's index in ``self.nodes`` (replica
+        # placement and batched reads rely on it), so ids stay contiguous:
+        # removals pop from the tail and additions reuse the next slot.
+        node = StorageNode.create(
+            node_id=len(self.nodes),
+            params=self.config.latency,
+            seed=self.config.seed,
+            capacity_ops_per_second=self.config.node_capacity_ops_per_second,
+        )
+        self.nodes.append(node)
+        self._respread_static_load()
+        return node
+
+    def remove_node(self) -> StorageNode:
+        """Shrink the cluster by one node (the most recently added)."""
+        if len(self.nodes) <= self.config.replication:
+            raise ExecutionError(
+                "cannot shrink below the replication factor "
+                f"({self.config.replication})"
+            )
+        node = self.nodes.pop()
+        self._respread_static_load()
+        return node
+
+    def _respread_static_load(self) -> None:
+        """After a topology change, re-spread a statically configured load.
+
+        Only when a static aggregate load was set: if per-node utilisation
+        is being driven from measured rates (the serving tier's control
+        loop), re-spreading would wipe those measurements with zeros — the
+        next control tick refreshes them instead.
+        """
+        if self._offered_load_total > 0:
+            self.set_offered_load(self._offered_load_total)
 
     def reset_stats(self) -> None:
         """Reset per-node operation counters."""

@@ -28,6 +28,7 @@ class NodeStats:
     keys_read: int = 0
     keys_written: int = 0
     total_latency_seconds: float = 0.0
+    queue_wait_seconds: float = 0.0
 
     def reset(self) -> None:
         self.gets = 0
@@ -36,6 +37,7 @@ class NodeStats:
         self.keys_read = 0
         self.keys_written = 0
         self.total_latency_seconds = 0.0
+        self.queue_wait_seconds = 0.0
 
 
 @dataclass
@@ -58,6 +60,13 @@ class StorageNode:
     capacity_ops_per_second: float = 4000.0
     utilization: float = 0.0
     stats: NodeStats = field(default_factory=NodeStats)
+    #: Optional request queue (duck-typed: any object with
+    #: ``on_request(sim_time, service_seconds) -> wait_seconds``).  When set
+    #: — the serving tier installs a
+    #: :class:`~repro.serving.queueing.NodeRequestQueue` — every charge also
+    #: pays a first-come-first-served waiting time behind in-flight requests,
+    #: so contention between concurrent clients shows up as queueing delay.
+    request_queue: Optional[object] = None
 
     @classmethod
     def create(
@@ -81,6 +90,14 @@ class StorageNode:
             raise ValueError("offered load must be non-negative")
         self.utilization = ops_per_second / self.capacity_ops_per_second
 
+    def _queue_wait(self, sim_time: float, service_seconds: float) -> float:
+        """Waiting time behind in-flight requests (zero without a queue)."""
+        if self.request_queue is None:
+            return 0.0
+        wait = self.request_queue.on_request(sim_time, service_seconds)
+        self.stats.queue_wait_seconds += wait
+        return wait
+
     def charge_read(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
         """Charge one read RPC touching ``num_keys`` keys; return latency (s)."""
         latency = self.latency_model.sample_seconds(
@@ -89,6 +106,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency += self._queue_wait(sim_time, latency)
         self.stats.gets += 1
         self.stats.keys_read += num_keys
         self.stats.total_latency_seconds += latency
@@ -102,6 +120,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency += self._queue_wait(sim_time, latency)
         self.stats.range_requests += 1
         self.stats.keys_read += num_keys
         self.stats.total_latency_seconds += latency
@@ -115,6 +134,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency += self._queue_wait(sim_time, latency)
         self.stats.puts += 1
         self.stats.keys_written += num_keys
         self.stats.total_latency_seconds += latency

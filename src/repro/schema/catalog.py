@@ -19,6 +19,10 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._indexes: Dict[str, IndexDefinition] = {}
+        #: Bumped on every schema change.  Plan caches (one per database
+        #: view, all sharing this catalog) compare against it so DDL issued
+        #: through any view invalidates every view's cached plans.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Tables
@@ -28,6 +32,7 @@ class Catalog:
         if key in self._tables:
             raise SchemaError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self.version += 1
 
     def drop_table(self, name: str) -> None:
         key = name.lower()
@@ -38,6 +43,7 @@ class Catalog:
             n for n, ix in self._indexes.items() if ix.table.lower() == key
         ]:
             del self._indexes[index_name]
+        self.version += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -72,6 +78,7 @@ class Catalog:
                 return existing
             raise SchemaError(f"index {index.name!r} already exists")
         self._indexes[key] = index
+        self.version += 1
         return index
 
     def index(self, name: str) -> IndexDefinition:

@@ -1,0 +1,143 @@
+"""Admission control: shed or queue work when SLO compliance is at risk.
+
+The PIQL philosophy is *success-tolerant* scaling: it is better to refuse a
+little work than to let every request's latency blow past the SLO.  The
+controller here is a small proportional controller driven by the
+:class:`~repro.serving.monitor.SLOMonitor`'s live quantile:
+
+* every control tick, :meth:`update` compares the observed SLO quantile to
+  the objective.  While the quantile is above the objective the shed
+  probability ramps up (proportionally to how far above); once it falls
+  below a recovery threshold the probability decays back to zero
+  (hysteresis, so the controller does not chatter);
+* every arriving request calls :meth:`decide`, which returns ``ADMIT``,
+  ``QUEUE`` (admit, but the request will wait behind a backlog) or ``SHED``.
+  Requests are shed probabilistically at the current shed probability, and
+  unconditionally when the dispatch backlog exceeds ``queue_limit_seconds``
+  — an overloaded system must not build an unbounded queue.
+
+An offline :class:`~repro.prediction.slo.SLOPrediction` can warm-start the
+controller: if the forecast already says the SLO will be violated in some
+fraction of intervals, the controller begins with a matching non-zero shed
+probability instead of waiting to observe the violation.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..prediction.slo import SLOPrediction
+from .monitor import SLOMonitor
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    QUEUE = "queue"
+    SHED = "shed"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs of the proportional shedding controller."""
+
+    #: Per-tick increase of shed probability per unit of relative overshoot
+    #: (observed quantile / SLO latency − 1).
+    gain: float = 0.25
+    #: Per-tick decrease once the quantile is back under ``recover_fraction``
+    #: of the SLO latency.
+    decay: float = 0.10
+    #: Shed probability never exceeds this (some traffic always gets through).
+    max_shed_probability: float = 0.95
+    #: Quantile must fall below ``recover_fraction * slo.latency`` to decay.
+    recover_fraction: float = 0.8
+    #: Dispatch backlog (seconds of queued work) beyond which requests are
+    #: shed outright instead of queued.
+    queue_limit_seconds: float = 2.0
+    seed: int = 17
+
+
+@dataclass
+class AdmissionCounters:
+    admitted: int = 0
+    queued: int = 0
+    shed: int = 0
+
+    @property
+    def offered(self) -> int:
+        return self.admitted + self.queued + self.shed
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+
+class AdmissionController:
+    """Probabilistic load shedding driven by observed (and predicted) SLOs."""
+
+    def __init__(
+        self,
+        monitor: SLOMonitor,
+        config: Optional[AdmissionConfig] = None,
+        prediction: Optional[SLOPrediction] = None,
+    ):
+        self.monitor = monitor
+        self.config = config or AdmissionConfig()
+        self.counters = AdmissionCounters()
+        self.shed_probability = 0.0
+        self._rng = random.Random(self.config.seed)
+        if prediction is not None:
+            # Warm start: an offline forecast of violation risk becomes the
+            # initial shed probability, clamped to the configured maximum.
+            risk = prediction.violation_risk(self.monitor.slo)
+            self.shed_probability = min(risk, self.config.max_shed_probability)
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def update(self, now: float) -> float:
+        """One control tick; returns the new shed probability."""
+        slo = self.monitor.slo
+        config = self.config
+        if self.monitor.total_observations < self.monitor.min_samples:
+            # Cold start: nothing observed yet, so a prediction-seeded shed
+            # probability must hold rather than decay away before the
+            # forecast violation can even be measured.
+            return self.shed_probability
+        if self.monitor.recent_count(now) >= self.monitor.min_samples:
+            observed = self.monitor.percentile(slo.quantile, now)
+            ratio = observed / slo.latency_seconds
+            if ratio > 1.0:
+                self.shed_probability = min(
+                    config.max_shed_probability,
+                    self.shed_probability + config.gain * (ratio - 1.0),
+                )
+                return self.shed_probability
+            if ratio > config.recover_fraction:
+                # In the hysteresis band: hold steady.
+                return self.shed_probability
+        self.shed_probability = max(0.0, self.shed_probability - config.decay)
+        return self.shed_probability
+
+    # ------------------------------------------------------------------
+    # Per-request decisions
+    # ------------------------------------------------------------------
+    def decide(self, now: float, backlog_seconds: float = 0.0) -> AdmissionDecision:
+        """Decide the fate of one request arriving at ``now``.
+
+        ``backlog_seconds`` is how long the request would wait before an
+        application server even starts it (dispatch queue depth).
+        """
+        if backlog_seconds > self.config.queue_limit_seconds:
+            self.counters.shed += 1
+            return AdmissionDecision.SHED
+        if self.shed_probability > 0.0 and self._rng.random() < self.shed_probability:
+            self.counters.shed += 1
+            return AdmissionDecision.SHED
+        if backlog_seconds > 0.0:
+            self.counters.queued += 1
+            return AdmissionDecision.QUEUE
+        self.counters.admitted += 1
+        return AdmissionDecision.ADMIT

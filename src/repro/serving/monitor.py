@@ -1,0 +1,198 @@
+"""SLO monitoring over sliding windows (the serving tier's eyes).
+
+The paper states SLOs over fixed intervals — "99% of queries during each
+ten-minute interval complete within 500 ms" — and Figures 8–11 compare a
+prediction of those per-interval quantiles against observation.  The monitor
+implements both views:
+
+* **interval reports** bin every observation by the SLO's interval index and
+  report p50 / p99 / compliance per interval (the paper's methodology), and
+* a short **control window** (a sliding deque of recent observations) that
+  gives the admission controller and autoscaler a responsive live signal.
+
+It can also compare what it observed against an offline
+:class:`~repro.prediction.slo.SLOPrediction`, closing the loop between the
+prediction framework and the serving tier.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+from ..prediction.slo import SLOPrediction, ServiceLevelObjective
+from ..stats import nearest_rank_percentile
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """Latency summary of one completed SLO interval."""
+
+    index: int
+    start_seconds: float
+    count: int
+    p50_seconds: float
+    quantile_seconds: float
+    compliance: float
+    violated: bool
+
+    @property
+    def p50_ms(self) -> float:
+        return self.p50_seconds * 1000.0
+
+    @property
+    def quantile_ms(self) -> float:
+        return self.quantile_seconds * 1000.0
+
+
+@dataclass(frozen=True)
+class PredictionComparison:
+    """How observed per-interval quantiles line up with an offline forecast."""
+
+    predicted_max_seconds: float
+    observed_max_seconds: float
+    intervals_compared: int
+    intervals_over_prediction: int
+
+    @property
+    def fraction_over_prediction(self) -> float:
+        if self.intervals_compared == 0:
+            return 0.0
+        return self.intervals_over_prediction / self.intervals_compared
+
+
+class SLOMonitor:
+    """Tracks response-time observations against a service level objective."""
+
+    def __init__(
+        self,
+        slo: ServiceLevelObjective,
+        control_window_seconds: float = 5.0,
+        min_samples: int = 20,
+    ):
+        if control_window_seconds <= 0:
+            raise ValueError("control_window_seconds must be positive")
+        self.slo = slo
+        self.control_window_seconds = control_window_seconds
+        self.min_samples = min_samples
+        self.total_observations = 0
+        self.total_compliant = 0
+        self._samples_by_interval: Dict[int, List[float]] = {}
+        self._recent: Deque[Tuple[float, float]] = deque()
+        self._latest = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, now: float, latency_seconds: float) -> None:
+        """Record one completed request's response time at time ``now``.
+
+        Interval binning is by ``now``'s own interval index, so it is
+        correct even if observations arrive slightly out of time order
+        (drivers deliver them through kernel events, but robustness here is
+        cheap).
+        """
+        index = int(now // self.slo.interval_seconds)
+        self._samples_by_interval.setdefault(index, []).append(latency_seconds)
+        self.total_observations += 1
+        if latency_seconds <= self.slo.latency_seconds:
+            self.total_compliant += 1
+        self._recent.append((now, latency_seconds))
+        self._trim_recent(now)
+
+    def _summarise(self, index: int, samples: List[float]) -> WindowReport:
+        quantile = nearest_rank_percentile(samples, self.slo.quantile)
+        compliant = sum(1 for s in samples if s <= self.slo.latency_seconds)
+        return WindowReport(
+            index=index,
+            start_seconds=index * self.slo.interval_seconds,
+            count=len(samples),
+            p50_seconds=nearest_rank_percentile(samples, 0.50),
+            quantile_seconds=quantile,
+            compliance=compliant / len(samples),
+            violated=quantile > self.slo.latency_seconds,
+        )
+
+    def _trim_recent(self, now: float) -> None:
+        # The horizon only moves forward: a single early-recorded straggler
+        # (an observation stamped ahead of its siblings) must not evict the
+        # control window that the admission controller is acting on.
+        self._latest = max(self._latest, now)
+        horizon = self._latest - self.control_window_seconds
+        while self._recent and self._recent[0][0] < horizon:
+            self._recent.popleft()
+
+    # ------------------------------------------------------------------
+    # Live control signals
+    # ------------------------------------------------------------------
+    def recent_count(self, now: float) -> int:
+        self._trim_recent(now)
+        return len(self._recent)
+
+    def percentile(self, fraction: float, now: float) -> float:
+        """Nearest-rank percentile over the recent control window."""
+        self._trim_recent(now)
+        if not self._recent:
+            raise ValueError("no recent observations")
+        return nearest_rank_percentile(
+            [latency for _, latency in self._recent], fraction
+        )
+
+    def recent_compliance(self, now: float) -> float:
+        """Fraction of recent observations inside the SLO latency."""
+        self._trim_recent(now)
+        if not self._recent:
+            return 1.0
+        compliant = sum(
+            1 for _, latency in self._recent
+            if latency <= self.slo.latency_seconds
+        )
+        return compliant / len(self._recent)
+
+    def violated(self, now: float) -> bool:
+        """Whether the live SLO quantile currently exceeds the objective.
+
+        Conservative: returns ``False`` until ``min_samples`` recent
+        observations exist, so cold starts never trigger shedding.
+        """
+        if self.recent_count(now) < self.min_samples:
+            return False
+        return self.percentile(self.slo.quantile, now) > self.slo.latency_seconds
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def finalize(self) -> List[WindowReport]:
+        """Summarise every interval observed so far, in interval order."""
+        return [
+            self._summarise(index, samples)
+            for index, samples in sorted(self._samples_by_interval.items())
+        ]
+
+    @property
+    def overall_compliance(self) -> float:
+        if self.total_observations == 0:
+            return 1.0
+        return self.total_compliant / self.total_observations
+
+    def compare_to_prediction(
+        self, prediction: SLOPrediction
+    ) -> PredictionComparison:
+        """Line observed interval quantiles up against an offline forecast.
+
+        Matches the paper's Table 1 reading: the forecast's most conservative
+        per-interval quantile versus the worst interval actually observed.
+        """
+        reports = self.finalize()
+        if not reports:
+            raise ValueError("no completed intervals to compare")
+        predicted_max = prediction.max_seconds
+        observed = [report.quantile_seconds for report in reports]
+        over = sum(1 for value in observed if value > predicted_max)
+        return PredictionComparison(
+            predicted_max_seconds=predicted_max,
+            observed_max_seconds=max(observed),
+            intervals_compared=len(observed),
+            intervals_over_prediction=over,
+        )

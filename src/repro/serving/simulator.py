@@ -1,0 +1,198 @@
+"""End-to-end serving simulation: traffic, contention, and control loops.
+
+:class:`ServingSimulation` wires the pieces of the serving tier together
+over an already-loaded :class:`~repro.engine.database.PiqlDatabase`:
+
+1. installs per-node request queues on the cluster (queue-aware latency),
+2. builds an :class:`~repro.serving.monitor.SLOMonitor` for the configured
+   objective,
+3. optionally an admission controller and/or autoscaler,
+4. a closed- or open-loop driver replaying the workload's interaction mix,
+5. a periodic **control tick** that feeds measured per-node arrival rates
+   back into node utilisation, steps the admission controller, and lets the
+   autoscaler act,
+
+then runs the discrete-event kernel for a configured amount of simulated
+time and returns a :class:`ServingReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..engine.database import PiqlDatabase
+from ..prediction.slo import SLOPrediction, ServiceLevelObjective
+from ..workloads.base import Workload
+from .admission import AdmissionConfig, AdmissionController, AdmissionCounters
+from .autoscale import AutoscaleConfig, Autoscaler, ScalingAction
+from .drivers import ClosedLoopDriver, OpenLoopDriver, TrafficLog
+from .events import Simulation
+from .monitor import SLOMonitor, WindowReport
+from .queueing import install_queues, refresh_utilization, remove_queues
+
+
+@dataclass
+class ServingConfig:
+    """Shape and duration of one serving simulation."""
+
+    #: "closed" (think-time population) or "open" (Poisson arrivals).
+    mode: str = "closed"
+    clients: int = 50
+    think_time_seconds: float = 1.0
+    #: Only used in open mode.
+    arrival_rate_per_second: float = 50.0
+    duration_seconds: float = 30.0
+    slo: ServiceLevelObjective = field(
+        default_factory=lambda: ServiceLevelObjective(
+            quantile=0.99, latency_seconds=0.5, interval_seconds=10.0
+        )
+    )
+    control_interval_seconds: float = 0.5
+    monitor_window_seconds: float = 5.0
+    rate_smoothing_seconds: float = 2.0
+    admission_enabled: bool = False
+    admission: Optional[AdmissionConfig] = None
+    #: Offline forecast used to warm-start the admission controller.
+    prediction: Optional[SLOPrediction] = None
+    autoscale_enabled: bool = False
+    autoscale: Optional[AutoscaleConfig] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("closed", "open"):
+            raise ValueError("mode must be 'closed' or 'open'")
+        if self.duration_seconds <= 0:
+            raise ValueError("duration must be positive")
+        if self.control_interval_seconds <= 0:
+            raise ValueError("control interval must be positive")
+
+
+@dataclass
+class ServingReport:
+    """Everything a scenario needs to judge one serving run."""
+
+    duration_seconds: float
+    log: TrafficLog
+    windows: List[WindowReport]
+    overall_compliance: float
+    admission: Optional[AdmissionCounters]
+    scaling_actions: List[ScalingAction]
+    final_nodes: int
+    mean_utilization: float
+
+    @property
+    def completed(self) -> int:
+        return self.log.completed
+
+    @property
+    def throughput(self) -> float:
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.log.completed / self.duration_seconds
+
+    def response_percentile_ms(self, fraction: float) -> float:
+        return self.log.response_percentile(fraction) * 1000.0
+
+
+class ServingSimulation:
+    """One configured serving run over an already-loaded database."""
+
+    def __init__(self, db: PiqlDatabase, workload: Workload, config: ServingConfig):
+        self.db = db
+        self.workload = workload
+        self.config = config
+        self.sim = Simulation()
+        self.queues = install_queues(db.cluster, config.rate_smoothing_seconds)
+        self.monitor = SLOMonitor(
+            config.slo, control_window_seconds=config.monitor_window_seconds
+        )
+        self.admission: Optional[AdmissionController] = None
+        if config.admission_enabled:
+            self.admission = AdmissionController(
+                self.monitor,
+                config=config.admission,
+                prediction=config.prediction,
+            )
+        self.autoscaler: Optional[Autoscaler] = None
+        if config.autoscale_enabled:
+            self.autoscaler = Autoscaler(db.cluster, config.autoscale)
+        self.log = TrafficLog()
+        if config.mode == "closed":
+            self.driver = ClosedLoopDriver(
+                self.sim,
+                db,
+                workload,
+                clients=config.clients,
+                think_time_seconds=config.think_time_seconds,
+                seed=config.seed,
+                monitor=self.monitor,
+                admission=self.admission,
+                log=self.log,
+            )
+        else:
+            self.driver = OpenLoopDriver(
+                self.sim,
+                db,
+                workload,
+                arrival_rate_per_second=config.arrival_rate_per_second,
+                servers=config.clients,
+                seed=config.seed,
+                monitor=self.monitor,
+                admission=self.admission,
+                log=self.log,
+            )
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _control_tick(self, sim: Simulation) -> None:
+        now = sim.now
+        refresh_utilization(self.db.cluster, now)
+        if self.admission is not None:
+            self.admission.update(now)
+        if self.autoscaler is not None:
+            self.autoscaler.evaluate(now)
+        next_tick = now + self.config.control_interval_seconds
+        if next_tick <= self.config.duration_seconds:
+            sim.schedule_at(next_tick, self._control_tick, name="control-tick")
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self) -> ServingReport:
+        """Run the scenario for ``duration_seconds`` of simulated time."""
+        self.driver.start()
+        self.sim.schedule_at(
+            self.config.control_interval_seconds, self._control_tick,
+            name="control-tick",
+        )
+        self.sim.run(until=self.config.duration_seconds)
+        mean_utilization = refresh_utilization(self.db.cluster, self.sim.now)
+        windows = list(self.monitor.finalize())
+        report = ServingReport(
+            duration_seconds=self.config.duration_seconds,
+            log=self.log,
+            windows=windows,
+            overall_compliance=self.monitor.overall_compliance,
+            admission=self.admission.counters if self.admission else None,
+            scaling_actions=list(self.autoscaler.actions) if self.autoscaler else [],
+            final_nodes=len(self.db.cluster.nodes),
+            mean_utilization=mean_utilization,
+        )
+        # Detach the run's measurement state (queues, offered load) so the
+        # same database can host several scenarios back to back.  Autoscaler
+        # topology changes deliberately persist — they *are* the run's
+        # provisioning decision, reported via ``final_nodes`` and
+        # ``scaling_actions``; start from a fresh database (or resize the
+        # cluster yourself) when scenarios must not inherit them.
+        remove_queues(self.db.cluster)
+        self.db.cluster.set_offered_load(0.0)
+        return report
+
+
+def run_serving_simulation(
+    db: PiqlDatabase, workload: Workload, config: Optional[ServingConfig] = None
+) -> ServingReport:
+    """Convenience wrapper: build and run one :class:`ServingSimulation`."""
+    return ServingSimulation(db, workload, config or ServingConfig()).run()

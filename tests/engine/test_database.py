@@ -64,6 +64,38 @@ class TestPrepare:
         )
         assert {row["username"] for row in result.rows} == {"alice", "carol"}
 
+    def test_prepared_cache_invalidated_by_create_table(self, scadr_db,
+                                                        thoughtstream_sql):
+        first = scadr_db.prepare(thoughtstream_sql)
+        scadr_db.execute_ddl(
+            "CREATE TABLE extra (id INT, PRIMARY KEY (id))"
+        )
+        second = scadr_db.prepare(thoughtstream_sql)
+        assert second is not first
+        # The recompiled query is cached again.
+        assert scadr_db.prepare(thoughtstream_sql) is second
+
+    def test_prepared_cache_invalidated_by_create_index(self, scadr_db,
+                                                        thoughtstream_sql):
+        from repro.schema.ddl import IndexColumn, IndexDefinition
+
+        first = scadr_db.prepare(thoughtstream_sql)
+        scadr_db.create_index(
+            IndexDefinition(
+                name="idx_users_hometown",
+                table="users",
+                columns=(IndexColumn("hometown"),),
+            )
+        )
+        assert scadr_db.prepare(thoughtstream_sql) is not first
+
+    def test_prepare_with_auto_index_still_caches(self, scadr_db):
+        # Preparing this query creates its own inverted index, which clears
+        # the cache mid-prepare; the freshly prepared query must still be
+        # cached afterwards.
+        sql = "SELECT * FROM users WHERE hometown LIKE [1: town] LIMIT 5"
+        assert scadr_db.prepare(sql) is scadr_db.prepare(sql)
+
     def test_diagnose_passthrough(self, scadr_db):
         diagnosis = scadr_db.diagnose("SELECT * FROM users WHERE hometown = 'x'")
         assert not diagnosis.scale_independent
@@ -83,6 +115,15 @@ class TestClientViews:
         assert view.client.clock.now > 0
         assert view.client.clock.now != scadr_db.client.clock.now
         assert view.executor.config.strategy is ExecutionStrategy.LAZY
+
+    def test_new_client_accepts_external_clock(self, scadr_db):
+        from repro.kvstore.simtime import SimClock
+
+        clock = SimClock(now=5.0)
+        view = scadr_db.new_client(clock=clock)
+        assert view.client.clock is clock
+        view.execute("SELECT * FROM users WHERE username = <u>", {"u": "bob"})
+        assert clock.now > 5.0
 
     def test_reset_measurements(self, scadr_db):
         scadr_db.execute("SELECT * FROM users WHERE username = <u>", {"u": "bob"})

@@ -1,0 +1,86 @@
+"""Fixtures for the serving-tier tests.
+
+Most serving tests use a deliberately tiny workload (one table, one point
+query) so they exercise the kernel/queueing/control machinery without
+paying for TPC-W data generation; the acceptance test in
+``test_serving_slo.py`` builds the real TPC-W mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.workloads.base import InteractionResult, Workload, WorkloadScale
+
+
+class PointLookupWorkload(Workload):
+    """Minimal workload: every interaction is one primary-key lookup."""
+
+    name = "point-lookup"
+
+    def __init__(self, rows: int = 200):
+        self.rows = rows
+
+    def setup(self, db: PiqlDatabase, scale: WorkloadScale) -> None:
+        db.execute_ddl(
+            "CREATE TABLE items (id INT, payload VARCHAR(64), PRIMARY KEY (id))"
+        )
+        db.bulk_load(
+            "items",
+            ({"id": i, "payload": f"payload-{i}"} for i in range(self.rows)),
+        )
+        self.prepare_all(db)
+
+    def query_names(self) -> List[str]:
+        return ["get_item"]
+
+    def query_sql(self, name: str) -> str:
+        assert name == "get_item"
+        return "SELECT * FROM items WHERE id = <id>"
+
+    def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:
+        return {"id": rng.randrange(self.rows)}
+
+    def interaction(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
+        result = db.prepare(self.query_sql("get_item")).execute(
+            self.sample_parameters("get_item", rng)
+        )
+        return InteractionResult(
+            name="get_item",
+            latency_seconds=result.latency_seconds,
+            operations=result.operations,
+            query_latencies={"get_item": result.latency_seconds},
+        )
+
+
+def build_point_db(
+    storage_nodes: int = 4,
+    node_capacity_ops_per_second: float = 500.0,
+    seed: int = 9,
+):
+    """A fresh tiny database + workload (fresh ⇒ deterministic rng streams)."""
+    db = PiqlDatabase.simulated(
+        ClusterConfig(
+            storage_nodes=storage_nodes,
+            node_capacity_ops_per_second=node_capacity_ops_per_second,
+            seed=seed,
+        )
+    )
+    workload = PointLookupWorkload()
+    workload.setup(db, WorkloadScale(storage_nodes=storage_nodes))
+    return db, workload
+
+
+@pytest.fixture
+def point_db():
+    return build_point_db()
+
+
+@pytest.fixture
+def point_db_factory():
+    """The factory itself, for tests that need several fresh databases."""
+    return build_point_db

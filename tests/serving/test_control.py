@@ -1,0 +1,184 @@
+"""Tests for the admission-control and autoscaling control loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, KeyValueCluster
+from repro.prediction.slo import SLOPrediction, ServiceLevelObjective
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AutoscaleConfig,
+    Autoscaler,
+    NodeRequestQueue,
+    SLOMonitor,
+    install_queues,
+)
+
+SLO = ServiceLevelObjective(quantile=0.9, latency_seconds=0.1, interval_seconds=10.0)
+
+
+def violating_monitor(now: float = 1.0) -> SLOMonitor:
+    monitor = SLOMonitor(SLO, control_window_seconds=10.0, min_samples=10)
+    for i in range(30):
+        monitor.record(now - 0.5 + i * 0.01, 1.0)  # 10x over the objective
+    return monitor
+
+
+def healthy_monitor(now: float = 1.0) -> SLOMonitor:
+    monitor = SLOMonitor(SLO, control_window_seconds=10.0, min_samples=10)
+    for i in range(30):
+        monitor.record(now - 0.5 + i * 0.01, 0.01)
+    return monitor
+
+
+class TestAdmissionController:
+    def test_shed_probability_ramps_up_under_violation(self):
+        controller = AdmissionController(violating_monitor())
+        assert controller.shed_probability == 0.0
+        controller.update(1.0)
+        assert controller.shed_probability > 0.0
+        for tick in range(5):
+            controller.update(1.0 + tick * 0.5)
+        assert controller.shed_probability == pytest.approx(
+            controller.config.max_shed_probability
+        )
+
+    def test_shed_probability_decays_when_healthy(self):
+        controller = AdmissionController(healthy_monitor())
+        controller.shed_probability = 0.5
+        controller.update(1.0)
+        assert controller.shed_probability == pytest.approx(
+            0.5 - controller.config.decay
+        )
+        for tick in range(10):
+            controller.update(1.0 + tick * 0.1)
+        assert controller.shed_probability == 0.0
+
+    def test_no_samples_means_no_shedding(self):
+        monitor = SLOMonitor(SLO, min_samples=10)
+        controller = AdmissionController(monitor)
+        controller.update(1.0)
+        assert controller.shed_probability == 0.0
+        assert controller.decide(1.0) is AdmissionDecision.ADMIT
+
+    def test_decisions_follow_shed_probability(self):
+        controller = AdmissionController(violating_monitor())
+        for tick in range(10):
+            controller.update(1.0 + tick * 0.1)
+        decisions = [controller.decide(2.0) for _ in range(200)]
+        shed = sum(1 for d in decisions if d is AdmissionDecision.SHED)
+        # At max_shed_probability=0.95 nearly everything is refused, but a
+        # trickle always gets through.
+        assert 150 <= shed < 200
+        assert controller.counters.shed == shed
+        assert controller.counters.offered == 200
+
+    def test_backlog_beyond_limit_sheds_outright(self):
+        controller = AdmissionController(
+            healthy_monitor(), config=AdmissionConfig(queue_limit_seconds=1.0)
+        )
+        assert controller.decide(1.0, backlog_seconds=2.0) is AdmissionDecision.SHED
+
+    def test_backlog_below_limit_queues(self):
+        controller = AdmissionController(healthy_monitor())
+        assert controller.decide(1.0, backlog_seconds=0.5) is AdmissionDecision.QUEUE
+        assert controller.counters.queued == 1
+
+    def test_prediction_warm_start(self):
+        prediction = SLOPrediction(
+            quantile=0.9,
+            # Half the forecast intervals violate the 100 ms objective.
+            interval_quantiles_seconds=[0.05, 0.2, 0.05, 0.2],
+        )
+        controller = AdmissionController(
+            SLOMonitor(SLO), prediction=prediction
+        )
+        assert controller.shed_probability == pytest.approx(0.5)
+
+
+class TestAutoscaler:
+    def make_cluster(self, nodes: int = 4) -> KeyValueCluster:
+        return KeyValueCluster(
+            ClusterConfig(storage_nodes=nodes, replication=2, seed=3)
+        )
+
+    def saturate(self, cluster: KeyValueCluster, busy: float, now: float) -> None:
+        """Pump each node's queue so its smoothed busy fraction is ``busy``."""
+        for node in cluster.nodes:
+            queue = node.request_queue
+            assert isinstance(queue, NodeRequestQueue)
+            queue.reset()
+            total = busy * now
+            charged = 0.0
+            step = 0.01
+            t = 0.0
+            while charged < total:
+                queue.on_request(t, step)
+                charged += step
+                t += step / busy
+            queue.sample(now)
+
+    def test_scales_up_under_high_utilization(self):
+        cluster = self.make_cluster()
+        install_queues(cluster, smoothing_seconds=0.01)
+        scaler = Autoscaler(
+            cluster, AutoscaleConfig(high_utilization=0.7, cooldown_seconds=1.0)
+        )
+        self.saturate(cluster, busy=0.95, now=10.0)
+        action = scaler.evaluate(10.0)
+        assert action is not None and action.action == "add"
+        assert len(cluster.nodes) == 5
+        # The new node got a queue so it participates in measurement.
+        assert isinstance(cluster.nodes[-1].request_queue, NodeRequestQueue)
+
+    def test_cooldown_blocks_back_to_back_actions(self):
+        cluster = self.make_cluster()
+        install_queues(cluster, smoothing_seconds=0.01)
+        scaler = Autoscaler(
+            cluster, AutoscaleConfig(high_utilization=0.7, cooldown_seconds=5.0)
+        )
+        self.saturate(cluster, busy=0.95, now=10.0)
+        assert scaler.evaluate(10.0) is not None
+        assert scaler.evaluate(12.0) is None  # still cooling down
+        self.saturate(cluster, busy=0.95, now=16.0)
+        assert scaler.evaluate(16.0) is not None
+
+    def test_scales_down_when_idle_but_not_below_replication(self):
+        cluster = self.make_cluster(nodes=3)
+        install_queues(cluster, smoothing_seconds=0.01)
+        scaler = Autoscaler(
+            cluster,
+            AutoscaleConfig(
+                low_utilization=0.3, cooldown_seconds=0.5, warmup_seconds=1.0
+            ),
+        )
+        action = scaler.evaluate(10.0)
+        assert action is not None and action.action == "remove"
+        assert len(cluster.nodes) == 2
+        # Floor: never below the replication factor.
+        assert scaler.evaluate(20.0) is None
+        assert len(cluster.nodes) == 2
+
+    def test_no_scale_down_during_warmup(self):
+        cluster = self.make_cluster()
+        install_queues(cluster, smoothing_seconds=0.01)
+        scaler = Autoscaler(
+            cluster, AutoscaleConfig(low_utilization=0.3, warmup_seconds=30.0)
+        )
+        assert scaler.evaluate(10.0) is None
+        assert len(cluster.nodes) == 4
+
+    def test_actions_are_logged(self):
+        cluster = self.make_cluster()
+        install_queues(cluster, smoothing_seconds=0.01)
+        scaler = Autoscaler(
+            cluster, AutoscaleConfig(high_utilization=0.7, cooldown_seconds=0.1)
+        )
+        self.saturate(cluster, busy=0.95, now=10.0)
+        scaler.evaluate(10.0)
+        assert len(scaler.actions) == 1
+        assert scaler.actions[0].nodes_after == 5
+        assert scaler.actions[0].utilization > 0.7

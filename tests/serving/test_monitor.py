@@ -1,0 +1,104 @@
+"""Tests for the sliding-window SLO monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prediction.slo import SLOPrediction, ServiceLevelObjective
+from repro.serving import SLOMonitor
+
+
+def make_monitor(**kwargs) -> SLOMonitor:
+    slo = ServiceLevelObjective(
+        quantile=0.9, latency_seconds=0.1, interval_seconds=10.0
+    )
+    return SLOMonitor(slo, **kwargs)
+
+
+class TestLiveSignals:
+    def test_percentile_over_recent_window(self):
+        monitor = make_monitor(control_window_seconds=5.0)
+        for i in range(10):
+            monitor.record(1.0 + i * 0.1, 0.01 * (i + 1))
+        assert monitor.percentile(0.5, 2.0) == pytest.approx(0.06)
+        assert monitor.percentile(1.0, 2.0) == pytest.approx(0.10)
+
+    def test_old_samples_age_out_of_the_control_window(self):
+        monitor = make_monitor(control_window_seconds=1.0)
+        monitor.record(0.0, 5.0)  # terrible, but ancient
+        for i in range(30):
+            monitor.record(4.0 + i * 0.01, 0.01)
+        assert monitor.percentile(1.0, 4.3) == pytest.approx(0.01)
+
+    def test_violated_requires_min_samples(self):
+        monitor = make_monitor(min_samples=20)
+        for i in range(10):
+            monitor.record(i * 0.01, 9.9)  # way over, but too few samples
+        assert not monitor.violated(0.1)
+        for i in range(10, 25):
+            monitor.record(i * 0.01, 9.9)
+        assert monitor.violated(0.25)
+
+    def test_recent_compliance(self):
+        monitor = make_monitor(control_window_seconds=10.0)
+        for i in range(8):
+            monitor.record(i * 0.1, 0.01)
+        for i in range(2):
+            monitor.record(1.0 + i * 0.1, 1.0)
+        assert monitor.recent_compliance(1.2) == pytest.approx(0.8)
+
+
+class TestIntervalReports:
+    def test_windows_bin_by_slo_interval(self):
+        monitor = make_monitor()
+        for i in range(10):
+            monitor.record(float(i), 0.05)  # interval 0: all compliant
+        for i in range(10):
+            monitor.record(10.0 + i, 0.2)  # interval 1: all violating
+        reports = monitor.finalize()
+        assert [r.index for r in reports] == [0, 1]
+        assert reports[0].count == 10
+        assert not reports[0].violated
+        assert reports[0].compliance == 1.0
+        assert reports[1].violated
+        assert reports[1].compliance == 0.0
+        assert reports[1].quantile_seconds == pytest.approx(0.2)
+        assert reports[1].start_seconds == pytest.approx(10.0)
+
+    def test_empty_intervals_are_skipped(self):
+        monitor = make_monitor()
+        monitor.record(1.0, 0.05)
+        monitor.record(35.0, 0.05)  # intervals 1 and 2 are silent
+        reports = monitor.finalize()
+        assert [r.index for r in reports] == [0, 3]
+
+    def test_overall_compliance(self):
+        monitor = make_monitor()
+        for i in range(3):
+            monitor.record(float(i), 0.05)
+        monitor.record(3.0, 0.5)
+        assert monitor.overall_compliance == pytest.approx(0.75)
+
+
+class TestPredictionComparison:
+    def test_compare_to_prediction(self):
+        monitor = make_monitor()
+        for i in range(10):
+            monitor.record(float(i), 0.04)
+        for i in range(10):
+            monitor.record(10.0 + i, 0.30)
+        prediction = SLOPrediction(
+            quantile=0.9, interval_quantiles_seconds=[0.05, 0.06, 0.05]
+        )
+        comparison = monitor.compare_to_prediction(prediction)
+        assert comparison.predicted_max_seconds == pytest.approx(0.06)
+        assert comparison.observed_max_seconds == pytest.approx(0.30)
+        assert comparison.intervals_compared == 2
+        assert comparison.intervals_over_prediction == 1
+        assert comparison.fraction_over_prediction == pytest.approx(0.5)
+
+    def test_compare_requires_observations(self):
+        monitor = make_monitor()
+        prediction = SLOPrediction(quantile=0.9, interval_quantiles_seconds=[0.05])
+        with pytest.raises(ValueError):
+            monitor.compare_to_prediction(prediction)
