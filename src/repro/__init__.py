@@ -20,7 +20,9 @@ from .errors import (
     PiqlError,
     PlanningError,
     PredictionError,
+    QuorumNotMetError,
     SchemaError,
+    UnavailableError,
     UniquenessViolationError,
 )
 from .execution.context import ExecutionStrategy, QueryResult
@@ -46,7 +48,9 @@ __all__ = [
     "PredictionError",
     "PreparedQuery",
     "QueryResult",
+    "QuorumNotMetError",
     "SchemaError",
+    "UnavailableError",
     "UniquenessViolationError",
     "__version__",
 ]

@@ -1,5 +1,11 @@
 """Benchmark harnesses reproducing the paper's evaluation (Section 8)."""
 
+from .bench_failover_slo import (
+    FailoverSloConfig,
+    FailoverSloExperiment,
+    FailoverSloResult,
+    WriteAudit,
+)
 from .bench_serving_slo import (
     PhaseSummary,
     ServingSloConfig,
@@ -35,6 +41,10 @@ __all__ = [
     "ClientSimulationConfig",
     "ExecutorStrategyConfig",
     "ExecutorStrategyExperiment",
+    "FailoverSloConfig",
+    "FailoverSloExperiment",
+    "FailoverSloResult",
+    "WriteAudit",
     "IntersectionExperimentConfig",
     "IntersectionPoint",
     "IntersectionResult",

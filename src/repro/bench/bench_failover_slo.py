@@ -1,0 +1,388 @@
+"""Failover benchmark: SLO compliance through a crash-and-recover timeline.
+
+The replication tier's reason to exist is the scenario this experiment
+measures: a storage node dies under live traffic.  With real replica
+copies and quorum reads/writes (``N=3, R=W=2``) the cluster must
+
+* keep serving every read and acknowledge every write while the node is
+  down (surviving replicas satisfy the quorums; the down replica's writes
+  become hints),
+* degrade visibly — the survivors absorb the dead node's share of the
+  traffic, so p99 rises during the crash window — and
+* recover once the node returns, replays its hints, and anti-entropy
+  repair completes.
+
+The experiment runs the same open-loop TPC-W timeline twice with the same
+seed — once healthy end to end (the baseline) and once with a crash /
+recover fault pair — so the failover cost is read *relative to the paired
+baseline*, cancelling ordinary load noise.  A write-audit stream issues an
+acknowledged ``put`` every ``audit_interval_seconds`` throughout the run
+and reads every acknowledged key back at the end through the read quorum:
+``lost`` must be zero, which is the R+W>N guarantee made measurable.
+
+Run with ``PYTHONPATH=src python -m repro.bench.bench_failover_slo``
+(add ``--quick`` for the CI-sized configuration).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import PiqlDatabase
+from ..errors import UnavailableError
+from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..prediction.slo import ServiceLevelObjective
+from ..replication.faults import FaultSpec, crash_recover_timeline
+from ..serving.simulator import ServingConfig, ServingReport, ServingSimulation
+from ..workloads.base import WorkloadScale
+from ..workloads.tpcw.workload import TpcwWorkload
+from .bench_serving_slo import PhaseSummary
+from .reporting import format_table, percentile, save_results
+
+
+@dataclass(frozen=True)
+class FailoverSloConfig:
+    """Cluster, workload, fault timeline, and SLO of the failover scenario."""
+
+    storage_nodes: int = 4
+    replication: int = 3
+    read_quorum: int = 2
+    write_quorum: int = 2
+    node_capacity_ops_per_second: float = 400.0
+    users_per_node: int = 30
+    items_total: int = 100
+    app_servers: int = 50
+    arrival_rate_per_second: float = 90.0
+    healthy_seconds: float = 12.0
+    crash_seconds: float = 12.0
+    recovered_seconds: float = 16.0
+    #: Settle time after recovery excluded from the "recovered" phase (the
+    #: backlog built during the outage needs a moment to drain).
+    drain_seconds: float = 4.0
+    crash_node_id: int = 1
+    audit_interval_seconds: float = 0.1
+    slo: ServiceLevelObjective = field(
+        default_factory=lambda: ServiceLevelObjective(
+            quantile=0.99, latency_seconds=0.1, interval_seconds=4.0
+        )
+    )
+    seed: int = 3
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.healthy_seconds + self.crash_seconds + self.recovered_seconds
+
+    @property
+    def crash_at(self) -> float:
+        return self.healthy_seconds
+
+    @property
+    def recover_at(self) -> float:
+        return self.healthy_seconds + self.crash_seconds
+
+    def faults(self) -> List[FaultSpec]:
+        return crash_recover_timeline(
+            self.crash_node_id, self.crash_at, self.recover_at
+        )
+
+    def phases(self) -> List[Tuple[str, float, float]]:
+        """(name, start, end) of the measured traffic phases."""
+        return [
+            ("healthy", 0.0, self.crash_at),
+            ("degraded", self.crash_at, self.recover_at),
+            ("recovered", self.recover_at + self.drain_seconds,
+             self.duration_seconds),
+        ]
+
+    def quick(self) -> "FailoverSloConfig":
+        """A CI-smoke-sized variant (seconds of simulated time)."""
+        return replace(
+            self,
+            users_per_node=10,
+            items_total=50,
+            arrival_rate_per_second=30.0,
+            healthy_seconds=4.0,
+            crash_seconds=4.0,
+            recovered_seconds=6.0,
+            drain_seconds=2.0,
+            audit_interval_seconds=0.2,
+        )
+
+
+class WriteAudit:
+    """A metronome of acknowledged writes, verified after the run.
+
+    Every tick writes one fresh key through the normal quorum path.  Writes
+    the cluster *acknowledged* are remembered; writes it refused (quorum not
+    met) are counted as rejected — refusing is allowed, silently losing an
+    acknowledged value is not.  :meth:`verify` reads every acknowledged key
+    back through the read quorum once the timeline (crash, hints, recovery,
+    anti-entropy) has played out.
+    """
+
+    def __init__(self, cluster: KeyValueCluster, namespace: str = "failover_audit"):
+        self.cluster = cluster
+        self.namespace = namespace
+        cluster.create_namespace(namespace)
+        self.acknowledged: List[Tuple[bytes, bytes]] = []
+        self.rejected = 0
+        self._counter = 0
+
+    def schedule(self, sim, interval_seconds: float, until: float) -> None:
+        def tick(s) -> None:
+            self._write(s.now)
+            if s.now + interval_seconds <= until:
+                s.schedule_at(s.now + interval_seconds, tick, name="write-audit")
+
+        sim.schedule_at(interval_seconds, tick, name="write-audit")
+
+    def _write(self, now: float) -> None:
+        self._counter += 1
+        key = f"audit{self._counter:08d}".encode()
+        value = f"written-at-{now:.3f}".encode()
+        try:
+            self.cluster.put(self.namespace, key, value, sim_time=now)
+        except UnavailableError:
+            self.rejected += 1
+            return
+        self.acknowledged.append((key, value))
+
+    def verify(self) -> Dict[str, int]:
+        """Read back every acknowledged write; count the ones that are gone."""
+        lost = 0
+        for key, expected in self.acknowledged:
+            result = self.cluster.get(self.namespace, key)
+            if result.value != expected:
+                lost += 1
+        return {
+            "acknowledged": len(self.acknowledged),
+            "rejected": self.rejected,
+            "lost": lost,
+        }
+
+
+@dataclass
+class FailoverSloResult:
+    """Both runs of the scenario plus the audit and repair evidence."""
+
+    config: FailoverSloConfig
+    reports: Dict[str, ServingReport]
+    phase_summaries: Dict[str, List[PhaseSummary]]
+    audit: Dict[str, int]
+
+    def phase(self, run: str, name: str) -> PhaseSummary:
+        for summary in self.phase_summaries[run]:
+            if summary.phase == name:
+                return summary
+        raise KeyError(name)
+
+    def degradation_ratio(self) -> float:
+        """Crash-window p99 of the failover run over the paired baseline's."""
+        baseline = self.phase("baseline", "degraded").p99_ms
+        return self.phase("failover", "degraded").p99_ms / max(baseline, 1e-9)
+
+    def recovery_ratio(self) -> float:
+        """Post-recovery p99 of the failover run over the paired baseline's."""
+        baseline = self.phase("baseline", "recovered").p99_ms
+        return self.phase("failover", "recovered").p99_ms / max(baseline, 1e-9)
+
+    def summary_payload(self) -> Dict:
+        failover = self.reports["failover"]
+        return {
+            "config": {
+                "storage_nodes": self.config.storage_nodes,
+                "replication": self.config.replication,
+                "read_quorum": self.config.read_quorum,
+                "write_quorum": self.config.write_quorum,
+                "arrival_rate_per_second": self.config.arrival_rate_per_second,
+                "crash_at": self.config.crash_at,
+                "recover_at": self.config.recover_at,
+                "slo_ms": self.config.slo.latency_ms,
+            },
+            "phases": {
+                run: [summary.__dict__ for summary in summaries]
+                for run, summaries in self.phase_summaries.items()
+            },
+            "degradation_ratio": self.degradation_ratio(),
+            "recovery_ratio": self.recovery_ratio(),
+            "availability": failover.availability,
+            "faults": [
+                {
+                    "time": event.time,
+                    "kind": event.kind,
+                    "node_id": event.node_id,
+                    "detail": event.detail,
+                }
+                for event in failover.fault_events
+            ],
+            "repair": failover.repair.summary() if failover.repair else None,
+            "write_audit": self.audit,
+        }
+
+
+class FailoverSloExperiment:
+    """Run the crash-and-recover timeline against its paired baseline."""
+
+    def __init__(self, config: Optional[FailoverSloConfig] = None):
+        self.config = config or FailoverSloConfig()
+
+    def _fresh_database(self) -> Tuple[PiqlDatabase, TpcwWorkload]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(
+                storage_nodes=config.storage_nodes,
+                replication=config.replication,
+                read_quorum=config.read_quorum,
+                write_quorum=config.write_quorum,
+                node_capacity_ops_per_second=config.node_capacity_ops_per_second,
+                seed=7,
+            )
+        )
+        workload = TpcwWorkload()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=max(2, config.storage_nodes // 2),
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=7,
+            ),
+        )
+        return db, workload
+
+    def run_variant(
+        self, inject_faults: bool
+    ) -> Tuple[ServingReport, Optional[Dict[str, int]]]:
+        config = self.config
+        db, workload = self._fresh_database()
+        serving_config = ServingConfig(
+            mode="open",
+            clients=config.app_servers,
+            arrival_rate_per_second=config.arrival_rate_per_second,
+            duration_seconds=config.duration_seconds,
+            slo=config.slo,
+            faults=config.faults() if inject_faults else (),
+            seed=config.seed,
+        )
+        simulation = ServingSimulation(db, workload, serving_config)
+        # Both variants carry the audit metronome so their offered load is
+        # identical (paired comparison); only the failover run needs the
+        # read-back verification, since the baseline never loses a node.
+        audit = WriteAudit(db.cluster)
+        audit.schedule(
+            simulation.sim,
+            config.audit_interval_seconds,
+            config.duration_seconds,
+        )
+        report = simulation.run()
+        return report, (audit.verify() if inject_faults else None)
+
+    def summarise_phases(self, report: ServingReport) -> List[PhaseSummary]:
+        slo = self.config.slo
+        summaries = []
+        for name, start, end in self.config.phases():
+            responses = [
+                record.response_seconds
+                for record in report.log.records
+                if start <= record.arrival_seconds < end
+            ]
+            if responses:
+                compliant = sum(1 for r in responses if r <= slo.latency_seconds)
+                summaries.append(
+                    PhaseSummary(
+                        phase=name,
+                        completed=len(responses),
+                        shed=0,
+                        p50_ms=percentile(responses, 0.50) * 1000.0,
+                        p99_ms=percentile(responses, 0.99) * 1000.0,
+                        compliance=compliant / len(responses),
+                    )
+                )
+            else:
+                summaries.append(
+                    PhaseSummary(
+                        phase=name, completed=0, shed=0,
+                        p50_ms=0.0, p99_ms=0.0, compliance=1.0,
+                    )
+                )
+        return summaries
+
+    def run(self) -> FailoverSloResult:
+        reports: Dict[str, ServingReport] = {}
+        summaries: Dict[str, List[PhaseSummary]] = {}
+        audit: Dict[str, int] = {}
+        for label, inject in (("baseline", False), ("failover", True)):
+            report, audit_result = self.run_variant(inject)
+            reports[label] = report
+            summaries[label] = self.summarise_phases(report)
+            if audit_result is not None:
+                audit = audit_result
+        return FailoverSloResult(
+            config=self.config,
+            reports=reports,
+            phase_summaries=summaries,
+            audit=audit,
+        )
+
+
+def print_result(result: FailoverSloResult) -> None:
+    config = result.config
+    slo = config.slo
+    print(
+        f"Failover timeline: crash node {config.crash_node_id} at "
+        f"t={config.crash_at:.0f}s, recover at t={config.recover_at:.0f}s "
+        f"(N={config.replication}, R={config.read_quorum}, "
+        f"W={config.write_quorum})"
+    )
+    print(
+        f"SLO: {slo.quantile:.0%} of interactions under {slo.latency_ms:.0f} ms"
+        f" per {slo.interval_seconds:.0f} s interval\n"
+    )
+    for label, summaries in result.phase_summaries.items():
+        report = result.reports[label]
+        print(
+            f"== {label} (completed={report.completed}, "
+            f"failed={report.failed}, availability={report.availability:.4f}) =="
+        )
+        print(
+            format_table(
+                ["phase", "completed", "p50 ms", "p99 ms", "SLO compliance"],
+                [
+                    (s.phase, s.completed, s.p50_ms, s.p99_ms, s.compliance)
+                    for s in summaries
+                ],
+            )
+        )
+        for event in report.fault_events:
+            print(
+                f"  t={event.time:5.1f}s  {event.kind:<8} node {event.node_id}"
+                f"  ({event.detail or 'applied'})"
+            )
+        if report.repair is not None:
+            print(f"  repair: {report.repair.summary()}")
+        print()
+    print(
+        f"degradation ratio (failover/baseline, crash window): "
+        f"{result.degradation_ratio():.2f}"
+    )
+    print(
+        f"recovery ratio (failover/baseline, post-repair): "
+        f"{result.recovery_ratio():.2f}"
+    )
+    print(f"write audit: {result.audit}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    config = FailoverSloConfig()
+    if "--quick" in args:
+        config = config.quick()
+    result = FailoverSloExperiment(config).run()
+    print_result(result)
+    save_results("failover_slo", result.summary_payload())
+
+
+if __name__ == "__main__":
+    main()

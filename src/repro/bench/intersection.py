@@ -142,19 +142,33 @@ class SubscriberIntersectionExperiment:
                 db.create_index(index)
         executor = QueryExecutor(db.client, db.catalog, enforce_bounds=False)
 
+        def reseed_noise() -> None:
+            # Paired comparison: both plans replay the same service-time
+            # noise streams, so their latency difference reflects the plan
+            # shapes rather than which run happened to draw the stragglers.
+            db.cluster.reseed_latency_models(config.seed)
+
         result = IntersectionResult()
         for subscribers in config.subscriber_counts:
             target = f"target{subscribers:07d}"
+            parameter_sets = [
+                {
+                    "target_user": target,
+                    "friends": rng.sample(self._fans, config.friends),
+                }
+                for _ in range(config.executions_per_point)
+            ]
             bounded_latencies: List[float] = []
             unbounded_latencies: List[float] = []
             bounded_ops = 0
             unbounded_ops = 0
-            for _ in range(config.executions_per_point):
-                friends = rng.sample(self._fans, config.friends)
-                parameters = {"target_user": target, "friends": friends}
+            reseed_noise()
+            for parameters in parameter_sets:
                 bounded = bounded_query.execute(parameters)
                 bounded_latencies.append(bounded.latency_seconds)
                 bounded_ops = max(bounded_ops, bounded.operations)
+            reseed_noise()
+            for parameters in parameter_sets:
                 unbounded = executor.execute_physical_plan(
                     costed.physical_plan, parameters
                 )

@@ -78,6 +78,11 @@ class ExecutorStrategyExperiment:
             ExecutionStrategy.SIMPLE,
             ExecutionStrategy.PARALLEL,
         ):
+            # Paired comparison: every strategy sees the same service-time
+            # noise streams, so the measured differences come from the
+            # executor's request shape (batching, parallelism), not from
+            # which run happened to draw the stragglers.
+            db.cluster.reseed_latency_models(config.seed)
             measurement = run_workload(
                 db,
                 workload,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..errors import PiqlError, SchemaError
+from ..errors import PiqlError, SchemaError, UnavailableError
 from ..execution.context import ExecutionStrategy, QueryResult
 from ..execution.executor import QueryExecutor
 from ..kvstore.client import StorageClient
@@ -43,6 +43,16 @@ from .query import PreparedQuery
 
 class PiqlDatabase:
     """A PIQL database engine instance backed by a simulated key/value store."""
+
+    #: How many times :meth:`execute` retries a query that failed with a
+    #: typed :class:`~repro.errors.UnavailableError` (a replica quorum could
+    #: not be met).  This models client-library retry behaviour: during an
+    #: outage the extra attempts re-charge work to the surviving replicas
+    #: (the familiar retry-storm amplification) and only succeed once the
+    #: cluster actually heals between attempts — in the discrete-event
+    #: simulation liveness changes between kernel events, so synchronous
+    #: retries mostly document cost, not recovery.  Set to 0 to disable.
+    unavailable_retries: int = 2
 
     def __init__(
         self,
@@ -97,6 +107,7 @@ class PiqlDatabase:
         )
         clone.assistant = PerformanceInsightAssistant(self.catalog)
         clone._prepared_cache = {}
+        clone.unavailable_retries = self.unavailable_retries
         return clone
 
     # ------------------------------------------------------------------
@@ -160,9 +171,7 @@ class PiqlDatabase:
     def _backfill_index(self, index: IndexDefinition) -> None:
         table = self.catalog.table(index.table)
         namespace = index_namespace(index)
-        if self.cluster.namespace_size(table.namespace) == 0:
-            return
-        for _, payload in self.cluster._namespaces[table.namespace].iter_items():
+        for _, payload in self.cluster.iter_namespace(table.namespace):
             row = self._deserialize(payload)
             for entry_key, entry_value in index_entries(index, table, row):
                 self.cluster.load(namespace, entry_key, entry_value)
@@ -220,8 +229,24 @@ class PiqlDatabase:
         return prepared
 
     def execute(self, sql: str, parameters: Optional[Dict[str, Any]] = None, **kwargs: Any) -> QueryResult:
-        """Compile (with caching) and execute a query in one call."""
-        return self.prepare(sql).execute(parameters, **kwargs)
+        """Compile (with caching) and execute a query in one call.
+
+        Executions that fail because a replica quorum could not be met are
+        retried up to ``unavailable_retries`` times (see that attribute for
+        what the retries model); a persistent outage surfaces as the typed
+        :class:`~repro.errors.UnavailableError` (or its
+        :class:`~repro.errors.QuorumNotMetError` subclass) so callers can
+        distinguish "the store is degraded" from a query bug.
+        """
+        prepared = self.prepare(sql)
+        attempts = max(0, self.unavailable_retries) + 1
+        for attempt in range(attempts):
+            try:
+                return prepared.execute(parameters, **kwargs)
+            except UnavailableError:
+                if attempt == attempts - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def diagnose(self, sql: str) -> QueryDiagnosis:
         """Run the Performance Insight Assistant on a query."""

@@ -120,5 +120,35 @@ class CursorError(ExecutionError):
     """Raised for invalid pagination cursors (corrupt or mismatched query)."""
 
 
+class UnavailableError(ExecutionError):
+    """Raised when the replicated store cannot serve an operation at all.
+
+    Too many of the key's replicas are down (or were removed) for the
+    configured consistency level.  The engine's retry path catches this
+    family: transient failures (a node mid-recovery) heal, persistent ones
+    surface to the caller as a typed error rather than a generic crash.
+    """
+
+
+class QuorumNotMetError(UnavailableError):
+    """Raised when fewer replicas answered than the R/W quorum requires."""
+
+    def __init__(
+        self,
+        operation: str,
+        namespace: str,
+        needed: int,
+        available: int,
+    ):
+        self.operation = operation
+        self.namespace = namespace
+        self.needed = needed
+        self.available = available
+        super().__init__(
+            f"{operation} on namespace {namespace!r} needs {needed} replica(s), "
+            f"only {available} up"
+        )
+
+
 class PredictionError(PiqlError):
     """Raised by the SLO prediction framework (e.g. untrained models)."""

@@ -45,6 +45,9 @@ class ClientStats:
     operations: int = 0
     keys_touched: int = 0
     rpcs: int = 0
+    #: Range reads that came back flagged partial (too many replicas down
+    #: and the caller opted into ``allow_partial``).
+    partial_results: int = 0
     total_latency_seconds: float = 0.0
     latency_samples: List[float] = field(default_factory=list)
     samples_seen: int = 0
@@ -72,6 +75,7 @@ class ClientStats:
             operations=self.operations,
             keys_touched=self.keys_touched,
             rpcs=self.rpcs,
+            partial_results=self.partial_results,
             total_latency_seconds=self.total_latency_seconds,
             latency_samples=list(self.latency_samples),
             samples_seen=self.samples_seen,
@@ -88,6 +92,7 @@ class ClientStats:
             operations=self.operations - earlier.operations,
             keys_touched=self.keys_touched - earlier.keys_touched,
             rpcs=self.rpcs - earlier.rpcs,
+            partial_results=self.partial_results - earlier.partial_results,
             total_latency_seconds=(
                 self.total_latency_seconds - earlier.total_latency_seconds
             ),
@@ -111,6 +116,8 @@ class StorageClient:
         self.stats.operations += operations
         self.stats.keys_touched += result.keys_touched
         self.stats.rpcs += rpcs
+        if result.partial:
+            self.stats.partial_results += 1
         self.stats.total_latency_seconds += result.latency_seconds
         self.stats.record_latency(result.latency_seconds)
 
@@ -169,10 +176,17 @@ class StorageClient:
         end: Optional[bytes],
         limit: Optional[int] = None,
         ascending: bool = True,
+        allow_partial: bool = False,
     ) -> List[KeyValue]:
-        """Issue one range request (one operation)."""
+        """Issue one range request (one operation).
+
+        ``allow_partial=True`` accepts a possibly-incomplete result when too
+        many replicas are down (counted in ``stats.partial_results``)
+        instead of raising :class:`~repro.errors.UnavailableError`.
+        """
         result = self.cluster.get_range(
-            namespace, start, end, limit, ascending, sim_time=self.clock.now
+            namespace, start, end, limit, ascending, sim_time=self.clock.now,
+            allow_partial=allow_partial,
         )
         self._record(result, operations=1)
         return result.value  # type: ignore[return-value]

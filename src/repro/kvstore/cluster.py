@@ -1,4 +1,4 @@
-"""Simulated distributed key/value store cluster.
+"""Simulated distributed key/value store cluster with real replication.
 
 The cluster is the stateful half of PIQL's architecture (Figure 2 in the
 paper).  It exposes exactly the operations PIQL requires from a key/value
@@ -10,24 +10,51 @@ store (Section 3):
   scans), and
 * ``count_range`` (used by the cardinality-constraint insert protocol).
 
-Data is stored exactly (one logically-global ordered map per namespace) so
-query results are always correct; performance is simulated by attributing
-each request to a storage node chosen by a hash-based partitioner and
-charging a latency from that node's service-time model.  Every call returns
-an :class:`OpResult` carrying the charged latency so callers (the
-:class:`~repro.kvstore.client.StorageClient`) can advance their simulated
-clocks and combine sequential/parallel request latencies correctly.
+Since the replication tier landed, data is **physically replicated**: a
+consistent-hashing ring (:mod:`repro.replication.ring`) places every key on
+``replication`` distinct storage nodes, each node stores its own versioned
+copy (:mod:`repro.replication.store`), and the data path is quorum
+scatter-gather:
+
+* writes go to every up replica and acknowledge once the ``W`` fastest have
+  answered; replicas that are down get **hinted handoff** (the coordinator
+  buffers the write and replays it at recovery);
+* reads consult ``R`` replicas (chosen deterministically per key so
+  interleaved clients route identically), resolve conflicts newest-sequence-
+  wins, and **read-repair** stale replicas in the background;
+* range requests merge every up node's slice of the range and charge the
+  replicas that actually served winning records;
+* topology changes (node added / removed / recovered) trigger
+  **anti-entropy repair** that re-replicates under-replicated records.
+
+``R + W > N`` is enforced at configuration time, so any read quorum
+intersects any write quorum: killing fewer nodes than the replication
+factor never loses an acknowledged write.  When too many replicas are down
+for an operation's quorum, the cluster raises the typed
+:class:`~repro.errors.QuorumNotMetError` /
+:class:`~repro.errors.UnavailableError` instead of serving wrong answers.
+
+Every call returns an :class:`OpResult` carrying the charged latency so
+callers (the :class:`~repro.kvstore.client.StorageClient`) can advance
+their simulated clocks and combine sequential/parallel request latencies
+correctly.
 """
 
 from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..errors import ExecutionError
+from ..errors import ExecutionError, QuorumNotMetError, UnavailableError
+from ..replication.manager import RepairReport, ReplicationManager
+from ..replication.store import (
+    MISSING_SEQ,
+    decode_record,
+    encode_record,
+    record_seq,
+)
 from .latency import LatencyParameters
-from .memory import OrderedKVMap
 from .node import StorageNode
 
 KeyValue = Tuple[bytes, bytes]
@@ -41,9 +68,14 @@ class ClusterConfig:
     a number of storage nodes, two-fold replication, and a per-node
     capacity that drives queueing under load.
 
-    ``replica_seed`` salts replica selection in :meth:`KeyValueCluster.route`;
-    it defaults to ``seed``.  Routing is a pure function of ``(key,
-    replica_seed)``, so runs with many interleaved clients pick the same
+    ``read_quorum`` (R) and ``write_quorum`` (W) control the consistency
+    level; they default to ``R=1, W=replication`` (read-one/write-all, the
+    closest match to the seed simulator's behaviour) and must satisfy
+    ``R + W > replication`` so read and write quorums always intersect.
+
+    ``replica_seed`` salts which replicas serve reads; it defaults to
+    ``seed``.  Routing is a pure function of ``(key, replica_seed,
+    topology)``, so runs with many interleaved clients pick the same
     replicas no matter the order in which their requests arrive.
     """
 
@@ -53,16 +85,41 @@ class ClusterConfig:
     latency: LatencyParameters = field(default_factory=LatencyParameters)
     seed: int = 0
     replica_seed: Optional[int] = None
+    read_quorum: Optional[int] = None
+    write_quorum: Optional[int] = None
+    vnodes_per_node: int = 128
 
     def __post_init__(self) -> None:
         if self.storage_nodes < 1:
             raise ValueError("storage_nodes must be >= 1")
         if not (1 <= self.replication <= self.storage_nodes):
             raise ValueError("replication must be between 1 and storage_nodes")
+        if self.vnodes_per_node < 1:
+            raise ValueError("vnodes_per_node must be >= 1")
+        r = self.effective_read_quorum
+        w = self.effective_write_quorum
+        if not (1 <= r <= self.replication):
+            raise ValueError("read_quorum must be between 1 and replication")
+        if not (1 <= w <= self.replication):
+            raise ValueError("write_quorum must be between 1 and replication")
+        if r + w <= self.replication:
+            raise ValueError(
+                f"need read_quorum + write_quorum > replication "
+                f"({r} + {w} <= {self.replication}); overlapping quorums are "
+                "what guarantees reads observe acknowledged writes"
+            )
 
     @property
     def effective_replica_seed(self) -> int:
         return self.seed if self.replica_seed is None else self.replica_seed
+
+    @property
+    def effective_read_quorum(self) -> int:
+        return 1 if self.read_quorum is None else self.read_quorum
+
+    @property
+    def effective_write_quorum(self) -> int:
+        return self.replication if self.write_quorum is None else self.write_quorum
 
 
 @dataclass(frozen=True)
@@ -77,16 +134,20 @@ class OpResult:
     latency_seconds:
         Simulated latency charged for the operation.
     node_id:
-        The node that served the request (for diagnostics).
+        The node that served the request (``-1`` when several did).
     keys_touched:
         How many keys the request read or wrote; used to verify operation
         bounds in tests.
+    partial:
+        True when a range result may be missing keys because too many
+        replicas were down and the caller opted into partial results.
     """
 
     value: object
     latency_seconds: float
     node_id: int
     keys_touched: int = 1
+    partial: bool = False
 
 
 class KeyValueCluster:
@@ -94,7 +155,7 @@ class KeyValueCluster:
 
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config or ClusterConfig()
-        self._namespaces: Dict[str, OrderedKVMap] = {}
+        self._namespace_names: Set[str] = set()
         self._offered_load_total = 0.0
         self.nodes: List[StorageNode] = [
             StorageNode.create(
@@ -105,79 +166,187 @@ class KeyValueCluster:
             )
             for i in range(self.config.storage_nodes)
         ]
+        self.replication = ReplicationManager(
+            replication=self.config.replication,
+            vnodes_per_node=self.config.vnodes_per_node,
+            seed=self.config.effective_replica_seed,
+        )
+        for node in self.nodes:
+            self.replication.attach_node(node.node_id)
+        #: Anti-entropy report of the most recent topology change / recovery.
+        self.last_repair: Optional[RepairReport] = None
+
+    # ------------------------------------------------------------------
+    # Liveness
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> StorageNode:
+        """The node with the given id (ids are contiguous list positions)."""
+        return self.nodes[node_id]
+
+    def up_nodes(self) -> List[StorageNode]:
+        return [node for node in self.nodes if node.up]
+
+    def up_node_ids(self) -> List[int]:
+        return [node.node_id for node in self.nodes if node.up]
+
+    def crash_node(self, node_id: int) -> StorageNode:
+        """Take a node down; its replicas stop serving until recovery."""
+        node = self.node(node_id)
+        node.mark_down()
+        return node
+
+    def recover_node(self, node_id: int, sim_time: float = 0.0) -> RepairReport:
+        """Bring a crashed node back: hint replay plus anti-entropy sync.
+
+        The records the node catches up on are charged through its latency
+        model as one batched write stream per recovery, so a freshly
+        recovered node is briefly busy repairing — exactly the failover
+        latency the benchmark timeline measures.
+        """
+        node = self.node(node_id)
+        node.mark_up()
+        report = self.replication.sync_node(node_id, self.up_node_ids())
+        self.last_repair = report
+        copies = report.per_node_copies.get(node_id, 0)
+        if copies:
+            node.charge_write(
+                copies, report.per_node_bytes.get(node_id, 0), sim_time
+            )
+        return report
+
+    def degrade_node(self, node_id: int, factor: float) -> StorageNode:
+        """Slow a node down by ``factor`` (degraded-capacity fault)."""
+        node = self.node(node_id)
+        node.degrade(factor)
+        return node
+
+    def restore_node(self, node_id: int) -> StorageNode:
+        """Clear a slow-node degradation."""
+        node = self.node(node_id)
+        node.restore()
+        return node
 
     # ------------------------------------------------------------------
     # Namespace management
     # ------------------------------------------------------------------
     def create_namespace(self, name: str) -> None:
         """Create an (empty) namespace; creating an existing one is a no-op."""
-        self._namespaces.setdefault(name, OrderedKVMap())
+        self._namespace_names.add(name)
 
     def drop_namespace(self, name: str) -> None:
-        """Remove a namespace and all its data."""
-        self._namespaces.pop(name, None)
+        """Remove a namespace and all its replica copies."""
+        self._namespace_names.discard(name)
+        self.replication.drop_namespace(name)
 
     def namespaces(self) -> List[str]:
         """Names of all namespaces, sorted."""
-        return sorted(self._namespaces)
+        return sorted(self._namespace_names)
 
     def namespace_size(self, name: str) -> int:
-        """Number of keys stored in a namespace."""
-        return len(self._require(name))
+        """Number of distinct live keys stored in a namespace.
 
-    def _require(self, name: str) -> OrderedKVMap:
-        try:
-            return self._namespaces[name]
-        except KeyError:
-            raise ExecutionError(f"unknown namespace: {name!r}") from None
-
-    # ------------------------------------------------------------------
-    # Partitioning / load
-    # ------------------------------------------------------------------
-    def route(self, namespace: str, key: bytes) -> StorageNode:
-        """Pick the node (among replicas) that serves a request for ``key``.
-
-        The replica choice is a pure function of the key and the configured
-        ``replica_seed``, never of shared mutable state, so experiments that
-        interleave many clients route identically from run to run regardless
-        of request arrival order.
+        Raises :class:`UnavailableError` when enough nodes are down that
+        the count could silently miss keys (same rule as range requests).
         """
+        self._require(name)
+        self._range_may_be_partial(allow_partial=False)
+        return self.replication.live_key_count(name, self.up_node_ids())
+
+    def iter_namespace(self, name: str) -> Iterator[KeyValue]:
+        """Iterate a namespace's logical ``(key, value)`` content in key order.
+
+        Merges the up replicas newest-wins without charging latency; used by
+        index backfill and diagnostics.  Raises
+        :class:`UnavailableError` when enough nodes are down that the merge
+        could silently miss keys — a backfill run then would build a
+        permanently incomplete index.
+        """
+        self._require(name)
+        self._range_may_be_partial(allow_partial=False)
+        return self.replication.iter_live(name, self.up_node_ids())
+
+    def _require(self, name: str) -> None:
+        if name not in self._namespace_names:
+            raise ExecutionError(f"unknown namespace: {name!r}")
+
+    # ------------------------------------------------------------------
+    # Placement / replica selection
+    # ------------------------------------------------------------------
+    def _preference_list(self, namespace: str, key: bytes) -> List[int]:
+        return self.replication.preference_list(namespace, key)
+
+    def _rotated_preference(self, namespace: str, key: bytes) -> List[int]:
+        """Preference list rotated by a per-key salt.
+
+        The rotation spreads *read* traffic over a key's replicas while
+        staying a pure function of ``(key, replica_seed)`` — no shared
+        mutable state, so interleaved clients route identically run to run.
+        """
+        prefs = self._preference_list(namespace, key)
+        if len(prefs) <= 1:
+            return prefs
         digest = zlib.crc32(namespace.encode("utf-8") + b"\x00" + key)
-        primary = digest % len(self.nodes)
-        if self.config.replication > 1:
-            seed = self.config.effective_replica_seed & 0xFFFFFFFF
-            salt = zlib.crc32(key, digest ^ seed)
-            offset = salt % self.config.replication
-        else:
-            offset = 0
-        return self.nodes[(primary + offset) % len(self.nodes)]
+        seed = self.config.effective_replica_seed & 0xFFFFFFFF
+        offset = zlib.crc32(key, digest ^ seed) % len(prefs)
+        return prefs[offset:] + prefs[:offset]
+
+    def _read_replicas(self, namespace: str, key: bytes) -> List[int]:
+        """The ``R`` up replicas that serve a read of ``key``.
+
+        Raises :class:`QuorumNotMetError` when fewer than ``R`` replicas of
+        the key are up.
+        """
+        needed = self.config.effective_read_quorum
+        chosen = [
+            node_id
+            for node_id in self._rotated_preference(namespace, key)
+            if self.nodes[node_id].up
+        ]
+        if len(chosen) < needed:
+            raise QuorumNotMetError("read", namespace, needed, len(chosen))
+        return chosen[:needed]
+
+    def route(self, namespace: str, key: bytes) -> StorageNode:
+        """The node that serves a (single-replica) read for ``key``."""
+        for node_id in self._rotated_preference(namespace, key):
+            if self.nodes[node_id].up:
+                return self.nodes[node_id]
+        raise QuorumNotMetError("read", namespace, 1, 0)
 
     # Backwards-compatible internal alias.
     _node_for_key = route
 
+    # ------------------------------------------------------------------
+    # Load management
+    # ------------------------------------------------------------------
     def set_offered_load(self, total_ops_per_second: float) -> None:
-        """Spread an offered operation rate evenly over the nodes.
+        """Spread an offered operation rate evenly over the up nodes.
 
         The benchmark harness calls this to model a cluster serving a given
         aggregate request rate; each node's utilisation then inflates its
         latencies through the queueing factor.
         """
         self._offered_load_total = total_ops_per_second
-        per_node = total_ops_per_second / len(self.nodes)
+        up = self.up_nodes()
+        per_node = total_ops_per_second / len(up) if up else 0.0
         for node in self.nodes:
-            node.set_offered_load(per_node)
+            node.set_offered_load(per_node if node.up else 0.0)
 
     def total_capacity_ops_per_second(self) -> float:
-        """Aggregate sustainable operation rate of the live node set."""
-        return sum(node.capacity_ops_per_second for node in self.nodes)
+        """Aggregate sustainable operation rate of the live (up) node set."""
+        return sum(
+            node.effective_capacity_ops_per_second for node in self.up_nodes()
+        )
 
     def add_node(self) -> StorageNode:
         """Grow the cluster by one storage node (elastic provisioning).
 
-        Data never moves (namespaces are logically global); adding a node
-        only changes how requests are attributed, spreading load over more
-        performance models.  ``config.storage_nodes`` keeps the provisioned
-        size; ``len(cluster.nodes)`` is the live size.
+        The new node joins the placement ring and an anti-entropy pass
+        copies it the records it now owns (and prunes them from the nodes
+        that lost them) — data migration is modelled as background work
+        that does not contend with foreground traffic.
+        ``config.storage_nodes`` keeps the provisioned size;
+        ``len(cluster.nodes)`` is the live size.
         """
         # node_id doubles as the node's index in ``self.nodes`` (replica
         # placement and batched reads rely on it), so ids stay contiguous:
@@ -189,17 +358,51 @@ class KeyValueCluster:
             capacity_ops_per_second=self.config.node_capacity_ops_per_second,
         )
         self.nodes.append(node)
+        self.replication.attach_node(node.node_id)
+        sources = [nid for nid in self.up_node_ids() if nid != node.node_id]
+        self.last_repair = self.replication.rebalance(
+            sources, set(self.up_node_ids())
+        )
         self._respread_static_load()
         return node
 
-    def remove_node(self) -> StorageNode:
-        """Shrink the cluster by one node (the most recently added)."""
+    def can_remove_node(self) -> bool:
+        """Whether removing the tail node keeps the replication invariant.
+
+        Both the provisioned size and the number of *up* members must stay
+        at or above the replication factor; otherwise quorums (and the
+        ``ClusterConfig`` invariant ``replication <= storage_nodes``) would
+        be silently violated.
+        """
         if len(self.nodes) <= self.config.replication:
-            raise ExecutionError(
-                "cannot shrink below the replication factor "
-                f"({self.config.replication})"
+            return False
+        tail = self.nodes[-1]
+        up_after = len(self.up_nodes()) - (1 if tail.up else 0)
+        return up_after >= self.config.replication
+
+    def remove_node(self) -> StorageNode:
+        """Shrink the cluster by one node (the most recently added).
+
+        The leaving node's records are re-replicated onto the surviving
+        nodes (using its own store as a source while it is still readable)
+        before it is forgotten.  Raises :class:`UnavailableError` when the
+        removal would leave fewer nodes — provisioned or up — than the
+        replication factor.
+        """
+        if not self.can_remove_node():
+            raise UnavailableError(
+                "cannot shrink the cluster below the replication factor "
+                f"({self.config.replication}): {len(self.nodes)} provisioned, "
+                f"{len(self.up_nodes())} up"
             )
-        node = self.nodes.pop()
+        node = self.nodes[-1]
+        manager = self.replication
+        manager.ring.remove_node(node.node_id)
+        sources = self.up_node_ids()  # still includes the tail if it is up
+        targets = {nid for nid in self.up_node_ids() if nid != node.node_id}
+        self.last_repair = manager.rebalance(sources, targets)
+        manager.forget_node(node.node_id)
+        self.nodes.pop()
         self._respread_static_load()
         return node
 
@@ -219,55 +422,185 @@ class KeyValueCluster:
         for node in self.nodes:
             node.stats.reset()
 
+    def reseed_latency_models(self, seed: int) -> None:
+        """Reset every node's service-time noise stream.
+
+        Paired experiments call this before each arm so both replay the
+        same stragglers and the measured difference reflects the arms'
+        request shapes, not which run drew the bad luck.
+        """
+        for node in self.nodes:
+            node.latency_model.reseed(seed * 10_007 + node.node_id)
+
     def total_keys_stored(self) -> int:
-        """Total number of keys across all namespaces (before replication)."""
-        return sum(len(ns) for ns in self._namespaces.values())
+        """Total number of distinct live keys across all namespaces."""
+        up = self.up_node_ids()
+        return sum(
+            self.replication.live_key_count(name, up)
+            for name in self._namespace_names
+        )
 
     # ------------------------------------------------------------------
     # Bulk loading
     # ------------------------------------------------------------------
     def load(self, namespace: str, key: bytes, value: bytes) -> None:
-        """Store a key without charging any latency.
+        """Store a key on every replica without charging any latency.
 
         Used for bulk-loading benchmark datasets; the paper's experiments
         likewise bulk load their data before measuring (Section 8.4).
+        Replicas that happen to be down receive hints like any other write.
         """
-        self._require(namespace).put(key, value)
+        self._require(namespace)
+        record = encode_record(self.replication.next_seq(), value)
+        for node_id in self._preference_list(namespace, key):
+            if self.nodes[node_id].up:
+                self.replication.stores[node_id].apply_record(
+                    namespace, key, record
+                )
+            else:
+                self.replication.add_hint(node_id, namespace, key, record)
+
+    # ------------------------------------------------------------------
+    # Quorum write internals
+    # ------------------------------------------------------------------
+    def _quorum_write(
+        self,
+        namespace: str,
+        key: bytes,
+        value: Optional[bytes],
+        sim_time: float,
+        operation: str,
+    ) -> Tuple[float, int]:
+        """Write a record (or tombstone) to a key's replicas.
+
+        Sends to every up replica (down replicas get hints), charges each
+        destination, and returns ``(ack latency, primary node id)`` where
+        the ack latency is the ``W``-th fastest replica's — the coordinator
+        answers the client as soon as the write quorum is met.
+        """
+        prefs = self._preference_list(namespace, key)
+        needed = self.config.effective_write_quorum
+        up_prefs = [nid for nid in prefs if self.nodes[nid].up]
+        if len(up_prefs) < needed:
+            raise QuorumNotMetError(operation, namespace, needed, len(up_prefs))
+        record = encode_record(self.replication.next_seq(), value)
+        nbytes = len(value) if value is not None else 0
+        latencies: List[float] = []
+        for node_id in prefs:
+            if self.nodes[node_id].up:
+                self.replication.stores[node_id].apply_record(
+                    namespace, key, record
+                )
+                latencies.append(
+                    self.nodes[node_id].charge_write(1, nbytes, sim_time)
+                )
+            else:
+                self.replication.add_hint(node_id, namespace, key, record)
+        latencies.sort()
+        return latencies[needed - 1], prefs[0]
+
+    def _resolve_newest(
+        self, namespace: str, key: bytes, chosen: Sequence[int]
+    ) -> Tuple[Optional[bytes], List[int], List[Tuple[int, Optional[bytes]]]]:
+        """Resolve a key across ``chosen`` replicas in one pass.
+
+        Returns ``(newest record, stale replica ids, observed records)``
+        where ``observed`` is each chosen replica's own ``(node_id,
+        record)`` — callers size their RPC charges from it without touching
+        the stores again.  Shared by the single-key and batched read paths
+        so conflict resolution can never diverge between them.
+        """
+        best_seq = MISSING_SEQ
+        best_record: Optional[bytes] = None
+        observed: List[Tuple[int, Optional[bytes]]] = []
+        for node_id in chosen:
+            record = self.replication.stores[node_id].get_record(namespace, key)
+            observed.append((node_id, record))
+            seq = record_seq(record)
+            if seq > best_seq:
+                best_seq, best_record = seq, record
+        if best_record is None:
+            return None, [], observed
+        stale = [
+            node_id
+            for node_id, record in observed
+            if record_seq(record) < best_seq
+        ]
+        return best_record, stale, observed
+
+    @staticmethod
+    def _payload_size(record: Optional[bytes]) -> int:
+        if record is None:
+            return 0
+        value = decode_record(record)[1]
+        return len(value) if value is not None else 0
+
+    def _read_one(
+        self, namespace: str, key: bytes, sim_time: float
+    ) -> Tuple[Optional[bytes], float, int]:
+        """Quorum read of one key: ``(live value, latency, serving node)``.
+
+        Charges each of the ``R`` chosen replicas one read RPC (the client
+        waits for all of them, so the latency is their maximum), resolves
+        newest-wins, and read-repairs any stale replica in the background
+        (charged to the replica, not to the client).
+        """
+        chosen = self._read_replicas(namespace, key)
+        best_record, stale, observed = self._resolve_newest(
+            namespace, key, chosen
+        )
+        latency = 0.0
+        for node_id, record in observed:
+            latency = max(
+                latency,
+                self.nodes[node_id].charge_read(
+                    1, self._payload_size(record), sim_time
+                ),
+            )
+        if best_record is not None:
+            for node_id in stale:
+                if self.replication.stores[node_id].apply_record(
+                    namespace, key, best_record
+                ):
+                    self.nodes[node_id].charge_write(
+                        1, len(best_record), sim_time
+                    )
+        value = decode_record(best_record)[1] if best_record is not None else None
+        return value, latency, chosen[0]
 
     # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------
     def get(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
         """Read one key; ``value`` is the bytes stored or ``None``."""
-        ns = self._require(namespace)
-        value = ns.get(key)
-        node = self._node_for_key(namespace, key)
-        nbytes = len(value) if value is not None else 0
-        latency = node.charge_read(1, nbytes, sim_time)
-        return OpResult(value, latency, node.node_id, keys_touched=1)
+        self._require(namespace)
+        value, latency, node_id = self._read_one(namespace, key, sim_time)
+        return OpResult(value, latency, node_id, keys_touched=1)
 
     def put(
         self, namespace: str, key: bytes, value: bytes, sim_time: float = 0.0
     ) -> OpResult:
-        """Write one key.  Writes are replicated; latency is the slowest replica."""
-        ns = self._require(namespace)
-        ns.put(key, value)
-        latency = 0.0
-        node = self._node_for_key(namespace, key)
-        for replica in range(self.config.replication):
-            replica_node = self.nodes[(node.node_id + replica) % len(self.nodes)]
-            latency = max(
-                latency, replica_node.charge_write(1, len(value), sim_time)
-            )
-        return OpResult(True, latency, node.node_id, keys_touched=1)
+        """Write one key to its replica set; acks at the write quorum."""
+        self._require(namespace)
+        latency, primary = self._quorum_write(
+            namespace, key, value, sim_time, operation="put"
+        )
+        return OpResult(True, latency, primary, keys_touched=1)
 
     def delete(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
-        """Delete one key; ``value`` is ``True`` if the key existed."""
-        ns = self._require(namespace)
-        existed = ns.delete(key)
-        node = self._node_for_key(namespace, key)
-        latency = node.charge_write(1, 0, sim_time)
-        return OpResult(existed, latency, node.node_id, keys_touched=1)
+        """Delete one key (a replicated tombstone); ``value`` is whether it existed."""
+        self._require(namespace)
+        up_prefs = [
+            nid
+            for nid in self._preference_list(namespace, key)
+            if self.nodes[nid].up
+        ]
+        _, newest = self.replication.newest_record(namespace, key, up_prefs)
+        existed = newest is not None and decode_record(newest)[1] is not None
+        latency, primary = self._quorum_write(
+            namespace, key, None, sim_time, operation="delete"
+        )
+        return OpResult(existed, latency, primary, keys_touched=1)
 
     def test_and_set(
         self,
@@ -277,12 +610,22 @@ class KeyValueCluster:
         new_value: bytes,
         sim_time: float = 0.0,
     ) -> OpResult:
-        """Compare-and-swap; ``value`` is ``True`` iff the swap happened."""
-        ns = self._require(namespace)
-        ok = ns.test_and_set(key, expected, new_value)
-        node = self._node_for_key(namespace, key)
-        latency = node.charge_write(1, len(new_value), sim_time)
-        return OpResult(ok, latency, node.node_id, keys_touched=1)
+        """Compare-and-swap; ``value`` is ``True`` iff the swap happened.
+
+        A quorum read establishes the current value, then (on match) a
+        quorum write installs the new one; the two phases are sequential,
+        so the charged latency is their sum.
+        """
+        self._require(namespace)
+        current, read_latency, node_id = self._read_one(namespace, key, sim_time)
+        if current != expected:
+            return OpResult(False, read_latency, node_id, keys_touched=1)
+        write_latency, primary = self._quorum_write(
+            namespace, key, new_value, sim_time, operation="test_and_set"
+        )
+        return OpResult(
+            True, read_latency + write_latency, primary, keys_touched=1
+        )
 
     # ------------------------------------------------------------------
     # Batched point reads
@@ -296,42 +639,91 @@ class KeyValueCluster:
     ) -> OpResult:
         """Read many keys in one logical request.
 
-        When ``parallel`` is true the keys are grouped by serving node, each
-        group is charged a single RPC, and the overall latency is the
-        maximum over groups (requests issued concurrently).  When false the
-        keys are fetched one at a time and latencies add up — this is what
-        the Lazy executor of Figure 12 does.
+        When ``parallel`` is true the per-key replica reads are grouped by
+        serving node, each group is charged a single RPC, and the overall
+        latency is the maximum over groups (requests issued concurrently).
+        When false the keys are fetched one at a time and latencies add up —
+        this is what the Lazy executor of Figure 12 does.
         """
-        ns = self._require(namespace)
-        values = [ns.get(k) for k in keys]
+        self._require(namespace)
         if not keys:
             return OpResult([], 0.0, 0, keys_touched=0)
-        if parallel:
-            groups: Dict[int, List[bytes]] = {}
-            for key in keys:
-                node = self._node_for_key(namespace, key)
-                groups.setdefault(node.node_id, []).append(key)
+        if not parallel:
+            values: List[Optional[bytes]] = []
             latency = 0.0
-            for node_id, group in groups.items():
-                nbytes = sum(
-                    len(ns.get(k)) if ns.get(k) is not None else 0 for k in group
-                )
-                latency = max(
-                    latency,
-                    self.nodes[node_id].charge_read(len(group), nbytes, sim_time),
-                )
+            for key in keys:
+                value, key_latency, _ = self._read_one(namespace, key, sim_time)
+                values.append(value)
+                latency += key_latency
             return OpResult(values, latency, -1, keys_touched=len(keys))
-        latency = 0.0
+        # Parallel: every key's R replica reads happen concurrently, one
+        # batched RPC per involved node.  Each key is resolved in a single
+        # pass over its replicas; the per-node RPC charges are sized from
+        # the records observed during that pass.
+        stores = self.replication.stores
+        values: List[Optional[bytes]] = []
+        group_keys: Dict[int, int] = {}
+        group_bytes: Dict[int, int] = {}
+        repairs: Dict[int, List[Tuple[bytes, bytes]]] = {}
         for key in keys:
-            node = self._node_for_key(namespace, key)
-            value = ns.get(key)
-            nbytes = len(value) if value is not None else 0
-            latency += node.charge_read(1, nbytes, sim_time)
+            chosen = self._read_replicas(namespace, key)
+            best_record, stale, observed = self._resolve_newest(
+                namespace, key, chosen
+            )
+            for node_id, record in observed:
+                group_keys[node_id] = group_keys.get(node_id, 0) + 1
+                group_bytes[node_id] = (
+                    group_bytes.get(node_id, 0) + self._payload_size(record)
+                )
+            if best_record is not None:
+                for node_id in stale:
+                    repairs.setdefault(node_id, []).append((key, best_record))
+            values.append(
+                decode_record(best_record)[1] if best_record is not None else None
+            )
+        latency = 0.0
+        for node_id, count in group_keys.items():
+            latency = max(
+                latency,
+                self.nodes[node_id].charge_read(
+                    count, group_bytes.get(node_id, 0), sim_time
+                ),
+            )
+        for node_id, stale_records in repairs.items():
+            applied = 0
+            nbytes = 0
+            for key, record in stale_records:
+                if stores[node_id].apply_record(namespace, key, record):
+                    applied += 1
+                    nbytes += len(record)
+            if applied:
+                self.nodes[node_id].charge_write(applied, nbytes, sim_time)
         return OpResult(values, latency, -1, keys_touched=len(keys))
 
     # ------------------------------------------------------------------
     # Range operations
     # ------------------------------------------------------------------
+    def _range_may_be_partial(self, allow_partial: bool) -> bool:
+        """Whether a range merge over the up nodes could be missing keys.
+
+        Every key lives on ``replication`` replicas, so as long as fewer
+        nodes than that are down, at least one replica of every key is up
+        and the merged result is complete (returns ``False``).  With more
+        nodes down the result may silently miss keys: raise unless the
+        caller opted in, in which case return ``True`` so the result can be
+        flagged partial.
+        """
+        down = len(self.nodes) - len(self.up_nodes())
+        if down < self.config.replication:
+            return False
+        if not allow_partial:
+            raise UnavailableError(
+                f"range request with {down} node(s) down (replication="
+                f"{self.config.replication}): results could silently miss "
+                "keys; pass allow_partial=True to accept a partial result"
+            )
+        return True
+
     def get_range(
         self,
         namespace: str,
@@ -340,28 +732,67 @@ class KeyValueCluster:
         limit: Optional[int] = None,
         ascending: bool = True,
         sim_time: float = 0.0,
+        allow_partial: bool = False,
     ) -> OpResult:
         """Return ``(key, value)`` pairs with ``start <= key < end``.
 
-        A bounded range (both endpoints given, typically a key prefix) is
-        served by a single node.  An unbounded scan touches every node and
-        its latency is the *sum* of per-node scan latencies, which is what
-        makes table scans scale-dependent.
+        The logical result merges every up node's replica slice newest-wins
+        (tombstones suppress deleted keys).  Cost model: the coordinator's
+        routing metadata sends one range RPC to each replica that serves
+        winning records — for a bounded range those RPCs run in parallel
+        (latency is their maximum and stays flat as the cluster grows), for
+        an unbounded scan every up node must be visited and the latencies
+        *sum*, which is what makes table scans scale-dependent.
         """
-        ns = self._require(namespace)
-        pairs = ns.range(start, end, limit, ascending)
-        nbytes = sum(len(v) for _, v in pairs)
-        if start is not None and end is not None:
-            node = self._node_for_key(namespace, start)
-            latency = node.charge_range(len(pairs), nbytes, sim_time)
-            return OpResult(pairs, latency, node.node_id, keys_touched=len(pairs))
-        # Full (or half-open) scan: every partition must be visited.
+        self._require(namespace)
+        partial = self._range_may_be_partial(allow_partial)
+        up_ids = self.up_node_ids()
+        triples = self.replication.merged_range(
+            namespace, up_ids, start, end, limit, ascending
+        )
+        pairs: List[KeyValue] = [(key, value) for key, value, _ in triples]
+        served: Dict[int, Tuple[int, int]] = {}
+        for _, value, node_id in triples:
+            count, nbytes = served.get(node_id, (0, 0))
+            served[node_id] = (count + 1, nbytes + len(value))
+        bounded = start is not None and end is not None
+        if bounded:
+            if not served:
+                # Empty range: one probe RPC at the range's primary replica.
+                # With enough nodes down that the result is already partial,
+                # the anchor key's whole replica set may be down too — any
+                # surviving node can host the probe then.
+                try:
+                    probe = self.route(namespace, start)
+                except QuorumNotMetError:
+                    if not partial:
+                        raise
+                    up = self.up_nodes()
+                    if not up:
+                        raise
+                    probe = up[0]
+                latency = probe.charge_range(0, 0, sim_time)
+                return OpResult(
+                    [], latency, probe.node_id, keys_touched=0, partial=partial
+                )
+            latency = 0.0
+            for node_id, (count, nbytes) in served.items():
+                latency = max(
+                    latency,
+                    self.nodes[node_id].charge_range(count, nbytes, sim_time),
+                )
+            node_id = next(iter(served)) if len(served) == 1 else -1
+            return OpResult(
+                pairs, latency, node_id, keys_touched=len(pairs), partial=partial
+            )
+        # Full (or half-open) scan: every up partition must be visited.
         latency = 0.0
-        per_node_keys = max(1, len(pairs) // len(self.nodes))
-        per_node_bytes = max(0, nbytes // len(self.nodes))
-        for node in self.nodes:
-            latency += node.charge_range(per_node_keys, per_node_bytes, sim_time)
-        return OpResult(pairs, latency, -1, keys_touched=len(pairs))
+        for node_id in up_ids:
+            count, nbytes = served.get(node_id, (0, 0))
+            latency += self.nodes[node_id].charge_range(count, nbytes, sim_time)
+        return OpResult(
+            pairs, latency, -1, keys_touched=len(pairs), partial=partial
+        )
 
     def multi_get_range(
         self,
@@ -398,10 +829,20 @@ class KeyValueCluster:
         end: Optional[bytes],
         sim_time: float = 0.0,
     ) -> OpResult:
-        """Count keys in a range (used by the cardinality insert protocol)."""
-        ns = self._require(namespace)
-        count = ns.count_range(start, end)
+        """Count keys in a range (used by the cardinality insert protocol).
+
+        The count is resolved against the merged replica view; the cost is
+        one counter-probe RPC at the range's primary replica, matching the
+        paper's constant-cost cardinality check.
+        """
+        self._require(namespace)
+        self._range_may_be_partial(allow_partial=False)
+        count = len(
+            self.replication.merged_range(
+                namespace, self.up_node_ids(), start, end
+            )
+        )
         anchor = start if start is not None else b""
-        node = self._node_for_key(namespace, anchor)
+        node = self.route(namespace, anchor)
         latency = node.charge_range(1, 8, sim_time)
         return OpResult(count, latency, node.node_id, keys_touched=1)

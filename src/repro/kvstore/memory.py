@@ -113,6 +113,27 @@ class OrderedKVMap:
             selected = selected[:limit]
         return [(k, self._data[k]) for k in selected]
 
+    def iter_range(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        ascending: bool = True,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Lazily yield ``(key, value)`` pairs with ``start <= key < end``.
+
+        Unlike :meth:`range` nothing is materialised, so a consumer that
+        stops early (a merge honouring a LIMIT) does O(consumed) work.  The
+        map must not be mutated while the iterator is live.
+        """
+        self._ensure_sorted()
+        keys = self._sorted_keys
+        lo = 0 if start is None else bisect.bisect_left(keys, start)
+        hi = len(keys) if end is None else bisect.bisect_left(keys, end)
+        indices = range(lo, hi) if ascending else range(hi - 1, lo - 1, -1)
+        for index in indices:
+            key = keys[index]
+            yield key, self._data[key]
+
     def count_range(
         self, start: Optional[bytes] = None, end: Optional[bytes] = None
     ) -> int:

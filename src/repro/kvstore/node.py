@@ -59,6 +59,12 @@ class StorageNode:
     latency_model: LatencyModel
     capacity_ops_per_second: float = 4000.0
     utilization: float = 0.0
+    #: Liveness: a crashed node (``up=False``) serves nothing; the cluster's
+    #: quorum paths route around it and buffer its writes as hints.
+    up: bool = True
+    #: Service-time multiplier for a degraded ("slow") node; also divides
+    #: its effective capacity.  1.0 = healthy.
+    speed_factor: float = 1.0
     stats: NodeStats = field(default_factory=NodeStats)
     #: Optional request queue (duck-typed: any object with
     #: ``on_request(sim_time, service_seconds) -> wait_seconds``).  When set
@@ -84,11 +90,36 @@ class StorageNode:
             capacity_ops_per_second=capacity_ops_per_second,
         )
 
+    @property
+    def effective_capacity_ops_per_second(self) -> float:
+        """Sustainable rate accounting for degradation (slow-node faults)."""
+        return self.capacity_ops_per_second / self.speed_factor
+
     def set_offered_load(self, ops_per_second: float) -> None:
         """Update the node's utilisation given an offered operation rate."""
         if ops_per_second < 0:
             raise ValueError("offered load must be non-negative")
-        self.utilization = ops_per_second / self.capacity_ops_per_second
+        self.utilization = ops_per_second / self.effective_capacity_ops_per_second
+
+    # ------------------------------------------------------------------
+    # Fault state
+    # ------------------------------------------------------------------
+    def mark_down(self) -> None:
+        """Crash the node: it serves nothing until :meth:`mark_up`."""
+        self.up = False
+
+    def mark_up(self) -> None:
+        self.up = True
+
+    def degrade(self, factor: float) -> None:
+        """Slow the node down: every service time is multiplied by ``factor``."""
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        self.speed_factor = factor
+
+    def restore(self) -> None:
+        """Clear a slow-node degradation."""
+        self.speed_factor = 1.0
 
     def _queue_wait(self, sim_time: float, service_seconds: float) -> float:
         """Waiting time behind in-flight requests (zero without a queue)."""
@@ -106,6 +137,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
         self.stats.gets += 1
         self.stats.keys_read += num_keys
@@ -120,6 +152,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
         self.stats.range_requests += 1
         self.stats.keys_read += num_keys
@@ -134,6 +167,7 @@ class StorageNode:
             utilization=self.utilization,
             sim_time=sim_time,
         )
+        latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
         self.stats.puts += 1
         self.stats.keys_written += num_keys

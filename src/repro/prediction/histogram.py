@@ -104,7 +104,9 @@ class LatencyHistogram:
         cumulative = np.cumsum(self.pmf())
         index = int(np.searchsorted(cumulative, q, side="left"))
         index = min(index, len(self.counts) - 1)
-        return self._bin_centers()[index]
+        # The final bin is an overflow bucket: its centre lies half a bin
+        # past max_latency, so clamp to keep quantiles inside the range.
+        return float(min(self._bin_centers()[index], self.max_latency_seconds))
 
     def _bin_centers(self) -> np.ndarray:
         return (np.arange(len(self.counts)) + 0.5) * self.bin_width_seconds

@@ -1,0 +1,41 @@
+"""Replication & fault-tolerance tier.
+
+Gives the simulated key/value cluster *real* replica copies: a consistent-
+hashing placement ring assigns every key to ``replication`` distinct
+storage nodes, each node physically stores its share of every namespace as
+versioned records, and the cluster's data path becomes quorum
+scatter-gather (configurable R/W with R+W>N) with read repair, hinted
+handoff for writes that miss a down replica, and anti-entropy repair after
+topology changes.  ``faults.py`` injects crash / recover / slow-node events
+through the serving tier's discrete-event kernel so SLO experiments can
+measure failover and recovery.
+"""
+
+from .faults import FaultEvent, FaultInjector, FaultSpec, crash_recover_timeline
+from .manager import RepairReport, ReplicationManager
+from .ring import HashRing, moved_keys, placement_token, stable_hash64
+from .store import (
+    MISSING_SEQ,
+    ReplicaStore,
+    decode_record,
+    encode_record,
+    record_seq,
+)
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "HashRing",
+    "MISSING_SEQ",
+    "RepairReport",
+    "ReplicaStore",
+    "ReplicationManager",
+    "crash_recover_timeline",
+    "decode_record",
+    "encode_record",
+    "moved_keys",
+    "placement_token",
+    "record_seq",
+    "stable_hash64",
+]

@@ -1,0 +1,166 @@
+"""Failure injection: scheduled crash / recover / slow-node events.
+
+The injector turns a declarative timeline of :class:`FaultSpec`\\ s into
+state changes on a :class:`~repro.kvstore.cluster.KeyValueCluster`, driven
+through the serving tier's discrete-event kernel (any object exposing
+``schedule_at(time, action, name)`` — the injector deliberately duck-types
+the kernel so this package does not import the serving tier).
+
+Supported fault kinds:
+
+* ``crash`` — the node stops serving; quorum paths skip it, writes it owns
+  turn into hints, reads fall over to the surviving replicas.
+* ``recover`` — the node returns; the cluster replays its hints and runs a
+  targeted anti-entropy pass, and the injector records the resulting
+  :class:`~repro.replication.manager.RepairReport`.
+* ``slow`` — degraded capacity: the node's service times are multiplied by
+  ``factor`` and its effective capacity divided by it (a straggling VM, the
+  paper's Section 6.3 "cloud weather" made persistent).
+* ``restore`` — undo ``slow``.
+
+Every applied fault is recorded as a :class:`FaultEvent` so benchmark
+reports can print the failure timeline next to the SLO timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .manager import RepairReport
+
+if TYPE_CHECKING:  # imported lazily: kvstore.cluster imports this package
+    from ..kvstore.cluster import KeyValueCluster
+
+_KINDS = ("crash", "recover", "slow", "restore")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: what happens to which node, and when."""
+
+    time: float
+    kind: str
+    node_id: int
+    #: Service-time multiplier for ``slow`` faults.
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {_KINDS}")
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.kind == "slow" and self.factor <= 1.0:
+            raise ValueError("slow-node factor must be > 1")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault as it was actually applied."""
+
+    time: float
+    kind: str
+    node_id: int
+    up_nodes_after: int
+    detail: str = ""
+    repair: Optional[RepairReport] = None
+
+
+def crash_recover_timeline(
+    node_id: int, crash_at: float, recover_at: float
+) -> List[FaultSpec]:
+    """The classic failover scenario: one node crashes, later recovers."""
+    if recover_at <= crash_at:
+        raise ValueError("recover_at must be after crash_at")
+    return [
+        FaultSpec(time=crash_at, kind="crash", node_id=node_id),
+        FaultSpec(time=recover_at, kind="recover", node_id=node_id),
+    ]
+
+
+class FaultInjector:
+    """Applies fault specs to a cluster, immediately or via an event kernel."""
+
+    def __init__(self, cluster: "KeyValueCluster"):
+        self.cluster = cluster
+        self.events: List[FaultEvent] = []
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, spec: FaultSpec, now: Optional[float] = None) -> FaultEvent:
+        """Apply one fault right now (``now`` defaults to the spec's time).
+
+        A fault aimed at a node that no longer exists (the autoscaler may
+        have removed it between scheduling and firing) is recorded as a
+        skipped event rather than aborting the simulation.
+        """
+        at = spec.time if now is None else now
+        repair: Optional[RepairReport] = None
+        detail = ""
+        if not (0 <= spec.node_id < len(self.cluster.nodes)):
+            event = FaultEvent(
+                time=at,
+                kind=spec.kind,
+                node_id=spec.node_id,
+                up_nodes_after=len(self.cluster.up_nodes()),
+                detail="skipped: node no longer provisioned",
+            )
+            self.events.append(event)
+            return event
+        if spec.kind == "crash":
+            self.cluster.crash_node(spec.node_id)
+        elif spec.kind == "recover":
+            repair = self.cluster.recover_node(spec.node_id, sim_time=at)
+            detail = (
+                f"hints={repair.hints_replayed} copied={repair.keys_copied}"
+            )
+        elif spec.kind == "slow":
+            self.cluster.degrade_node(spec.node_id, spec.factor)
+            detail = f"factor={spec.factor:g}"
+        else:  # restore
+            self.cluster.restore_node(spec.node_id)
+        event = FaultEvent(
+            time=at,
+            kind=spec.kind,
+            node_id=spec.node_id,
+            up_nodes_after=len(self.cluster.up_nodes()),
+            detail=detail,
+            repair=repair,
+        )
+        self.events.append(event)
+        return event
+
+    def schedule(self, kernel, specs: Sequence[FaultSpec]) -> None:
+        """Schedule every spec on an event kernel (``schedule_at`` duck type)."""
+        for spec in sorted(specs, key=lambda s: s.time):
+            def fire(sim, spec=spec):
+                self.apply(spec, now=sim.now)
+
+            kernel.schedule_at(
+                spec.time, fire, name=f"fault-{spec.kind}-{spec.node_id}"
+            )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_repair(self) -> RepairReport:
+        """Aggregate repair work across every recovery processed so far."""
+        total = RepairReport()
+        for event in self.events:
+            if event.repair is not None:
+                total = total.merged_with(event.repair)
+        return total
+
+    def timeline(self) -> List[Dict[str, object]]:
+        """JSON-friendly view of the applied fault events."""
+        return [
+            {
+                "time": event.time,
+                "kind": event.kind,
+                "node_id": event.node_id,
+                "up_nodes_after": event.up_nodes_after,
+                "detail": event.detail,
+            }
+            for event in self.events
+        ]

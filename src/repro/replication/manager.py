@@ -1,0 +1,336 @@
+"""Replication manager: placement, hinted handoff, and anti-entropy repair.
+
+The manager is the bookkeeping half of the replication tier.  It owns
+
+* the :class:`~repro.replication.ring.HashRing` that places every key on
+  ``replication`` distinct nodes,
+* one :class:`~repro.replication.store.ReplicaStore` per attached node (the
+  node's physical copy of its share of every namespace),
+* the cluster-wide **write sequence** that versions records,
+* the **hint buffers** — writes acknowledged while a replica was down, kept
+  by the coordinator and replayed when the replica recovers, and
+* **anti-entropy repair**: after any topology change (node added, removed,
+  or recovered) it walks the merged key set, re-replicates every record to
+  its current preference list, and drops records from nodes that no longer
+  own them.
+
+It deliberately knows nothing about liveness or latency — the
+:class:`~repro.kvstore.cluster.KeyValueCluster` decides which node ids are
+up and charges the simulated cost of the work the manager reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .ring import HashRing, placement_token
+from .store import (
+    MISSING_SEQ,
+    ReplicaStore,
+    decode_record,
+    record_seq,
+)
+
+
+@dataclass
+class RepairReport:
+    """What one anti-entropy / recovery pass actually moved.
+
+    ``bytes_copied`` is what benchmark reports charge as repair bandwidth;
+    ``per_node_copies`` lets the cluster charge each destination node's
+    latency model for the records it received.
+    """
+
+    keys_examined: int = 0
+    keys_copied: int = 0
+    keys_removed: int = 0
+    hints_replayed: int = 0
+    bytes_copied: int = 0
+    per_node_copies: Dict[int, int] = field(default_factory=dict)
+    per_node_bytes: Dict[int, int] = field(default_factory=dict)
+
+    def _count_copy(self, node_id: int, nbytes: int) -> None:
+        self.keys_copied += 1
+        self.bytes_copied += nbytes
+        self.per_node_copies[node_id] = self.per_node_copies.get(node_id, 0) + 1
+        self.per_node_bytes[node_id] = self.per_node_bytes.get(node_id, 0) + nbytes
+
+    def merged_with(self, other: "RepairReport") -> "RepairReport":
+        merged = RepairReport(
+            keys_examined=self.keys_examined + other.keys_examined,
+            keys_copied=self.keys_copied + other.keys_copied,
+            keys_removed=self.keys_removed + other.keys_removed,
+            hints_replayed=self.hints_replayed + other.hints_replayed,
+            bytes_copied=self.bytes_copied + other.bytes_copied,
+            per_node_copies=dict(self.per_node_copies),
+            per_node_bytes=dict(self.per_node_bytes),
+        )
+        for node_id, count in other.per_node_copies.items():
+            merged.per_node_copies[node_id] = (
+                merged.per_node_copies.get(node_id, 0) + count
+            )
+        for node_id, nbytes in other.per_node_bytes.items():
+            merged.per_node_bytes[node_id] = (
+                merged.per_node_bytes.get(node_id, 0) + nbytes
+            )
+        return merged
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "keys_examined": self.keys_examined,
+            "keys_copied": self.keys_copied,
+            "keys_removed": self.keys_removed,
+            "hints_replayed": self.hints_replayed,
+            "bytes_copied": self.bytes_copied,
+        }
+
+
+class ReplicationManager:
+    """Placement, per-node stores, hints, and repair for one cluster."""
+
+    def __init__(
+        self, replication: int, vnodes_per_node: int = 128, seed: int = 0
+    ):
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.replication = replication
+        self.ring = HashRing(vnodes_per_node=vnodes_per_node, seed=seed)
+        self.stores: Dict[int, ReplicaStore] = {}
+        self._hints: Dict[int, Dict[Tuple[str, bytes], bytes]] = {}
+        self._seq = 0
+        self._preference_cache: Dict[Tuple[str, bytes], List[int]] = {}
+        self._cache_epoch = -1
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def attach_node(self, node_id: int) -> ReplicaStore:
+        """Register a node: empty replica store + ring membership."""
+        store = ReplicaStore()
+        self.stores[node_id] = store
+        self._hints.setdefault(node_id, {})
+        self.ring.add_node(node_id)
+        return store
+
+    def forget_node(self, node_id: int) -> None:
+        """Drop a node's store, hints, and ring membership (idempotent).
+
+        Callers that still need the leaving node's data as a rebalance
+        source must run :meth:`rebalance` *before* forgetting it.
+        """
+        self.ring.remove_node(node_id)
+        self.stores.pop(node_id, None)
+        self._hints.pop(node_id, None)
+
+    def store(self, node_id: int) -> ReplicaStore:
+        return self.stores[node_id]
+
+    def drop_namespace(self, namespace: str) -> None:
+        """Remove a namespace's replicas and any hints still destined for it."""
+        for store in self.stores.values():
+            store.drop_namespace(namespace)
+        for hints in self._hints.values():
+            for hint_key in [hk for hk in hints if hk[0] == namespace]:
+                del hints[hint_key]
+
+    # ------------------------------------------------------------------
+    # Versioning / placement
+    # ------------------------------------------------------------------
+    def next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def preference_list(self, namespace: str, key: bytes) -> List[int]:
+        """The ``replication`` node ids that own ``key``, primary first.
+
+        Cached per key; the cache is dropped whenever the ring's topology
+        epoch moves (nodes added/removed).
+        """
+        if self._cache_epoch != self.ring.epoch:
+            self._preference_cache = {}
+            self._cache_epoch = self.ring.epoch
+        cache_key = (namespace, key)
+        cached = self._preference_cache.get(cache_key)
+        if cached is None:
+            cached = self.ring.preference_list(
+                placement_token(namespace, key), self.replication
+            )
+            self._preference_cache[cache_key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # Hinted handoff
+    # ------------------------------------------------------------------
+    def add_hint(self, node_id: int, namespace: str, key: bytes, record: bytes) -> None:
+        """Buffer a write a down replica missed (newest hint per key wins)."""
+        hints = self._hints.setdefault(node_id, {})
+        existing = hints.get((namespace, key))
+        if existing is None or record_seq(record) > record_seq(existing):
+            hints[(namespace, key)] = record
+
+    def hint_count(self, node_id: int) -> int:
+        return len(self._hints.get(node_id, {}))
+
+    def take_hints(self, node_id: int) -> Dict[Tuple[str, bytes], bytes]:
+        """Drain (and return) the hint buffer destined for a node."""
+        hints = self._hints.get(node_id, {})
+        self._hints[node_id] = {}
+        return hints
+
+    # ------------------------------------------------------------------
+    # Merged (logical) views
+    # ------------------------------------------------------------------
+    def newest_record(
+        self, namespace: str, key: bytes, node_ids: Iterable[int]
+    ) -> Tuple[int, Optional[bytes]]:
+        """Newest ``(seq, record)`` for a key across the given replicas."""
+        best_seq = MISSING_SEQ
+        best: Optional[bytes] = None
+        for node_id in node_ids:
+            record = self.stores[node_id].get_record(namespace, key)
+            seq = record_seq(record)
+            if seq > best_seq:
+                best_seq, best = seq, record
+        return best_seq, best
+
+    def merged_range(
+        self,
+        namespace: str,
+        node_ids: Sequence[int],
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+    ) -> List[Tuple[bytes, bytes, int]]:
+        """Newest live ``(key, value, serving_node)`` triples in a range.
+
+        Each node contributes its replica's slice; per key the newest record
+        wins and tombstones suppress the key entirely.  ``serving_node`` is
+        the node whose copy supplied the winning record — the cluster
+        charges that node's latency model for returning it.
+
+        The per-replica iterators are merged lazily in key order and the
+        merge stops as soon as ``limit`` *live* keys have been produced, so
+        a LIMIT-honouring caller (the Lazy executor fetches one row at a
+        time) does O(limit x replication) work instead of scanning every
+        replica's whole slice.  Applying the limit after conflict
+        resolution — never per replica — is what keeps a slice that leads
+        with tombstones from starving the result.
+        """
+        streams = [
+            (
+                (key, record, node_id)
+                for key, record in self.stores[node_id].iter_range_records(
+                    namespace, start, end, ascending
+                )
+            )
+            for node_id in node_ids
+        ]
+        merged = heapq.merge(
+            *streams, key=lambda entry: entry[0], reverse=not ascending
+        )
+        results: List[Tuple[bytes, bytes, int]] = []
+        current_key: Optional[bytes] = None
+        best_seq = MISSING_SEQ
+        best_record: Optional[bytes] = None
+        best_node = -1
+
+        def flush() -> bool:
+            """Emit the resolved current key; return True when limit is hit."""
+            if current_key is None or best_record is None:
+                return False
+            value = decode_record(best_record)[1]
+            if value is None:
+                return False  # tombstone
+            results.append((current_key, value, best_node))
+            return limit is not None and len(results) >= limit
+
+        for key, record, node_id in merged:
+            if key != current_key:
+                if flush():
+                    return results
+                current_key = key
+                best_seq, best_record, best_node = MISSING_SEQ, None, -1
+            seq = record_seq(record)
+            if seq > best_seq:
+                best_seq, best_record, best_node = seq, record, node_id
+        flush()
+        return results
+
+    def live_key_count(self, namespace: str, node_ids: Sequence[int]) -> int:
+        """Number of distinct live (non-tombstone) keys across replicas."""
+        return len(self.merged_range(namespace, node_ids, None, None))
+
+    def iter_live(
+        self, namespace: str, node_ids: Sequence[int]
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Iterate the logical content of a namespace in key order."""
+        for key, value, _ in self.merged_range(namespace, node_ids, None, None):
+            yield key, value
+
+    # ------------------------------------------------------------------
+    # Anti-entropy repair
+    # ------------------------------------------------------------------
+    def rebalance(
+        self,
+        source_ids: Sequence[int],
+        target_ids: Optional[Set[int]] = None,
+    ) -> RepairReport:
+        """Re-replicate every record onto its current preference list.
+
+        ``source_ids`` are the nodes whose stores are trusted as input
+        (normally the up nodes); ``target_ids`` optionally restricts which
+        nodes are written to / pruned (e.g. just a recovered node).  Down
+        nodes must be excluded from both — they catch up through their own
+        recovery pass.
+        """
+        report = RepairReport()
+        namespaces: Set[str] = set()
+        for node_id in source_ids:
+            namespaces.update(self.stores[node_id].namespaces())
+        targets = (
+            set(self.stores) if target_ids is None else target_ids & set(self.stores)
+        )
+        for namespace in sorted(namespaces):
+            newest: Dict[bytes, bytes] = {}
+            holders: Dict[bytes, Set[int]] = {}
+            for node_id in source_ids:
+                for key, record in self.stores[node_id].iter_records(namespace):
+                    holders.setdefault(key, set()).add(node_id)
+                    current = newest.get(key)
+                    if current is None or record_seq(record) > record_seq(current):
+                        newest[key] = record
+            for node_id in targets:
+                for key, _ in list(self.stores[node_id].iter_records(namespace)):
+                    holders.setdefault(key, set()).add(node_id)
+            for key, record in newest.items():
+                report.keys_examined += 1
+                owners = self.preference_list(namespace, key)
+                for node_id in owners:
+                    if node_id not in targets:
+                        continue
+                    if self.stores[node_id].apply_record(namespace, key, record):
+                        report._count_copy(node_id, len(record))
+                for node_id in holders.get(key, ()):
+                    if node_id in targets and node_id not in owners:
+                        if self.stores[node_id].discard(namespace, key):
+                            report.keys_removed += 1
+        return report
+
+    def replay_hints(self, node_id: int) -> RepairReport:
+        """Apply (and drain) the hint buffer for a recovered node."""
+        report = RepairReport()
+        store = self.stores[node_id]
+        for (namespace, key), record in self.take_hints(node_id).items():
+            report.hints_replayed += 1
+            if store.apply_record(namespace, key, record):
+                report._count_copy(node_id, len(record))
+        return report
+
+    def sync_node(self, node_id: int, source_ids: Sequence[int]) -> RepairReport:
+        """Bring one (just-recovered) node up to date: hints + anti-entropy."""
+        report = self.replay_hints(node_id)
+        sources = [nid for nid in source_ids if nid != node_id] or [node_id]
+        return report.merged_with(self.rebalance(sources, target_ids={node_id}))

@@ -1,0 +1,144 @@
+"""Per-node versioned replica storage.
+
+Each :class:`~repro.kvstore.node.StorageNode` now physically owns the data
+it is a replica for — one :class:`~repro.kvstore.memory.OrderedKVMap` per
+namespace, holding **versioned records**.  A record is the stored value
+prefixed with an 8-byte write sequence number and a flag byte::
+
+    record = seq (8 bytes, big endian) | flags (1 byte) | payload
+
+The sequence number is issued by the cluster coordinator at write time and
+totally orders all writes, so every conflict-resolution site in the
+replication tier — quorum reads, read repair, hinted-handoff replay, and
+anti-entropy — applies the same rule: **newest sequence wins**.  Deletes
+are tombstones (flag bit set, empty payload) rather than physical removals,
+so a delete can propagate to replicas that missed it exactly like any other
+write.
+
+Reusing :class:`OrderedKVMap` for each replica keeps per-node range scans
+byte-ordered, which the scatter-gather range path merges across replicas.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..kvstore.memory import OrderedKVMap
+
+_HEADER = struct.Struct(">QB")
+_TOMBSTONE = 0x01
+
+#: Sequence number reported for a key a replica has never heard of.
+MISSING_SEQ = -1
+
+
+def encode_record(seq: int, value: Optional[bytes]) -> bytes:
+    """Encode one versioned record; ``value=None`` encodes a tombstone."""
+    if seq < 0:
+        raise ValueError("sequence numbers must be non-negative")
+    flags = _TOMBSTONE if value is None else 0
+    return _HEADER.pack(seq, flags) + (value or b"")
+
+
+def decode_record(record: bytes) -> Tuple[int, Optional[bytes]]:
+    """Decode a versioned record to ``(seq, value)``; tombstones give ``None``."""
+    seq, flags = _HEADER.unpack_from(record)
+    return seq, (None if flags & _TOMBSTONE else record[_HEADER.size:])
+
+
+def record_seq(record: Optional[bytes]) -> int:
+    """Sequence number of an encoded record (``MISSING_SEQ`` for ``None``)."""
+    if record is None:
+        return MISSING_SEQ
+    return _HEADER.unpack_from(record)[0]
+
+
+class ReplicaStore:
+    """One storage node's replica of every namespace it participates in."""
+
+    def __init__(self) -> None:
+        self._maps: Dict[str, OrderedKVMap] = {}
+
+    # ------------------------------------------------------------------
+    # Namespaces
+    # ------------------------------------------------------------------
+    def map(self, namespace: str) -> OrderedKVMap:
+        """The (created-on-demand) ordered map backing one namespace."""
+        return self._maps.setdefault(namespace, OrderedKVMap())
+
+    def namespaces(self) -> List[str]:
+        return sorted(self._maps)
+
+    def drop_namespace(self, namespace: str) -> None:
+        self._maps.pop(namespace, None)
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def get_record(self, namespace: str, key: bytes) -> Optional[bytes]:
+        existing = self._maps.get(namespace)
+        return existing.get(key) if existing is not None else None
+
+    def seq_of(self, namespace: str, key: bytes) -> int:
+        return record_seq(self.get_record(namespace, key))
+
+    def apply_record(self, namespace: str, key: bytes, record: bytes) -> bool:
+        """Store ``record`` unless a newer version is already present.
+
+        Newest-wins idempotence is what lets read repair, hint replay, and
+        anti-entropy all blindly push records at replicas.  Returns whether
+        the record was applied.
+        """
+        if record_seq(record) <= self.seq_of(namespace, key):
+            return False
+        self.map(namespace).put(key, record)
+        return True
+
+    def discard(self, namespace: str, key: bytes) -> bool:
+        """Physically remove a key (the node is no longer a replica for it)."""
+        existing = self._maps.get(namespace)
+        return existing.delete(key) if existing is not None else False
+
+    def range_records(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+    ) -> List[Tuple[bytes, bytes]]:
+        """This replica's encoded records with ``start <= key < end``.
+
+        Tombstones are *included* — the merge layer needs them to suppress
+        deleted keys that another replica still carries live.
+        """
+        existing = self._maps.get(namespace)
+        if existing is None:
+            return []
+        return existing.range(start, end, limit, ascending)
+
+    def iter_range_records(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        ascending: bool = True,
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Lazily iterate this replica's records in a key range (tombstones
+        included), so limit-honouring merges can stop early."""
+        existing = self._maps.get(namespace)
+        if existing is None:
+            return iter(())
+        return existing.iter_range(start, end, ascending)
+
+    def iter_records(self, namespace: str) -> Iterator[Tuple[bytes, bytes]]:
+        existing = self._maps.get(namespace)
+        if existing is None:
+            return iter(())
+        return existing.iter_items()
+
+    def key_count(self, namespace: str) -> int:
+        """Number of stored records (tombstones included) in a namespace."""
+        existing = self._maps.get(namespace)
+        return len(existing) if existing is not None else 0

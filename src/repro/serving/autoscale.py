@@ -6,10 +6,12 @@ Lang et al.'s energy-efficient cluster design work.  The policy is the
 classic utilisation-band controller with hysteresis and a cooldown:
 
 * when mean measured node utilisation stays above ``high_utilization``, add
-  a storage node (the cluster spreads routing across the larger node set —
-  data never moves because namespaces are logically global);
+  a storage node (the new node joins the placement ring and anti-entropy
+  re-replicates the key ranges it now owns onto it);
 * when it falls below ``low_utilization`` and the cluster is above its
-  floor, remove the most recently added node;
+  floor — never below the replication factor, in provisioned *or* up
+  nodes — remove the most recently added node, re-replicating its records
+  onto the survivors first;
 * after any action, wait ``cooldown_seconds`` before acting again so the
   measured rate window can catch up with the new topology.
 
@@ -104,6 +106,10 @@ class Autoscaler:
             utilization < self.config.low_utilization
             and len(self.cluster.nodes) > self.min_nodes
             and now >= self.config.warmup_seconds
+            # Never shed capacity that the replication invariant needs:
+            # with a node crashed, removing another could leave fewer up
+            # replicas than the replication factor.
+            and self.cluster.can_remove_node()
         ):
             self.cluster.remove_node()
             action = "remove"

@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..engine.database import PiqlDatabase
+from ..errors import UnavailableError
 from ..kvstore.simtime import SimClock
 from ..stats import nearest_rank_percentile
 from ..workloads.base import Workload
@@ -64,10 +65,21 @@ class TrafficLog:
 
     records: List[RequestRecord] = field(default_factory=list)
     shed: int = 0
+    #: Interactions that errored because a replica quorum could not be met
+    #: (a crashed node took the cluster below the consistency level).
+    failed: int = 0
+    #: ``(time, interaction)`` of each failure, for timeline reports.
+    failures: List[Tuple[float, str]] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
         return len(self.records)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted interactions that completed successfully."""
+        attempted = self.completed + self.failed
+        return self.completed / attempted if attempted else 1.0
 
     def response_times(self) -> List[float]:
         return [record.response_seconds for record in self.records]
@@ -185,7 +197,20 @@ class ClosedLoopDriver:
                         name=f"closed-client-{server.client_id}",
                     )
                     return
-            result = server.run_interaction(self.workload, rng, arrival)
+            try:
+                result = server.run_interaction(self.workload, rng, arrival)
+            except UnavailableError as exc:
+                # A replica quorum could not be met mid-interaction.  The
+                # work already charged stays on the server's clock; the
+                # client backs off a think time and tries a fresh one.
+                self.log.failed += 1
+                self.log.failures.append((arrival, type(exc).__name__))
+                sim.schedule_at(
+                    max(server.free_at, arrival) + max(self._think(rng), 1e-3),
+                    tick,
+                    name=f"closed-client-{server.client_id}",
+                )
+                return
             completion = server.free_at
             record = RequestRecord(
                 client_id=server.client_id,
@@ -262,7 +287,12 @@ class OpenLoopDriver:
                 self.log.shed += 1
                 return
         start = max(arrival, server.free_at)
-        result = server.run_interaction(self.workload, self._rng, start)
+        try:
+            result = server.run_interaction(self.workload, self._rng, start)
+        except UnavailableError as exc:
+            self.log.failed += 1
+            self.log.failures.append((arrival, type(exc).__name__))
+            return
         record = RequestRecord(
             client_id=server.client_id,
             name=result.name,

@@ -232,11 +232,16 @@ def refresh_utilization(cluster: KeyValueCluster, now: float) -> float:
       honest saturation indicator.
 
     Nodes without a queue keep their statically configured utilisation and
-    contribute it to the mean.
+    contribute it to the mean.  Crashed nodes serve nothing — their signal
+    is excluded so the control loops react to the *surviving* capacity
+    (whose measured rates rise as traffic concentrates on fewer replicas).
     """
     signals = []
     for node in cluster.nodes:
         queue = node.request_queue
+        if not node.up:
+            node.set_offered_load(0.0)
+            continue
         if isinstance(queue, NodeRequestQueue):
             rate, busy = queue.sample(now)
             node.set_offered_load(rate)

@@ -19,10 +19,12 @@ time and returns a :class:`ServingReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..engine.database import PiqlDatabase
 from ..prediction.slo import SLOPrediction, ServiceLevelObjective
+from ..replication.faults import FaultEvent, FaultInjector, FaultSpec
+from ..replication.manager import RepairReport
 from ..workloads.base import Workload
 from .admission import AdmissionConfig, AdmissionController, AdmissionCounters
 from .autoscale import AutoscaleConfig, Autoscaler, ScalingAction
@@ -57,6 +59,9 @@ class ServingConfig:
     prediction: Optional[SLOPrediction] = None
     autoscale_enabled: bool = False
     autoscale: Optional[AutoscaleConfig] = None
+    #: Failure timeline: crash / recover / slow / restore events applied to
+    #: storage nodes through the event kernel mid-run.
+    faults: Sequence[FaultSpec] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -80,10 +85,23 @@ class ServingReport:
     scaling_actions: List[ScalingAction]
     final_nodes: int
     mean_utilization: float
+    #: Failure timeline as applied (empty when no faults were configured).
+    fault_events: List[FaultEvent] = field(default_factory=list)
+    #: Aggregate anti-entropy work done by recoveries during the run.
+    repair: Optional[RepairReport] = None
 
     @property
     def completed(self) -> int:
         return self.log.completed
+
+    @property
+    def failed(self) -> int:
+        return self.log.failed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of attempted interactions that completed successfully."""
+        return self.log.availability
 
     @property
     def throughput(self) -> float:
@@ -117,6 +135,9 @@ class ServingSimulation:
         self.autoscaler: Optional[Autoscaler] = None
         if config.autoscale_enabled:
             self.autoscaler = Autoscaler(db.cluster, config.autoscale)
+        self.fault_injector: Optional[FaultInjector] = None
+        if config.faults:
+            self.fault_injector = FaultInjector(db.cluster)
         self.log = TrafficLog()
         if config.mode == "closed":
             self.driver = ClosedLoopDriver(
@@ -163,6 +184,8 @@ class ServingSimulation:
     def run(self) -> ServingReport:
         """Run the scenario for ``duration_seconds`` of simulated time."""
         self.driver.start()
+        if self.fault_injector is not None:
+            self.fault_injector.schedule(self.sim, self.config.faults)
         self.sim.schedule_at(
             self.config.control_interval_seconds, self._control_tick,
             name="control-tick",
@@ -179,6 +202,12 @@ class ServingSimulation:
             scaling_actions=list(self.autoscaler.actions) if self.autoscaler else [],
             final_nodes=len(self.db.cluster.nodes),
             mean_utilization=mean_utilization,
+            fault_events=(
+                list(self.fault_injector.events) if self.fault_injector else []
+            ),
+            repair=(
+                self.fault_injector.total_repair() if self.fault_injector else None
+            ),
         )
         # Detach the run's measurement state (queues, offered load) so the
         # same database can host several scenarios back to back.  Autoscaler

@@ -239,8 +239,9 @@ class TpcwWorkload(Workload):
         """Create an order from a cart: the most write-heavy interaction."""
         uname = rng.choice(self._unames)
         order_id = next(self._order_counter)
+        cart_id = rng.choice(self._cart_ids)
         cart_result = db.prepare(self.query_sql("buy_request_wi")).execute(
-            cart_id=rng.choice(self._cart_ids)
+            cart_id=cart_id
         )
 
         def write() -> None:
@@ -288,6 +289,13 @@ class TpcwWorkload(Workload):
                 },
                 upsert=True,
             )
+            # TPC-W empties the cart once the order is placed.  Without this
+            # the cart grows with every SHOPPING_CART interaction and the
+            # per-interaction cost of reading it climbs for the whole run,
+            # destabilising long serving simulations.
+            for row in cart_result.rows:
+                if "SCL_I_ID" in row:
+                    db.delete("shopping_cart_line", [cart_id, row["SCL_I_ID"]])
 
         result = self._timed_writes(db, "buy_confirm", write)
         result.latency_seconds += cart_result.latency_seconds

@@ -1,0 +1,97 @@
+"""Fault-injector tests: scheduled crash / recover / slow-node events."""
+
+import pytest
+
+from repro.kvstore import ClusterConfig, KeyValueCluster
+from repro.replication import (
+    FaultInjector,
+    FaultSpec,
+    crash_recover_timeline,
+)
+from repro.serving import Simulation
+
+
+def cluster_with_data() -> KeyValueCluster:
+    cluster = KeyValueCluster(
+        ClusterConfig(storage_nodes=4, replication=3, read_quorum=2,
+                      write_quorum=2, seed=1)
+    )
+    cluster.create_namespace("data")
+    for index in range(20):
+        cluster.load("data", f"k{index}".encode(), b"v")
+    return cluster
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(time=1.0, kind="explode", node_id=0)
+
+    def test_slow_needs_factor_above_one(self):
+        with pytest.raises(ValueError):
+            FaultSpec(time=1.0, kind="slow", node_id=0, factor=0.5)
+
+    def test_timeline_helper_orders_events(self):
+        specs = crash_recover_timeline(2, 5.0, 9.0)
+        assert [(s.kind, s.time) for s in specs] == [("crash", 5.0),
+                                                    ("recover", 9.0)]
+        with pytest.raises(ValueError):
+            crash_recover_timeline(2, 9.0, 5.0)
+
+
+class TestFaultInjector:
+    def test_scheduled_crash_and_recover_through_kernel(self):
+        cluster = cluster_with_data()
+        injector = FaultInjector(cluster)
+        sim = Simulation()
+        injector.schedule(sim, crash_recover_timeline(1, 2.0, 6.0))
+
+        sim.run(until=3.0)
+        assert not cluster.node(1).up
+        sim.run(until=10.0)
+        assert cluster.node(1).up
+
+        kinds = [(event.time, event.kind) for event in injector.events]
+        assert kinds == [(2.0, "crash"), (6.0, "recover")]
+        recover = injector.events[-1]
+        assert recover.repair is not None
+        assert recover.up_nodes_after == 4
+        assert injector.total_repair().keys_examined >= 0
+        assert len(injector.timeline()) == 2
+
+    def test_fault_for_removed_node_is_skipped_not_fatal(self):
+        cluster = cluster_with_data()
+        injector = FaultInjector(cluster)
+        cluster.remove_node()  # node 3 is gone; a stale fault spec remains
+        event = injector.apply(FaultSpec(time=1.0, kind="recover", node_id=3))
+        assert "skipped" in event.detail
+        assert [e.kind for e in injector.events] == ["recover"]
+
+    def test_slow_node_degrades_and_restores(self):
+        cluster = cluster_with_data()
+        injector = FaultInjector(cluster)
+        node = cluster.node(0)
+
+        injector.apply(FaultSpec(time=0.0, kind="slow", node_id=0, factor=8.0))
+        assert node.speed_factor == 8.0
+        assert node.effective_capacity_ops_per_second == pytest.approx(
+            node.capacity_ops_per_second / 8.0
+        )
+        slowed = sum(node.charge_read(1, 0, 0.0) for _ in range(100))
+        injector.apply(FaultSpec(time=1.0, kind="restore", node_id=0))
+        assert node.speed_factor == 1.0
+        healthy = sum(node.charge_read(1, 0, 0.0) for _ in range(100))
+        assert slowed > healthy * 3
+
+    def test_writes_during_crash_become_hints_then_replay(self):
+        cluster = cluster_with_data()
+        injector = FaultInjector(cluster)
+        injector.apply(FaultSpec(time=0.0, kind="crash", node_id=2))
+        for index in range(30):
+            cluster.put("data", f"h{index}".encode(), b"x")
+        assert cluster.replication.hint_count(2) > 0
+        event = injector.apply(FaultSpec(time=5.0, kind="recover", node_id=2))
+        assert event.repair is not None
+        assert event.repair.hints_replayed == cluster.replication.hint_count(2) \
+            or event.repair.hints_replayed > 0
+        assert cluster.replication.hint_count(2) == 0

@@ -1,0 +1,133 @@
+"""Serving-tier failover: fault timelines driven through the simulation."""
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.prediction.slo import ServiceLevelObjective
+from repro.replication import FaultSpec, crash_recover_timeline
+from repro.serving import (
+    AutoscaleConfig,
+    Autoscaler,
+    ServingConfig,
+    run_serving_simulation,
+)
+from repro.workloads import ScadrWorkload, WorkloadScale
+
+SLO = ServiceLevelObjective(quantile=0.99, latency_seconds=0.2,
+                            interval_seconds=4.0)
+
+
+def loaded_db(storage_nodes=4, replication=3):
+    db = PiqlDatabase.simulated(
+        ClusterConfig(
+            storage_nodes=storage_nodes,
+            replication=replication,
+            read_quorum=2,
+            write_quorum=2,
+            node_capacity_ops_per_second=600.0,
+            seed=5,
+        )
+    )
+    workload = ScadrWorkload(thoughts_per_user=5, subscriptions_per_user=3,
+                             max_subscriptions=10)
+    workload.setup(db, WorkloadScale(storage_nodes=2, users_per_node=20,
+                                     seed=5))
+    return db, workload
+
+
+class TestFaultTimelineInSimulation:
+    def test_crash_recover_keeps_serving(self):
+        db, workload = loaded_db()
+        report = run_serving_simulation(
+            db,
+            workload,
+            ServingConfig(
+                mode="closed",
+                clients=20,
+                think_time_seconds=0.4,
+                duration_seconds=12.0,
+                slo=SLO,
+                faults=crash_recover_timeline(1, 4.0, 8.0),
+                seed=3,
+            ),
+        )
+        assert report.completed > 0
+        # One crashed node of four never breaks an R=W=2 quorum.
+        assert report.failed == 0
+        assert report.availability == 1.0
+        assert [e.kind for e in report.fault_events] == ["crash", "recover"]
+        assert report.repair is not None
+        assert db.cluster.node(1).up
+
+    def test_unrecovered_crashes_surface_as_failures(self):
+        db, workload = loaded_db()
+        prefs_probe = db.cluster.replication
+        # Crash two nodes and never recover them: some keys keep only one
+        # up replica, so R=2 reads on them must fail, and the driver records
+        # the typed failures instead of dying.
+        report = run_serving_simulation(
+            db,
+            workload,
+            ServingConfig(
+                mode="closed",
+                clients=10,
+                think_time_seconds=0.2,
+                duration_seconds=8.0,
+                slo=SLO,
+                faults=[
+                    FaultSpec(time=2.0, kind="crash", node_id=0),
+                    FaultSpec(time=2.5, kind="crash", node_id=1),
+                ],
+                seed=3,
+            ),
+        )
+        assert report.failed > 0
+        assert report.availability < 1.0
+        assert report.completed + report.failed > 0
+        assert prefs_probe is db.cluster.replication
+
+    def test_slow_node_fault_degrades_latency(self):
+        results = {}
+        for label, faults in (
+            ("healthy", ()),
+            ("slow", [FaultSpec(time=2.0, kind="slow", node_id=0,
+                                factor=10.0)]),
+        ):
+            db, workload = loaded_db()
+            report = run_serving_simulation(
+                db,
+                workload,
+                ServingConfig(
+                    mode="closed",
+                    clients=20,
+                    think_time_seconds=0.3,
+                    duration_seconds=10.0,
+                    slo=SLO,
+                    faults=faults,
+                    seed=4,
+                ),
+            )
+            results[label] = report.response_percentile_ms(0.95)
+        assert results["slow"] > results["healthy"]
+
+
+class TestAutoscalerReplicationGuard:
+    def test_no_scale_down_below_up_replicas(self):
+        db, _ = loaded_db(storage_nodes=4, replication=3)
+        cluster = db.cluster
+        autoscaler = Autoscaler(
+            cluster,
+            AutoscaleConfig(high_utilization=0.9, low_utilization=0.5,
+                            cooldown_seconds=0.0, warmup_seconds=0.0),
+        )
+        cluster.crash_node(0)
+        # Utilisation is 0 (idle) which is below low_utilization, but the
+        # guard must refuse: removing the tail would leave 2 up < N=3.
+        action = autoscaler.evaluate(now=10.0)
+        assert action is None
+        assert len(cluster.nodes) == 4
+
+        cluster.recover_node(0)
+        action = autoscaler.evaluate(now=20.0)
+        assert action is not None and action.action == "remove"
+        assert len(cluster.nodes) == 3

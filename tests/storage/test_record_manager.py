@@ -134,9 +134,7 @@ class TestIndexMaintenance:
         db.update("users", {"username": "bob", "password": "x", "hometown": "la",
                             "created": 1})
         index = db.catalog.index("idx_hometown")
-        entries = list(
-            db.cluster._namespaces[index_namespace(index)].iter_items()
-        )
+        entries = list(db.cluster.iter_namespace(index_namespace(index)))
         assert len(entries) == 1
         # The remaining entry is for the new value.
         row = db.get("users", ["bob"])
