@@ -21,7 +21,7 @@ def run_experiment():
             users_per_node=40,
             items_total=600,
             threads_per_client=4,
-            interactions_per_thread=8,
+            interactions_per_thread=12,
         ),
     )
     return experiment.run()

@@ -10,6 +10,7 @@ paper's evaluation.
 
 from .engine.database import PiqlDatabase
 from .engine.query import PreparedQuery
+from .engine.session import QueryFuture, ResultCursor, Session
 from .errors import (
     CardinalityViolationError,
     ConstraintViolationError,
@@ -47,9 +48,12 @@ __all__ = [
     "PlanningError",
     "PredictionError",
     "PreparedQuery",
+    "QueryFuture",
     "QueryResult",
     "QuorumNotMetError",
+    "ResultCursor",
     "SchemaError",
+    "Session",
     "UnavailableError",
     "UniquenessViolationError",
     "__version__",

@@ -6,6 +6,11 @@ from .bench_failover_slo import (
     FailoverSloResult,
     WriteAudit,
 )
+from .bench_pipelined_interactions import (
+    PipelinedInteractionsConfig,
+    PipelinedInteractionsExperiment,
+    PipelinedInteractionsResult,
+)
 from .bench_serving_slo import (
     PhaseSummary,
     ServingSloConfig,
@@ -49,6 +54,9 @@ __all__ = [
     "IntersectionPoint",
     "IntersectionResult",
     "PhaseSummary",
+    "PipelinedInteractionsConfig",
+    "PipelinedInteractionsExperiment",
+    "PipelinedInteractionsResult",
     "PredictionAccuracyExperiment",
     "PredictionExperimentConfig",
     "PredictionRow",

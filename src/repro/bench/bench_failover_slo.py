@@ -54,7 +54,10 @@ class FailoverSloConfig:
     users_per_node: int = 30
     items_total: int = 100
     app_servers: int = 50
-    arrival_rate_per_second: float = 90.0
+    #: Offered load, tuned to keep the healthy phase comfortably inside the
+    #: cluster's capacity now that TPC-W page renders carry their
+    #: promotional-banner queries (~7.3 k/v operations per interaction).
+    arrival_rate_per_second: float = 65.0
     healthy_seconds: float = 12.0
     crash_seconds: float = 12.0
     recovered_seconds: float = 16.0
@@ -102,7 +105,7 @@ class FailoverSloConfig:
             self,
             users_per_node=10,
             items_total=50,
-            arrival_rate_per_second=30.0,
+            arrival_rate_per_second=24.0,
             healthy_seconds=4.0,
             crash_seconds=4.0,
             recovered_seconds=6.0,

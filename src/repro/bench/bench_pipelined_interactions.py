@@ -1,0 +1,319 @@
+"""Pipelined-interactions benchmark: serial versus asynchronous sessions.
+
+The PIQL performance argument (Section 7.1) makes each *query* internally
+parallel; this experiment measures the next lever up — overlapping the
+*independent queries of one web interaction* through the asynchronous
+session API (``session.submit`` / ``session.gather``), so a TPC-W page
+render pays the max of its branches instead of their sum.
+
+Two phases, both on the TPC-W ordering mix:
+
+* **paired replay** — one emulated application server replays the same
+  sequence of interaction plans twice from the same seed on two fresh,
+  identically seeded databases: once serially (stage latencies add) and
+  once through a session (stages cost their slowest branch).  Because both
+  arms issue exactly the same queries with the same parameters, the
+  per-interaction *per-query operation counts must match exactly* — the
+  static bounds are about work requested, and pipelining only changes how
+  latencies compose.  The replay verifies that and yields the
+  per-interaction-type speedups.
+* **closed loop** — a think-time population drives the cluster through the
+  serving tier's event kernel, once with classic blocking servers and once
+  with pipelined servers.  This shows the end-to-end effect on response
+  percentiles when many overlapped clients contend for the same storage
+  nodes (closed loops also *complete more work* when responses get faster).
+
+Run with ``PYTHONPATH=src python -m repro.bench.bench_pipelined_interactions``
+(add ``--quick`` for the CI-sized configuration).  Results are written to
+``results/pipelined_interactions.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import PiqlDatabase
+from ..kvstore.cluster import ClusterConfig
+from ..serving.simulator import ServingConfig, ServingSimulation
+from ..workloads.base import WorkloadScale
+from ..workloads.tpcw.workload import TpcwWorkload
+from .reporting import format_table, percentile, save_results
+
+
+@dataclass(frozen=True)
+class PipelinedInteractionsConfig:
+    """Cluster, workload, and traffic shape of the comparison."""
+
+    storage_nodes: int = 6
+    node_capacity_ops_per_second: float = 4000.0
+    users_per_node: int = 30
+    items_total: int = 100
+    #: Paired-replay phase: interactions replayed per arm by one server.
+    replay_interactions: int = 400
+    #: Closed-loop phase: population, think time, and horizon.
+    clients: int = 30
+    think_time_seconds: float = 0.5
+    duration_seconds: float = 30.0
+    seed: int = 11
+
+    def quick(self) -> "PipelinedInteractionsConfig":
+        """A CI-smoke-sized variant (seconds of wall-clock time)."""
+        return replace(
+            self,
+            users_per_node=10,
+            items_total=50,
+            replay_interactions=80,
+            clients=10,
+            duration_seconds=6.0,
+        )
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """One interaction of the paired replay, as one arm saw it."""
+
+    name: str
+    latency_seconds: float
+    query_operations: Tuple[Tuple[str, int], ...]
+
+
+@dataclass
+class PipelinedInteractionsResult:
+    """Both phases' measurements for both arms."""
+
+    config: PipelinedInteractionsConfig
+    replay: Dict[str, List[ReplayRecord]]
+    closed_loop: Dict[str, Dict[str, float]]
+
+    # ------------------------------------------------------------------
+    # Replay-phase summaries
+    # ------------------------------------------------------------------
+    def replay_operations_identical(self) -> bool:
+        """Whether every replayed interaction did identical per-query work."""
+        serial, pipelined = self.replay["serial"], self.replay["pipelined"]
+        return len(serial) == len(pipelined) and all(
+            a.name == b.name and a.query_operations == b.query_operations
+            for a, b in zip(serial, pipelined)
+        )
+
+    def replay_percentile_ms(self, arm: str, fraction: float) -> float:
+        return percentile(
+            [record.latency_seconds for record in self.replay[arm]], fraction
+        ) * 1000.0
+
+    def replay_by_interaction(self) -> List[Tuple[str, int, float, float, float]]:
+        """Rows of (name, count, serial mean ms, pipelined mean ms, speedup)."""
+        sums: Dict[str, List[float]] = {}
+        for arm_index, arm in enumerate(("serial", "pipelined")):
+            for record in self.replay[arm]:
+                entry = sums.setdefault(record.name, [0, 0.0, 0.0])
+                if arm_index == 0:
+                    entry[0] += 1
+                    entry[1] += record.latency_seconds
+                else:
+                    entry[2] += record.latency_seconds
+        rows = []
+        for name in sorted(sums):
+            count, serial_total, pipelined_total = sums[name]
+            serial_ms = serial_total / count * 1000.0
+            pipelined_ms = pipelined_total / count * 1000.0
+            rows.append(
+                (name, count, serial_ms, pipelined_ms,
+                 serial_ms / pipelined_ms if pipelined_ms > 0 else 1.0)
+            )
+        return rows
+
+    def summary_payload(self) -> Dict:
+        return {
+            "config": {
+                "storage_nodes": self.config.storage_nodes,
+                "clients": self.config.clients,
+                "think_time_seconds": self.config.think_time_seconds,
+                "duration_seconds": self.config.duration_seconds,
+                "replay_interactions": self.config.replay_interactions,
+                "seed": self.config.seed,
+            },
+            "replay": {
+                "operations_identical": self.replay_operations_identical(),
+                "p50_ms": {
+                    arm: self.replay_percentile_ms(arm, 0.50)
+                    for arm in ("serial", "pipelined")
+                },
+                "p99_ms": {
+                    arm: self.replay_percentile_ms(arm, 0.99)
+                    for arm in ("serial", "pipelined")
+                },
+                "by_interaction": [
+                    {
+                        "name": name,
+                        "count": count,
+                        "serial_mean_ms": serial_ms,
+                        "pipelined_mean_ms": pipelined_ms,
+                        "speedup": speedup,
+                    }
+                    for name, count, serial_ms, pipelined_ms, speedup
+                    in self.replay_by_interaction()
+                ],
+            },
+            "closed_loop": self.closed_loop,
+        }
+
+
+class PipelinedInteractionsExperiment:
+    """Run both phases of the serial-versus-pipelined comparison."""
+
+    def __init__(self, config: Optional[PipelinedInteractionsConfig] = None):
+        self.config = config or PipelinedInteractionsConfig()
+
+    # ------------------------------------------------------------------
+    # Shared setup
+    # ------------------------------------------------------------------
+    def _fresh_database(self) -> Tuple[PiqlDatabase, TpcwWorkload]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(
+                storage_nodes=config.storage_nodes,
+                node_capacity_ops_per_second=config.node_capacity_ops_per_second,
+                seed=config.seed,
+            )
+        )
+        workload = TpcwWorkload()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=max(2, config.storage_nodes // 2),
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=config.seed,
+            ),
+        )
+        # Paired arms replay the same service-time noise so the measured
+        # difference is the arms' latency composition, not luck.
+        db.cluster.reseed_latency_models(config.seed)
+        return db, workload
+
+    # ------------------------------------------------------------------
+    # Phase 1: paired replay
+    # ------------------------------------------------------------------
+    def run_replay(self, pipelined: bool) -> List[ReplayRecord]:
+        config = self.config
+        db, workload = self._fresh_database()
+        db.reset_measurements()
+        rng = random.Random(config.seed + 1)
+        session = db.session() if pipelined else None
+        records: List[ReplayRecord] = []
+        for _ in range(config.replay_interactions):
+            plan = workload.interaction_plan(db, rng)
+            result = workload.run_plan(db, plan, session=session)
+            records.append(
+                ReplayRecord(
+                    name=result.name,
+                    latency_seconds=result.latency_seconds,
+                    query_operations=tuple(sorted(result.query_operations.items())),
+                )
+            )
+        return records
+
+    # ------------------------------------------------------------------
+    # Phase 2: closed loop
+    # ------------------------------------------------------------------
+    def run_closed_loop(self, pipelined: bool) -> Dict[str, float]:
+        config = self.config
+        db, workload = self._fresh_database()
+        simulation = ServingSimulation(
+            db,
+            workload,
+            ServingConfig(
+                mode="closed",
+                clients=config.clients,
+                think_time_seconds=config.think_time_seconds,
+                duration_seconds=config.duration_seconds,
+                pipelined=pipelined,
+                seed=config.seed,
+            ),
+        )
+        report = simulation.run()
+        coalesced = sum(
+            server.db.client.stats.coalesced_reads
+            for server in simulation.driver.servers
+        )
+        return {
+            "completed": float(report.completed),
+            "throughput_per_second": report.throughput,
+            "p50_ms": report.response_percentile_ms(0.50),
+            "p99_ms": report.response_percentile_ms(0.99),
+            "coalesced_reads": float(coalesced),
+        }
+
+    # ------------------------------------------------------------------
+    # Whole experiment
+    # ------------------------------------------------------------------
+    def run(self) -> PipelinedInteractionsResult:
+        replay = {
+            arm: self.run_replay(arm == "pipelined")
+            for arm in ("serial", "pipelined")
+        }
+        closed_loop = {
+            arm: self.run_closed_loop(arm == "pipelined")
+            for arm in ("serial", "pipelined")
+        }
+        return PipelinedInteractionsResult(
+            config=self.config, replay=replay, closed_loop=closed_loop
+        )
+
+
+def print_result(result: PipelinedInteractionsResult) -> None:
+    print("== paired replay (one application server, identical seeds) ==")
+    print(
+        format_table(
+            ["interaction", "count", "serial mean ms", "pipelined mean ms",
+             "speedup"],
+            result.replay_by_interaction(),
+        )
+    )
+    print(
+        f"per-query operation counts identical across arms: "
+        f"{result.replay_operations_identical()}"
+    )
+    print(
+        f"replay p50: {result.replay_percentile_ms('serial', 0.5):.2f} ms -> "
+        f"{result.replay_percentile_ms('pipelined', 0.5):.2f} ms; "
+        f"p99: {result.replay_percentile_ms('serial', 0.99):.2f} ms -> "
+        f"{result.replay_percentile_ms('pipelined', 0.99):.2f} ms\n"
+    )
+    print("== closed loop (think-time population, event kernel) ==")
+    rows = [
+        (
+            arm,
+            result.closed_loop[arm]["completed"],
+            result.closed_loop[arm]["throughput_per_second"],
+            result.closed_loop[arm]["p50_ms"],
+            result.closed_loop[arm]["p99_ms"],
+            result.closed_loop[arm]["coalesced_reads"],
+        )
+        for arm in ("serial", "pipelined")
+    ]
+    print(
+        format_table(
+            ["arm", "completed", "throughput/s", "p50 ms", "p99 ms",
+             "coalesced reads"],
+            rows,
+        )
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    config = PipelinedInteractionsConfig()
+    if "--quick" in args:
+        config = config.quick()
+    result = PipelinedInteractionsExperiment(config).run()
+    print_result(result)
+    save_results("pipelined_interactions", result.summary_payload())
+
+
+if __name__ == "__main__":
+    main()

@@ -42,10 +42,27 @@ class RunMeasurement:
     duration_seconds: float
     interaction_latencies: List[float] = field(default_factory=list)
     query_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    #: ``(interactions, simulated seconds)`` per emulated thread.
+    thread_runs: List[tuple] = field(default_factory=list)
 
     @property
     def throughput(self) -> float:
-        """Web interactions per (simulated) second across all clients."""
+        """Web interactions per (simulated) second across all clients.
+
+        Every thread is an independent closed loop running back-to-back
+        interactions, so the fleet's steady-state rate is the *sum of the
+        per-thread rates* — the estimator matching the paper's "WIPS over a
+        fixed interval" methodology.  (Dividing the total count by the
+        slowest thread's elapsed time instead would charge every thread for
+        one straggler's tail and biases the scale-up curve low at large
+        thread counts.)
+        """
+        if self.thread_runs:
+            return sum(
+                count / duration
+                for count, duration in self.thread_runs
+                if duration > 0
+            )
         if self.duration_seconds <= 0:
             return 0.0
         return self.interactions / self.duration_seconds
@@ -82,7 +99,7 @@ def run_workload(
 
     interaction_latencies: List[float] = []
     query_latencies: Dict[str, List[float]] = {}
-    durations: List[float] = []
+    thread_runs: List[tuple] = []
     interactions = 0
 
     for client_index in range(config.client_machines):
@@ -98,11 +115,16 @@ def run_workload(
                 interaction_latencies.append(result.latency_seconds)
                 for name, latency in result.query_latencies.items():
                     query_latencies.setdefault(name, []).append(latency)
-            durations.append(view.client.clock.now - start)
+            thread_runs.append(
+                (config.interactions_per_thread, view.client.clock.now - start)
+            )
 
     return RunMeasurement(
         interactions=interactions,
-        duration_seconds=max(durations) if durations else 0.0,
+        duration_seconds=(
+            max(duration for _, duration in thread_runs) if thread_runs else 0.0
+        ),
         interaction_latencies=interaction_latencies,
         query_latencies=query_latencies,
+        thread_runs=thread_runs,
     )

@@ -1,6 +1,16 @@
-"""Engine facade: the ``PiqlDatabase`` entry point and prepared queries."""
+"""Engine facade: the ``PiqlDatabase`` entry point, prepared queries, and
+asynchronous sessions (futures, streaming cursors, query pipelining)."""
 
 from .database import PiqlDatabase
-from .query import PreparedQuery
+from .query import PreparedQuery, bind_parameters
+from .session import CallOutcome, QueryFuture, ResultCursor, Session
 
-__all__ = ["PiqlDatabase", "PreparedQuery"]
+__all__ = [
+    "CallOutcome",
+    "PiqlDatabase",
+    "PreparedQuery",
+    "QueryFuture",
+    "ResultCursor",
+    "Session",
+    "bind_parameters",
+]

@@ -39,6 +39,7 @@ from ..sql.parser import parse
 from ..storage.record_manager import RecordManager
 from ..storage.rows import index_entries, index_namespace, record_key, serialize_row
 from .query import PreparedQuery
+from .session import Session
 
 
 class PiqlDatabase:
@@ -67,6 +68,7 @@ class PiqlDatabase:
         self.executor = QueryExecutor(self.client, self.catalog, strategy=strategy)
         self.assistant = PerformanceInsightAssistant(self.catalog)
         self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
+        self._default_session: Optional[Session] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -107,8 +109,27 @@ class PiqlDatabase:
         )
         clone.assistant = PerformanceInsightAssistant(self.catalog)
         clone._prepared_cache = {}
+        clone._default_session = None
         clone.unavailable_retries = self.unavailable_retries
         return clone
+
+    def session(self) -> Session:
+        """Open an asynchronous session on this view's clock.
+
+        The session's :meth:`~repro.engine.session.Session.submit` /
+        :meth:`~repro.engine.session.Session.gather` let independent queries
+        of one interaction overlap in simulated time; see
+        :mod:`repro.engine.session`.  Sessions are stateless handles — all
+        sessions of one view share its clock and statistics.
+        """
+        return Session(self)
+
+    @property
+    def default_session(self) -> Session:
+        """The session backing the synchronous ``execute`` shims."""
+        if self._default_session is None:
+            self._default_session = Session(self)
+        return self._default_session
 
     # ------------------------------------------------------------------
     # DDL
@@ -161,9 +182,18 @@ class PiqlDatabase:
                 self.create_index(index)
         return table
 
-    def create_index(self, index: IndexDefinition) -> IndexDefinition:
-        """Register a secondary index and backfill it from existing records."""
-        registered = self.catalog.add_index(index)
+    def create_index(
+        self, index: IndexDefinition, auto_created: bool = False
+    ) -> IndexDefinition:
+        """Register a secondary index and backfill it from existing records.
+
+        ``auto_created=True`` marks the index as invented by the optimizer's
+        index selection (Section 5.3) rather than declared by the schema;
+        the catalog remembers the distinction so re-compiling a query keeps
+        reporting the index under ``required_indexes`` even once it exists
+        (Table 1's "additional indexes" column).
+        """
+        registered = self.catalog.add_index(index, auto_created=auto_created)
         self.records.create_index_storage(registered)
         self._backfill_index(registered)
         return registered
@@ -223,8 +253,8 @@ class PiqlDatabase:
         optimized = self.optimizer.optimize(sql)
         for index in optimized.required_indexes:
             if not self.catalog.has_index(index.name):
-                self.create_index(index)
-        prepared = PreparedQuery(optimized, self.executor)
+                self.create_index(index, auto_created=True)
+        prepared = PreparedQuery(optimized, self.executor, session=self.default_session)
         self._prepared_cache[sql] = (self.catalog.version, prepared)
         return prepared
 

@@ -10,6 +10,22 @@ from ..optimizer.optimizer import OptimizedQuery
 from ..plans.bounds import PlanBound
 
 
+def bind_parameters(
+    parameters: Optional[Dict[str, Any]], kwargs: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Merge dict-style and keyword-style parameter bindings.
+
+    The one binding rule of the client API, shared by the synchronous
+    ``PreparedQuery`` entry points and the asynchronous session path:
+    parameters may be passed as a dictionary, as keyword arguments, or both —
+    keyword arguments win on conflict.
+    """
+    bound = dict(parameters or {})
+    if kwargs:
+        bound.update(kwargs)
+    return bound
+
+
 class PreparedQuery:
     """A compiled, scale-independent query bound to a database instance.
 
@@ -17,11 +33,22 @@ class PreparedQuery:
     and can be executed many times with different parameter bindings; for
     ``PAGINATE`` queries each execution returns one page plus a serialisable
     cursor for the next.
+
+    The blocking entry points below are thin shims over the database's
+    default :class:`~repro.engine.session.Session`; use
+    :meth:`repro.engine.database.PiqlDatabase.session` to overlap several
+    queries' latencies instead of paying them in sequence.
     """
 
-    def __init__(self, optimized: OptimizedQuery, executor: QueryExecutor):
+    def __init__(
+        self,
+        optimized: OptimizedQuery,
+        executor: QueryExecutor,
+        session: Optional[object] = None,
+    ):
         self._optimized = optimized
         self._executor = executor
+        self._session = session
 
     # ------------------------------------------------------------------
     # Introspection
@@ -69,16 +96,18 @@ class PreparedQuery:
         strategy: Optional[ExecutionStrategy] = None,
         **kwargs: Any,
     ) -> QueryResult:
-        """Execute the query.
+        """Execute the query, blocking until its (simulated) completion.
 
         Parameters may be passed as a dictionary or as keyword arguments
         (``q.execute(uname="bob")``); keyword arguments win on conflict.
         """
-        bound_parameters = dict(parameters or {})
-        bound_parameters.update(kwargs)
+        if self._session is not None:
+            return self._session.execute(
+                self, parameters, cursor=cursor, strategy=strategy, **kwargs
+            ).to_query_result()
         return self._executor.execute(
             self._optimized,
-            parameters=bound_parameters,
+            parameters=bind_parameters(parameters, kwargs),
             cursor=cursor,
             strategy=strategy,
         )
@@ -91,11 +120,9 @@ class PreparedQuery:
         **kwargs: Any,
     ):
         """Iterate all pages of a PAGINATE query."""
-        bound_parameters = dict(parameters or {})
-        bound_parameters.update(kwargs)
         return self._executor.execute_all_pages(
             self._optimized,
-            parameters=bound_parameters,
+            parameters=bind_parameters(parameters, kwargs),
             max_pages=max_pages,
             strategy=strategy,
         )

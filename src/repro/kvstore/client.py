@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..stats import nearest_rank_percentile
 from .cluster import KeyValueCluster, OpResult
@@ -48,6 +48,11 @@ class ClientStats:
     #: Range reads that came back flagged partial (too many replicas down
     #: and the caller opted into ``allow_partial``).
     partial_results: int = 0
+    #: Point reads served from a gather window's coalescing buffer instead
+    #: of a fresh RPC (duplicate keys across concurrently-resolved queries).
+    #: They still count as logical ``operations`` — static bounds are about
+    #: requested work — but issue no RPC and charge no fresh latency.
+    coalesced_reads: int = 0
     total_latency_seconds: float = 0.0
     latency_samples: List[float] = field(default_factory=list)
     samples_seen: int = 0
@@ -76,6 +81,7 @@ class ClientStats:
             keys_touched=self.keys_touched,
             rpcs=self.rpcs,
             partial_results=self.partial_results,
+            coalesced_reads=self.coalesced_reads,
             total_latency_seconds=self.total_latency_seconds,
             latency_samples=list(self.latency_samples),
             samples_seen=self.samples_seen,
@@ -93,6 +99,7 @@ class ClientStats:
             keys_touched=self.keys_touched - earlier.keys_touched,
             rpcs=self.rpcs - earlier.rpcs,
             partial_results=self.partial_results - earlier.partial_results,
+            coalesced_reads=self.coalesced_reads - earlier.coalesced_reads,
             total_latency_seconds=(
                 self.total_latency_seconds - earlier.total_latency_seconds
             ),
@@ -107,6 +114,12 @@ class StorageClient:
     cluster: KeyValueCluster
     clock: SimClock = field(default_factory=SimClock)
     stats: ClientStats = field(default_factory=ClientStats)
+    #: Coalescing buffer of point reads completed during an open gather
+    #: window: ``(namespace, key) -> (value, ready_at_seconds)``.  ``None``
+    #: outside a window.
+    _gather_cache: Optional[Dict[Tuple[str, bytes], Tuple[Optional[bytes], float]]] = \
+        field(default=None, repr=False, compare=False)
+    _gather_depth: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -127,23 +140,75 @@ class StorageClient:
         return self.clock.now
 
     # ------------------------------------------------------------------
+    # Gather windows (cross-query read coalescing)
+    # ------------------------------------------------------------------
+    @property
+    def gather_window_active(self) -> bool:
+        return self._gather_cache is not None
+
+    def begin_gather_window(self) -> None:
+        """Open a coalescing window over the queries of one gather.
+
+        While the window is open, every completed point read is remembered
+        as ``(value, completion time)``; a later branch requesting the same
+        key joins the outstanding batch instead of issuing a fresh RPC — it
+        waits until the original fetch's completion time (if its own clock
+        is not already past it) and reuses the reply.  Writes inside the
+        window evict the written key so no branch reads a stale value.
+        """
+        self._gather_depth += 1
+        if self._gather_cache is None:
+            self._gather_cache = {}
+
+    def end_gather_window(self) -> None:
+        """Close the window opened by :meth:`begin_gather_window`."""
+        if self._gather_depth == 0:
+            raise RuntimeError("end_gather_window without begin_gather_window")
+        self._gather_depth -= 1
+        if self._gather_depth == 0:
+            self._gather_cache = None
+
+    def _invalidate(self, namespace: str, key: bytes) -> None:
+        if self._gather_cache is not None:
+            self._gather_cache.pop((namespace, key), None)
+
+    def _coalesced_wait(self, ready_at: float) -> None:
+        """Wait (in simulated time) for the shared fetch's reply to arrive."""
+        if ready_at > self.clock.now:
+            self.clock.advance(ready_at - self.clock.now)
+
+    # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------
     def get(self, namespace: str, key: bytes) -> Optional[bytes]:
         """Fetch a single value (one key/value store operation)."""
+        cache = self._gather_cache
+        if cache is not None:
+            hit = cache.get((namespace, key))
+            if hit is not None:
+                value, ready_at = hit
+                self.stats.operations += 1
+                self.stats.keys_touched += 1
+                self.stats.coalesced_reads += 1
+                self._coalesced_wait(ready_at)
+                return value
         result = self.cluster.get(namespace, key, sim_time=self.clock.now)
         self._record(result, operations=1)
+        if cache is not None:
+            cache[(namespace, key)] = (result.value, self.clock.now)  # type: ignore[arg-type]
         return result.value  # type: ignore[return-value]
 
     def put(self, namespace: str, key: bytes, value: bytes) -> None:
         """Write a single value (one key/value store operation)."""
         result = self.cluster.put(namespace, key, value, sim_time=self.clock.now)
         self._record(result, operations=1)
+        self._invalidate(namespace, key)
 
     def delete(self, namespace: str, key: bytes) -> bool:
         """Delete a key; returns whether it existed."""
         result = self.cluster.delete(namespace, key, sim_time=self.clock.now)
         self._record(result, operations=1)
+        self._invalidate(namespace, key)
         return bool(result.value)
 
     def test_and_set(
@@ -154,6 +219,7 @@ class StorageClient:
             namespace, key, expected, new_value, sim_time=self.clock.now
         )
         self._record(result, operations=1)
+        self._invalidate(namespace, key)
         return bool(result.value)
 
     # ------------------------------------------------------------------
@@ -162,12 +228,55 @@ class StorageClient:
     def multi_get(
         self, namespace: str, keys: Sequence[bytes], parallel: bool = True
     ) -> List[Optional[bytes]]:
-        """Fetch many keys; counts ``len(keys)`` operations."""
-        result = self.cluster.multi_get(
-            namespace, keys, parallel=parallel, sim_time=self.clock.now
-        )
-        self._record(result, operations=len(keys), rpcs=1 if parallel else len(keys))
-        return result.value  # type: ignore[return-value]
+        """Fetch many keys; counts ``len(keys)`` operations.
+
+        Inside a gather window (parallel batches only) the request is
+        coalesced with the window's outstanding reads: keys another branch
+        already fetched are served from the shared reply — the caller waits
+        until that reply's completion time rather than re-issuing the RPC —
+        and only the remaining keys go to the cluster as one batch.
+        """
+        cache = self._gather_cache
+        if cache is None or not parallel:
+            result = self.cluster.multi_get(
+                namespace, keys, parallel=parallel, sim_time=self.clock.now
+            )
+            self._record(
+                result, operations=len(keys), rpcs=1 if parallel else len(keys)
+            )
+            return result.value  # type: ignore[return-value]
+        values: List[Optional[bytes]] = [None] * len(keys)
+        miss_keys: List[bytes] = []
+        miss_slots: List[int] = []
+        ready_at = self.clock.now
+        hits = 0
+        for slot, key in enumerate(keys):
+            hit = cache.get((namespace, key))
+            if hit is None:
+                miss_keys.append(key)
+                miss_slots.append(slot)
+            else:
+                values[slot] = hit[0]
+                ready_at = max(ready_at, hit[1])
+                hits += 1
+        if miss_keys:
+            result = self.cluster.multi_get(
+                namespace, miss_keys, parallel=True, sim_time=self.clock.now
+            )
+            fetched: List[Optional[bytes]] = result.value  # type: ignore[assignment]
+            done_at = self.clock.now + result.latency_seconds
+            for slot, key, value in zip(miss_slots, miss_keys, fetched):
+                values[slot] = value
+                cache[(namespace, key)] = (value, done_at)
+            ready_at = max(ready_at, done_at)
+            self.stats.rpcs += 1
+            self.stats.total_latency_seconds += result.latency_seconds
+            self.stats.record_latency(result.latency_seconds)
+        self.stats.operations += len(keys)
+        self.stats.keys_touched += len(keys)
+        self.stats.coalesced_reads += hits
+        self._coalesced_wait(ready_at)
+        return values
 
     def get_range(
         self,

@@ -158,6 +158,15 @@ class PlanGenerator:
         """Reuse an existing index with the right leading columns or create one."""
         existing = self.catalog.find_index(table.name, list(columns))
         if existing is not None:
+            # An index that only exists because automatic index selection
+            # created it earlier is still one this plan *requires* beyond the
+            # declared schema — report it, so ``required_indexes`` does not
+            # depend on compilation order (Table 1's "additional indexes").
+            if (
+                self.catalog.is_auto_created(existing.name)
+                and existing not in required_indexes
+            ):
+                required_indexes.append(existing)
             return existing
         for candidate in required_indexes:
             if candidate.table == table.name and list(candidate.columns[: len(columns)]) == list(columns):

@@ -19,6 +19,13 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._indexes: Dict[str, IndexDefinition] = {}
+        #: Names (lower-cased) of indexes the optimizer's index selection
+        #: invented, as opposed to indexes declared by the schema (CREATE
+        #: INDEX, cardinality-constraint support indexes).  Plans keep
+        #: reporting these under ``required_indexes`` even after they exist,
+        #: so "which additional indexes does this query need" (Table 1) does
+        #: not depend on which query happened to be compiled first.
+        self._auto_created: set = set()
         #: Bumped on every schema change.  Plan caches (one per database
         #: view, all sharing this catalog) compare against it so DDL issued
         #: through any view invalidates every view's cached plans.
@@ -43,6 +50,7 @@ class Catalog:
             n for n, ix in self._indexes.items() if ix.table.lower() == key
         ]:
             del self._indexes[index_name]
+            self._auto_created.discard(index_name)
         self.version += 1
 
     def table(self, name: str) -> Table:
@@ -60,8 +68,14 @@ class Catalog:
     # ------------------------------------------------------------------
     # Indexes
     # ------------------------------------------------------------------
-    def add_index(self, index: IndexDefinition) -> IndexDefinition:
-        """Register an index; adding an identical index twice is a no-op."""
+    def add_index(
+        self, index: IndexDefinition, auto_created: bool = False
+    ) -> IndexDefinition:
+        """Register an index; adding an identical index twice is a no-op.
+
+        ``auto_created=True`` records that the index came from automatic
+        index selection rather than the schema (see :meth:`is_auto_created`).
+        """
         if not self.has_table(index.table):
             raise UnknownTableError(index.table)
         table = self.table(index.table)
@@ -78,6 +92,8 @@ class Catalog:
                 return existing
             raise SchemaError(f"index {index.name!r} already exists")
         self._indexes[key] = index
+        if auto_created:
+            self._auto_created.add(key)
         self.version += 1
         return index
 
@@ -89,6 +105,10 @@ class Catalog:
 
     def has_index(self, name: str) -> bool:
         return name.lower() in self._indexes
+
+    def is_auto_created(self, name: str) -> bool:
+        """Whether the index was invented by automatic index selection."""
+        return name.lower() in self._auto_created
 
     def indexes(self) -> List[IndexDefinition]:
         return [self._indexes[k] for k in sorted(self._indexes)]

@@ -47,6 +47,12 @@ class RequestRecord:
     start_seconds: float
     completion_seconds: float
     service_seconds: float
+    #: Key/value operations the interaction issued (0 for legacy records).
+    operations: int = 0
+    #: Per-step operation counts, ``(label, operations)`` sorted by label —
+    #: lets paired serial/pipelined experiments verify the work done per
+    #: query is identical, only its latency composition differing.
+    query_operations: Tuple[Tuple[str, int], ...] = ()
 
     @property
     def queue_wait_seconds(self) -> float:
@@ -109,15 +115,25 @@ def _observe_at_completion(
 
 
 class AppServer:
-    """One emulated application server (a `new_client` view + its clock)."""
+    """One emulated application server (a `new_client` view + its clock).
 
-    def __init__(self, db: PiqlDatabase, client_id: int):
+    With ``pipelined=True`` the server replays each interaction's plan
+    through an asynchronous session, so the independent queries of a stage
+    overlap in simulated time (max instead of sum) and duplicate point
+    reads across them coalesce; the workload must implement
+    ``interaction_plan``.  The default replays interactions serially — the
+    classic blocking client.
+    """
+
+    def __init__(self, db: PiqlDatabase, client_id: int, pipelined: bool = False):
         # The kernel owns this clock and hands it to the database view, so
         # the server's whole timeline (queries, idle gaps) lives on a clock
         # the driver can read and advance.
         self.clock = SimClock()
         self.db = db.new_client(clock=self.clock)
         self.client_id = client_id
+        self.pipelined = pipelined
+        self.session = self.db.session() if pipelined else None
         self.interactions = 0
 
     @property
@@ -134,7 +150,11 @@ class AppServer:
         """
         if self.clock.now < at:
             self.clock.advance(at - self.clock.now)
-        result = workload.interaction(self.db, rng)
+        if self.pipelined:
+            plan = workload.interaction_plan(self.db, rng)
+            result = workload.run_plan(self.db, plan, session=self.session)
+        else:
+            result = workload.interaction(self.db, rng)
         self.interactions += 1
         return result
 
@@ -153,6 +173,7 @@ class ClosedLoopDriver:
         monitor: Optional[SLOMonitor] = None,
         admission: Optional[AdmissionController] = None,
         log: Optional[TrafficLog] = None,
+        pipelined: bool = False,
     ):
         if clients < 1:
             raise ValueError("need at least one client")
@@ -164,7 +185,8 @@ class ClosedLoopDriver:
         self.monitor = monitor
         self.admission = admission
         self.log = log if log is not None else TrafficLog()
-        self.servers = [AppServer(db, client_id) for client_id in range(clients)]
+        self.servers = [AppServer(db, client_id, pipelined=pipelined)
+                        for client_id in range(clients)]
         self._rngs = [random.Random((seed, i).__hash__() & 0x7FFFFFFF)
                       for i in range(clients)]
 
@@ -219,6 +241,8 @@ class ClosedLoopDriver:
                 start_seconds=arrival,
                 completion_seconds=completion,
                 service_seconds=result.latency_seconds,
+                operations=result.operations,
+                query_operations=tuple(sorted(result.query_operations.items())),
             )
             self.log.records.append(record)
             _observe_at_completion(sim, self.monitor, record)
@@ -244,6 +268,7 @@ class OpenLoopDriver:
         monitor: Optional[SLOMonitor] = None,
         admission: Optional[AdmissionController] = None,
         log: Optional[TrafficLog] = None,
+        pipelined: bool = False,
     ):
         if arrival_rate_per_second <= 0:
             raise ValueError("arrival rate must be positive")
@@ -255,7 +280,8 @@ class OpenLoopDriver:
         self.monitor = monitor
         self.admission = admission
         self.log = log if log is not None else TrafficLog()
-        self.servers = [AppServer(db, client_id) for client_id in range(servers)]
+        self.servers = [AppServer(db, client_id, pipelined=pipelined)
+                        for client_id in range(servers)]
         self._rng = random.Random(seed)
 
     def set_rate(self, arrival_rate_per_second: float) -> None:
@@ -300,6 +326,8 @@ class OpenLoopDriver:
             start_seconds=start,
             completion_seconds=server.free_at,
             service_seconds=result.latency_seconds,
+            operations=result.operations,
+            query_operations=tuple(sorted(result.query_operations.items())),
         )
         self.log.records.append(record)
         _observe_at_completion(sim, self.monitor, record)

@@ -62,6 +62,10 @@ class ServingConfig:
     #: Failure timeline: crash / recover / slow / restore events applied to
     #: storage nodes through the event kernel mid-run.
     faults: Sequence[FaultSpec] = ()
+    #: Replay interactions through asynchronous sessions: the independent
+    #: queries of each interaction-plan stage overlap in simulated time
+    #: (requires the workload to implement ``interaction_plan``).
+    pipelined: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -150,6 +154,7 @@ class ServingSimulation:
                 monitor=self.monitor,
                 admission=self.admission,
                 log=self.log,
+                pipelined=config.pipelined,
             )
         else:
             self.driver = OpenLoopDriver(
@@ -162,6 +167,7 @@ class ServingSimulation:
                 monitor=self.monitor,
                 admission=self.admission,
                 log=self.log,
+                pipelined=config.pipelined,
             )
 
     # ------------------------------------------------------------------

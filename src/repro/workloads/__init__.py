@@ -1,13 +1,23 @@
 """Benchmark workloads used in the paper's evaluation: TPC-W and SCADr."""
 
-from .base import InteractionResult, Workload, WorkloadScale
+from .base import (
+    InteractionPlan,
+    InteractionResult,
+    QueryStep,
+    Workload,
+    WorkloadScale,
+    WriteStep,
+)
 from .scadr.workload import ScadrWorkload
 from .tpcw.workload import TpcwWorkload
 
 __all__ = [
+    "InteractionPlan",
     "InteractionResult",
+    "QueryStep",
     "ScadrWorkload",
     "TpcwWorkload",
     "Workload",
     "WorkloadScale",
+    "WriteStep",
 ]

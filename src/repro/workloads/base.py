@@ -1,13 +1,33 @@
-"""Common infrastructure shared by the TPC-W and SCADr benchmark workloads."""
+"""Common infrastructure shared by the TPC-W and SCADr benchmark workloads.
+
+Interactions are modelled as small **DAGs of query steps**: an
+:class:`InteractionPlan` is a sequence of *stages*, each stage a set of
+steps that are independent of one another (they may only depend on results
+of earlier stages).  The same plan can be replayed two ways:
+
+* **serially** (:meth:`Workload.run_plan` with no session) — steps execute
+  one after another and their latencies add, the behaviour of the classic
+  blocking client API;
+* **pipelined** (``run_plan(db, plan, session=...)``) — the steps of a
+  stage are submitted to an asynchronous
+  :class:`~repro.engine.session.Session` and gathered, so each stage costs
+  the *maximum* of its branches instead of the sum, and duplicate point
+  reads across branches coalesce.
+
+Both replays issue exactly the same queries with exactly the same
+parameters, so per-query operation counts (and the static bounds backing
+them) are identical — only the latency composition changes.
+"""
 
 from __future__ import annotations
 
 import abc
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..engine.database import PiqlDatabase
+from ..engine.session import Session
 
 
 @dataclass
@@ -18,6 +38,11 @@ class InteractionResult:
     latency_seconds: float
     operations: int
     query_latencies: Dict[str, float] = field(default_factory=dict)
+    #: Key/value operations issued by each step, keyed like
+    #: ``query_latencies``.  Serial and pipelined replays of the same plan
+    #: produce identical values here (pipelining changes latency
+    #: composition, never the work done).
+    query_operations: Dict[str, int] = field(default_factory=dict)
 
     @property
     def latency_ms(self) -> float:
@@ -42,6 +67,47 @@ class WorkloadScale:
     seed: int = 42
 
 
+# ----------------------------------------------------------------------
+# Interaction DAGs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueryStep:
+    """One named read query of an interaction (independent within its stage)."""
+
+    label: str
+    sql: str
+    parameters: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """One block of writes of an interaction.
+
+    ``write(db, results)`` receives the database view and the results of
+    every already-completed step (label -> result object with ``.rows`` for
+    query steps), and performs its writes through the normal DML API.
+    """
+
+    label: str
+    write: Callable[[PiqlDatabase, Dict[str, object]], None]
+
+
+Step = Union[QueryStep, WriteStep]
+#: A stage is either a literal list of steps, or a callable evaluated when
+#: the stage is reached — ``builder(db, results) -> steps`` — for stages
+#: whose steps depend on earlier results (e.g. TPC-W buy-confirm writes the
+#: order lines it just read from the cart).
+StageSpec = Union[Sequence[Step], Callable[[PiqlDatabase, Dict[str, object]], Sequence[Step]]]
+
+
+@dataclass
+class InteractionPlan:
+    """One web interaction as sequential stages of independent steps."""
+
+    name: str
+    stages: List[StageSpec]
+
+
 class Workload(abc.ABC):
     """A benchmark: schema + data generator + interaction mix."""
 
@@ -64,11 +130,121 @@ class Workload(abc.ABC):
     def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:
         """Random parameter bindings for one named query."""
 
-    @abc.abstractmethod
+    # ------------------------------------------------------------------
+    # Interactions
+    # ------------------------------------------------------------------
+    def interaction_plan(
+        self, db: PiqlDatabase, rng: random.Random
+    ) -> InteractionPlan:
+        """Sample one web interaction as a DAG of query steps.
+
+        Workloads that model their interactions as plans implement this;
+        drivers running in pipelined mode replay the plan through a session
+        so independent steps overlap.  The default raises — a workload that
+        only overrides :meth:`interaction` cannot be pipelined.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not model its interactions as plans"
+        )
+
     def interaction(
         self, db: PiqlDatabase, rng: random.Random
     ) -> InteractionResult:
-        """Run one web interaction against ``db`` and report its cost."""
+        """Run one web interaction serially and report its cost.
+
+        Default implementation: sample a plan and replay it without a
+        session (stage latencies add) — the classic blocking behaviour.
+        """
+        return self.run_plan(db, self.interaction_plan(db, rng))
+
+    def run_plan(
+        self,
+        db: PiqlDatabase,
+        plan: InteractionPlan,
+        session: Optional[Session] = None,
+    ) -> InteractionResult:
+        """Replay one interaction plan, serially or through a session.
+
+        With ``session=None`` every step executes sequentially on the view's
+        clock.  With a session, stages of two or more steps are submitted
+        and gathered so the stage costs the max of its branches; single-step
+        stages take the inline path either way (identical charging).
+
+        The steps of one stage are independent *by contract*: ``results``
+        exposes only the results of earlier stages to a stage's steps and
+        stage builders, identically in both replay modes (query steps yield
+        an object with ``.rows``; write steps yield ``None``).
+        """
+        client = db.client
+        started = client.clock.now
+        operations_before = client.stats.operations
+        results: Dict[str, object] = {}
+        query_latencies: Dict[str, float] = {}
+        query_operations: Dict[str, int] = {}
+
+        for stage in plan.stages:
+            steps = list(stage(db, results) if callable(stage) else stage)
+            stage_results: Dict[str, object] = {}
+            if session is not None and len(steps) > 1:
+                futures = [self._submit_step(session, db, step, results)
+                           for step in steps]
+                session.gather(*futures)
+                for step, future in zip(steps, futures):
+                    value = future.result()
+                    stage_results[step.label] = (
+                        None if isinstance(step, WriteStep) else value
+                    )
+                    query_latencies[step.label] = future.latency_seconds
+                    query_operations[step.label] = future.operations
+            else:
+                for step in steps:
+                    value, latency, operations = self._run_step(db, step, results)
+                    stage_results[step.label] = value
+                    query_latencies[step.label] = latency
+                    query_operations[step.label] = operations
+            # Merge only once the stage completes, so same-stage siblings are
+            # invisible to one another in the serial replay exactly as they
+            # are in the pipelined one.
+            results.update(stage_results)
+
+        return InteractionResult(
+            name=plan.name,
+            latency_seconds=client.clock.now - started,
+            operations=client.stats.operations - operations_before,
+            query_latencies=query_latencies,
+            query_operations=query_operations,
+        )
+
+    @staticmethod
+    def _submit_step(
+        session: Session,
+        db: PiqlDatabase,
+        step: Step,
+        results: Dict[str, object],
+    ):
+        if isinstance(step, QueryStep):
+            return session.submit(
+                db.prepare(step.sql), dict(step.parameters), label=step.label
+            )
+        return session.call(
+            lambda view, step=step: step.write(view, results), label=step.label
+        )
+
+    @staticmethod
+    def _run_step(db: PiqlDatabase, step: Step, results: Dict[str, object]):
+        """Execute one step inline; returns ``(result, latency, operations)``."""
+        if isinstance(step, QueryStep):
+            result = db.prepare(step.sql).execute(dict(step.parameters))
+            return result, result.latency_seconds, result.operations
+        client = db.client
+        operations_before = client.stats.operations
+        started = client.clock.now
+        step.write(db, results)
+        return (
+            None,
+            client.clock.now - started,
+            client.stats.operations - operations_before,
+        )
 
     # ------------------------------------------------------------------
     # Convenience helpers shared by the harness

@@ -1,11 +1,24 @@
 """The TPC-W workload: web interactions and the ordering mix (Section 8.1.1).
 
-Each web interaction executes the queries needed to render one page of the
-online bookstore.  The *ordering* mix is used throughout the paper's
-experiments because it is the most update-intensive (roughly 30% of the
-interactions lead to updates); the weights below follow the TPC-W
-specification's ordering mix restricted to the interactions the paper
-implements (Best Sellers and Admin Confirm are omitted).
+Each web interaction is modelled as an :class:`InteractionPlan` — the DAG of
+queries needed to render one page of the online bookstore.  Pages whose
+queries are independent declare them in one stage, so a pipelined replay
+(through an asynchronous session) overlaps them; pages with data
+dependencies (buy-confirm writes the order lines it just read from the
+cart) use sequential stages.
+
+Browse-style pages additionally carry the TPC-W specification's
+*promotional processing*: a banner of randomly chosen items rendered
+alongside the page's primary query.  The seed-era interactions collapsed
+each page to its primary queries only; the banner lookups are exactly the
+kind of independent per-page work the paper's parallel execution argument
+(Section 7.1) is about, so they are modelled as explicit parallel branches.
+
+The *ordering* mix is used throughout the paper's experiments because it is
+the most update-intensive (roughly 30% of the interactions lead to
+updates); the weights below follow the TPC-W specification's ordering mix
+restricted to the interactions the paper implements (Best Sellers and Admin
+Confirm are omitted).
 """
 
 from __future__ import annotations
@@ -15,7 +28,7 @@ import random
 from typing import Dict, List
 
 from ...engine.database import PiqlDatabase
-from ..base import InteractionResult, Workload, WorkloadScale
+from ..base import InteractionPlan, QueryStep, Workload, WorkloadScale, WriteStep
 from .data import TpcwDataConfig, TpcwDataGenerator
 from .queries import QUERIES
 from .schema import SUBJECTS, TPCW_DDL
@@ -36,14 +49,20 @@ ORDERING_MIX: Dict[str, float] = {
     "buy_confirm": 0.10,
 }
 
+#: How many promotional-banner items browse pages render (TPC-W §2's
+#: promotional processing, scaled down like the rest of the workload).
+PROMOTIONAL_ITEMS = 2
+
 
 class TpcwWorkload(Workload):
-    """Schema + data + ordering-mix interactions for TPC-W."""
+    """Schema + data + ordering-mix interaction plans for TPC-W."""
 
     name = "TPC-W"
 
-    def __init__(self, mix: Dict[str, float] = None):
+    def __init__(self, mix: Dict[str, float] = None,
+                 promotional_items: int = PROMOTIONAL_ITEMS):
         self.mix = dict(mix or ORDERING_MIX)
+        self.promotional_items = promotional_items
         self._unames: List[str] = []
         self._item_ids: List[int] = []
         self._order_ids: List[int] = []
@@ -101,119 +120,127 @@ class TpcwWorkload(Workload):
         raise KeyError(name)
 
     # ------------------------------------------------------------------
-    # Web interactions
+    # Web interactions (plans)
     # ------------------------------------------------------------------
-    def interaction(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
-        """Run one web interaction chosen from the ordering mix."""
+    def interaction_plan(
+        self, db: PiqlDatabase, rng: random.Random
+    ) -> InteractionPlan:
+        """Sample one web interaction from the ordering mix as a plan."""
         names = list(self.mix)
         weights = [self.mix[n] for n in names]
         choice = rng.choices(names, weights=weights, k=1)[0]
-        handler = getattr(self, f"_wi_{choice}")
-        return handler(db, rng)
+        builder = getattr(self, f"_plan_{choice}")
+        return builder(db, rng)
+
+    # -- shared page elements -------------------------------------------
+    def _query_step(self, label: str, query_name: str, parameters) -> QueryStep:
+        return QueryStep(label, self.query_sql(query_name), parameters)
+
+    def _promotional_steps(self, rng: random.Random) -> List[QueryStep]:
+        """The page's promotional banner: independent item lookups."""
+        return [
+            self._query_step(
+                f"promo_item_{position}",
+                "product_detail_wi",
+                {"item_id": rng.choice(self._item_ids)},
+            )
+            for position in range(1, self.promotional_items + 1)
+        ]
 
     # -- read-dominant interactions ------------------------------------
-    def _run_queries(
-        self, db: PiqlDatabase, rng: random.Random, name: str, queries: List[tuple]
-    ) -> InteractionResult:
-        latencies: Dict[str, float] = {}
-        operations = 0
-        total = 0.0
-        for query_name, parameters in queries:
-            result = db.prepare(self.query_sql(query_name)).execute(parameters)
-            latencies[query_name] = result.latency_seconds
-            operations += result.operations
-            total += result.latency_seconds
-        return InteractionResult(
-            name=name,
-            latency_seconds=total,
-            operations=operations,
-            query_latencies=latencies,
-        )
-
-    def _wi_home(self, db: PiqlDatabase, rng: random.Random) -> InteractionResult:
+    def _plan_home(self, db, rng) -> InteractionPlan:
         uname = rng.choice(self._unames)
-        return self._run_queries(db, rng, "home", [("home_wi", {"uname": uname})])
-
-    def _wi_new_products(self, db, rng) -> InteractionResult:
-        return self._run_queries(
-            db, rng, "new_products",
-            [("new_products_wi", {"subject": rng.choice(SUBJECTS)})],
+        return InteractionPlan(
+            "home",
+            [[self._query_step("home_wi", "home_wi", {"uname": uname}),
+              *self._promotional_steps(rng)]],
         )
 
-    def _wi_product_detail(self, db, rng) -> InteractionResult:
-        return self._run_queries(
-            db, rng, "product_detail",
-            [("product_detail_wi", {"item_id": rng.choice(self._item_ids)})],
+    def _plan_new_products(self, db, rng) -> InteractionPlan:
+        return InteractionPlan(
+            "new_products",
+            [[self._query_step("new_products_wi", "new_products_wi",
+                               {"subject": rng.choice(SUBJECTS)}),
+              *self._promotional_steps(rng)]],
         )
 
-    def _wi_search_by_author(self, db, rng) -> InteractionResult:
-        return self._run_queries(
-            db, rng, "search_by_author",
-            [("search_by_author_wi", {"author_name": rng.choice(self._author_names)})],
+    def _plan_product_detail(self, db, rng) -> InteractionPlan:
+        return InteractionPlan(
+            "product_detail",
+            [[self._query_step("product_detail_wi", "product_detail_wi",
+                               {"item_id": rng.choice(self._item_ids)})]],
         )
 
-    def _wi_search_by_title(self, db, rng) -> InteractionResult:
-        return self._run_queries(
-            db, rng, "search_by_title",
-            [("search_by_title_wi", {"title_word": rng.choice(self._title_words)})],
+    def _plan_search_by_author(self, db, rng) -> InteractionPlan:
+        return InteractionPlan(
+            "search_by_author",
+            [[self._query_step("search_by_author_wi", "search_by_author_wi",
+                               {"author_name": rng.choice(self._author_names)}),
+              *self._promotional_steps(rng)]],
         )
 
-    def _wi_order_display(self, db, rng) -> InteractionResult:
+    def _plan_search_by_title(self, db, rng) -> InteractionPlan:
+        return InteractionPlan(
+            "search_by_title",
+            [[self._query_step("search_by_title_wi", "search_by_title_wi",
+                               {"title_word": rng.choice(self._title_words)}),
+              *self._promotional_steps(rng)]],
+        )
+
+    def _plan_order_display(self, db, rng) -> InteractionPlan:
         uname = rng.choice(self._unames)
         order_id = rng.choice(self._order_ids)
-        return self._run_queries(
-            db, rng, "order_display",
-            [
-                ("order_display_get_customer", {"uname": uname}),
-                ("order_display_get_last_order", {"uname": uname}),
-                ("order_display_get_order_lines", {"order_id": order_id}),
-            ],
+        return InteractionPlan(
+            "order_display",
+            [[
+                self._query_step("order_display_get_customer",
+                                 "order_display_get_customer", {"uname": uname}),
+                self._query_step("order_display_get_last_order",
+                                 "order_display_get_last_order", {"uname": uname}),
+                self._query_step("order_display_get_order_lines",
+                                 "order_display_get_order_lines",
+                                 {"order_id": order_id}),
+            ]],
         )
 
-    def _wi_buy_request(self, db, rng) -> InteractionResult:
+    def _plan_buy_request(self, db, rng) -> InteractionPlan:
         uname = rng.choice(self._unames)
         cart_id = rng.choice(self._cart_ids)
-        return self._run_queries(
-            db, rng, "buy_request",
-            [
-                ("order_display_get_customer", {"uname": uname}),
-                ("buy_request_wi", {"cart_id": cart_id}),
-            ],
+        return InteractionPlan(
+            "buy_request",
+            [[
+                self._query_step("order_display_get_customer",
+                                 "order_display_get_customer", {"uname": uname}),
+                self._query_step("buy_request_wi", "buy_request_wi",
+                                 {"cart_id": cart_id}),
+            ]],
         )
 
     # -- updating interactions ------------------------------------------
-    def _timed_writes(self, db: PiqlDatabase, name: str, write) -> InteractionResult:
-        stats_before = db.client.stats.snapshot()
-        before = db.client.clock.now
-        write()
-        latency = db.client.clock.now - before
-        operations = db.client.stats.snapshot().delta(stats_before).operations
-        return InteractionResult(
-            name=name,
-            latency_seconds=latency,
-            operations=operations,
-            query_latencies={name: latency},
-        )
-
-    def _wi_shopping_cart(self, db, rng) -> InteractionResult:
+    def _plan_shopping_cart(self, db, rng) -> InteractionPlan:
         cart_id = rng.choice(self._cart_ids)
         item_id = rng.choice(self._item_ids)
+        quantity = rng.randrange(1, 4)
 
-        def write() -> None:
-            db.insert(
+        def add_line(database: PiqlDatabase, _results) -> None:
+            database.insert(
                 "shopping_cart_line",
-                {"SCL_SC_ID": cart_id, "SCL_I_ID": item_id, "SCL_QTY": rng.randrange(1, 4)},
+                {"SCL_SC_ID": cart_id, "SCL_I_ID": item_id, "SCL_QTY": quantity},
                 upsert=True,
             )
 
-        return self._timed_writes(db, "shopping_cart", write)
+        return InteractionPlan(
+            "shopping_cart",
+            [[WriteStep("shopping_cart", add_line),
+              *self._promotional_steps(rng)]],
+        )
 
-    def _wi_customer_registration(self, db, rng) -> InteractionResult:
+    def _plan_customer_registration(self, db, rng) -> InteractionPlan:
         index = next(self._customer_counter)
         uname = f"newcust{index:09d}"
 
-        def write() -> None:
-            db.insert(
+        def register(database: PiqlDatabase, _results) -> None:
+            database.insert(
                 "customer",
                 {
                     "C_UNAME": uname,
@@ -233,73 +260,92 @@ class TpcwWorkload(Workload):
             )
 
         self._unames.append(uname)
-        return self._timed_writes(db, "customer_registration", write)
+        return InteractionPlan(
+            "customer_registration",
+            [[WriteStep("customer_registration", register)]],
+        )
 
-    def _wi_buy_confirm(self, db, rng) -> InteractionResult:
-        """Create an order from a cart: the most write-heavy interaction."""
+    def _plan_buy_confirm(self, db, rng) -> InteractionPlan:
+        """Create an order from a cart: the most write-heavy interaction.
+
+        Stage 1 reads the cart; stage 2 — built once the cart rows are known
+        — issues three independent write branches (the order row, its lines
+        plus the payment record, and the cart cleanup TPC-W mandates once an
+        order is placed).
+        """
         uname = rng.choice(self._unames)
         order_id = next(self._order_counter)
         cart_id = rng.choice(self._cart_ids)
-        cart_result = db.prepare(self.query_sql("buy_request_wi")).execute(
-            cart_id=cart_id
-        )
+        read_stage = [
+            self._query_step("buy_request_wi", "buy_request_wi",
+                             {"cart_id": cart_id})
+        ]
 
-        def write() -> None:
+        def write_stage(database: PiqlDatabase, results):
+            cart_rows = results["buy_request_wi"].rows
             date_time = 1_330_000_000 + order_id
-            db.insert(
-                "orders",
-                {
-                    "O_ID": order_id,
-                    "O_C_UNAME": uname,
-                    "O_DATE_TIME": date_time,
-                    "O_SUB_TOTAL": 100.0,
-                    "O_TAX": 8.25,
-                    "O_TOTAL": 108.25,
-                    "O_SHIP_TYPE": "GROUND",
-                    "O_SHIP_DATE": date_time + 86_400,
-                    "O_SHIP_ADDR_ID": 1,
-                    "O_STATUS": "PENDING",
-                },
-                upsert=True,
-            )
-            for line_number, row in enumerate(cart_result.rows[:10], start=1):
-                db.insert(
-                    "order_line",
+
+            def place_order(db_: PiqlDatabase, _results) -> None:
+                db_.insert(
+                    "orders",
                     {
-                        "OL_O_ID": order_id,
-                        "OL_ID": line_number,
-                        "OL_I_ID": row.get("SCL_I_ID", rng.choice(self._item_ids)),
-                        "OL_QTY": row.get("SCL_QTY", 1),
-                        "OL_DISCOUNT": 0.0,
-                        "OL_COMMENT": "",
+                        "O_ID": order_id,
+                        "O_C_UNAME": uname,
+                        "O_DATE_TIME": date_time,
+                        "O_SUB_TOTAL": 100.0,
+                        "O_TAX": 8.25,
+                        "O_TOTAL": 108.25,
+                        "O_SHIP_TYPE": "GROUND",
+                        "O_SHIP_DATE": date_time + 86_400,
+                        "O_SHIP_ADDR_ID": 1,
+                        "O_STATUS": "PENDING",
                     },
                     upsert=True,
                 )
-            db.insert(
-                "cc_xacts",
-                {
-                    "CX_O_ID": order_id,
-                    "CX_TYPE": "VISA",
-                    "CX_NUM": "4111-0000",
-                    "CX_NAME": uname,
-                    "CX_EXPIRE": 1_400_000_000,
-                    "CX_XACT_AMT": 108.25,
-                    "CX_XACT_DATE": date_time,
-                    "CX_CO_ID": 1,
-                },
-                upsert=True,
-            )
-            # TPC-W empties the cart once the order is placed.  Without this
-            # the cart grows with every SHOPPING_CART interaction and the
-            # per-interaction cost of reading it climbs for the whole run,
-            # destabilising long serving simulations.
-            for row in cart_result.rows:
-                if "SCL_I_ID" in row:
-                    db.delete("shopping_cart_line", [cart_id, row["SCL_I_ID"]])
 
-        result = self._timed_writes(db, "buy_confirm", write)
-        result.latency_seconds += cart_result.latency_seconds
-        result.operations += cart_result.operations
-        result.query_latencies["buy_request_wi"] = cart_result.latency_seconds
-        self._order_ids.append(order_id)
-        return result
+            def record_lines(db_: PiqlDatabase, _results) -> None:
+                for line_number, row in enumerate(cart_rows[:10], start=1):
+                    db_.insert(
+                        "order_line",
+                        {
+                            "OL_O_ID": order_id,
+                            "OL_ID": line_number,
+                            "OL_I_ID": row.get("SCL_I_ID", rng.choice(self._item_ids)),
+                            "OL_QTY": row.get("SCL_QTY", 1),
+                            "OL_DISCOUNT": 0.0,
+                            "OL_COMMENT": "",
+                        },
+                        upsert=True,
+                    )
+                db_.insert(
+                    "cc_xacts",
+                    {
+                        "CX_O_ID": order_id,
+                        "CX_TYPE": "VISA",
+                        "CX_NUM": "4111-0000",
+                        "CX_NAME": uname,
+                        "CX_EXPIRE": 1_400_000_000,
+                        "CX_XACT_AMT": 108.25,
+                        "CX_XACT_DATE": date_time,
+                        "CX_CO_ID": 1,
+                    },
+                    upsert=True,
+                )
+
+            def clear_cart(db_: PiqlDatabase, _results) -> None:
+                # TPC-W empties the cart once the order is placed.  Without
+                # this the cart grows with every SHOPPING_CART interaction
+                # and the per-interaction cost of reading it climbs for the
+                # whole run, destabilising long serving simulations.
+                for row in cart_rows:
+                    if "SCL_I_ID" in row:
+                        db_.delete("shopping_cart_line", [cart_id, row["SCL_I_ID"]])
+                self._order_ids.append(order_id)
+
+            return [
+                WriteStep("place_order", place_order),
+                WriteStep("record_lines", record_lines),
+                WriteStep("clear_cart", clear_cart),
+            ]
+
+        return InteractionPlan("buy_confirm", [read_stage, write_stage])

@@ -1,0 +1,196 @@
+"""Tests for interaction DAGs: serial vs pipelined replays of the same plan."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.workloads import (
+    InteractionPlan,
+    QueryStep,
+    ScadrWorkload,
+    TpcwWorkload,
+    WorkloadScale,
+    WriteStep,
+)
+
+
+def fresh_tpcw(seed: int = 31):
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=seed))
+    workload = TpcwWorkload()
+    workload.setup(
+        db, WorkloadScale(storage_nodes=2, users_per_node=15, items_total=60,
+                          seed=seed)
+    )
+    db.reset_measurements()
+    return db, workload
+
+
+def fresh_scadr(seed: int = 31):
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=seed))
+    workload = ScadrWorkload(max_subscriptions=10, subscriptions_per_user=5,
+                             thoughts_per_user=8)
+    workload.setup(
+        db, WorkloadScale(storage_nodes=2, users_per_node=20, seed=seed)
+    )
+    db.reset_measurements()
+    return db, workload
+
+
+class TestPlanShapes:
+    def test_tpcw_order_display_is_one_parallel_stage(self):
+        db, workload = fresh_tpcw()
+        plan = workload._plan_order_display(db, random.Random(1))
+        assert isinstance(plan, InteractionPlan)
+        assert len(plan.stages) == 1
+        assert len(plan.stages[0]) == 3
+        assert all(isinstance(step, QueryStep) for step in plan.stages[0])
+
+    def test_tpcw_buy_confirm_reads_then_writes(self):
+        db, workload = fresh_tpcw()
+        plan = workload._plan_buy_confirm(db, random.Random(1))
+        assert len(plan.stages) == 2
+        read_stage, write_stage = plan.stages
+        assert [step.label for step in read_stage] == ["buy_request_wi"]
+        assert callable(write_stage), "write steps depend on the cart rows"
+
+    def test_scadr_home_page_is_one_stage_of_independent_queries(self):
+        db, workload = fresh_scadr()
+        plan = workload.interaction_plan(db, random.Random(2))
+        assert len(plan.stages) == 1
+        labels = [step.label for step in plan.stages[0]]
+        assert set(workload.query_names()) <= set(labels)
+
+    def test_scadr_post_thought_joins_the_stage(self):
+        db, workload = fresh_scadr()
+        # post_probability=1 forces the write branch.
+        workload.post_probability = 1.0
+        plan = workload.interaction_plan(db, random.Random(3))
+        kinds = {type(step) for step in plan.stages[0]}
+        assert WriteStep in kinds
+        assert len(plan.stages[0]) == len(workload.query_names()) + 1
+
+
+class TestSerialVsPipelined:
+    @pytest.mark.parametrize("factory", [fresh_tpcw, fresh_scadr])
+    def test_identical_work_faster_pages(self, factory):
+        """Replaying the same plan stream pipelined does identical per-query
+        work while never being slower, and is strictly faster overall."""
+        interactions = 40
+        records = {}
+        for arm in ("serial", "pipelined"):
+            db, workload = factory()
+            db.cluster.reseed_latency_models(5)
+            rng = random.Random(17)
+            session = db.session() if arm == "pipelined" else None
+            rows = []
+            for _ in range(interactions):
+                plan = workload.interaction_plan(db, rng)
+                result = workload.run_plan(db, plan, session=session)
+                rows.append(
+                    (result.name, tuple(sorted(result.query_operations.items())),
+                     result.latency_seconds)
+                )
+            records[arm] = rows
+        serial, pipelined = records["serial"], records["pipelined"]
+        assert [r[:2] for r in serial] == [r[:2] for r in pipelined], (
+            "per-interaction per-query operation counts must be identical"
+        )
+        assert sum(r[2] for r in pipelined) < sum(r[2] for r in serial)
+
+    def test_serial_latency_is_sum_pipelined_is_max_per_stage(self):
+        db, workload = fresh_tpcw()
+        rng = random.Random(9)
+        plan = workload._plan_order_display(db, rng)
+        serial = workload.run_plan(db, plan)
+        assert serial.latency_seconds == pytest.approx(
+            sum(serial.query_latencies.values())
+        )
+
+        db2, workload2 = fresh_tpcw()
+        rng2 = random.Random(9)
+        plan2 = workload2._plan_order_display(db2, rng2)
+        pipelined = workload2.run_plan(db2, plan2, session=db2.session())
+        assert pipelined.latency_seconds == pytest.approx(
+            max(pipelined.query_latencies.values())
+        )
+
+    def test_interaction_uses_the_serial_replay(self):
+        db, workload = fresh_scadr()
+        rng = random.Random(4)
+        result = workload.interaction(db, rng)
+        assert result.name == "home_page"
+        assert set(workload.query_names()) <= set(result.query_latencies)
+        assert result.latency_seconds == pytest.approx(
+            sum(result.query_latencies.values())
+        )
+
+    def test_workload_without_plan_cannot_be_pipelined(self):
+        from repro.workloads.base import Workload
+
+        class Opaque(Workload):
+            def setup(self, db, scale):  # pragma: no cover - unused
+                pass
+
+            def query_names(self):
+                return []
+
+            def query_sql(self, name):
+                raise KeyError(name)
+
+            def sample_parameters(self, name, rng):
+                return {}
+
+        db, _ = fresh_scadr()
+        with pytest.raises(NotImplementedError):
+            Opaque().interaction_plan(db, random.Random(0))
+
+
+class TestPipelinedServing:
+    def test_closed_loop_pipelined_beats_serial(self):
+        from repro.serving import ServingConfig, run_serving_simulation
+
+        percentiles = {}
+        for pipelined in (False, True):
+            db, workload = fresh_tpcw(seed=13)
+            db.cluster.reseed_latency_models(13)
+            report = run_serving_simulation(
+                db,
+                workload,
+                ServingConfig(
+                    mode="closed",
+                    clients=10,
+                    think_time_seconds=0.3,
+                    duration_seconds=5.0,
+                    pipelined=pipelined,
+                    seed=13,
+                ),
+            )
+            assert report.completed > 50
+            percentiles[pipelined] = report.response_percentile_ms(0.50)
+        assert percentiles[True] < percentiles[False]
+
+    def test_request_records_carry_operation_counts(self):
+        from repro.serving import ServingConfig, run_serving_simulation
+
+        db, workload = fresh_tpcw(seed=19)
+        report = run_serving_simulation(
+            db,
+            workload,
+            ServingConfig(
+                mode="open",
+                clients=5,
+                arrival_rate_per_second=20.0,
+                duration_seconds=3.0,
+                pipelined=True,
+                seed=19,
+            ),
+        )
+        assert report.log.records
+        for record in report.log.records:
+            assert record.operations > 0
+            assert record.operations == sum(
+                ops for _, ops in record.query_operations
+            )
