@@ -6,6 +6,11 @@ from .bench_failover_slo import (
     FailoverSloResult,
     WriteAudit,
 )
+from .bench_operator_fusion import (
+    OperatorFusionConfig,
+    OperatorFusionExperiment,
+    OperatorFusionResult,
+)
 from .bench_pipelined_interactions import (
     PipelinedInteractionsConfig,
     PipelinedInteractionsExperiment,
@@ -53,6 +58,9 @@ __all__ = [
     "IntersectionExperimentConfig",
     "IntersectionPoint",
     "IntersectionResult",
+    "OperatorFusionConfig",
+    "OperatorFusionExperiment",
+    "OperatorFusionResult",
     "PhaseSummary",
     "PipelinedInteractionsConfig",
     "PipelinedInteractionsExperiment",

@@ -59,13 +59,16 @@ class PiqlDatabase:
         self,
         cluster: Optional[KeyValueCluster] = None,
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
+        fused: bool = True,
     ):
         self.cluster = cluster or KeyValueCluster(ClusterConfig())
         self.catalog = Catalog()
         self.client = StorageClient(cluster=self.cluster)
         self.records = RecordManager(self.catalog, self.client)
         self.optimizer = PiqlOptimizer(self.catalog)
-        self.executor = QueryExecutor(self.client, self.catalog, strategy=strategy)
+        self.executor = QueryExecutor(
+            self.client, self.catalog, strategy=strategy, fused=fused
+        )
         self.assistant = PerformanceInsightAssistant(self.catalog)
         self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
         self._default_session: Optional[Session] = None
@@ -78,9 +81,19 @@ class PiqlDatabase:
         cls,
         config: Optional[ClusterConfig] = None,
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
+        fused: bool = True,
     ) -> "PiqlDatabase":
-        """Create a database on a fresh simulated cluster."""
-        return cls(cluster=KeyValueCluster(config or ClusterConfig()), strategy=strategy)
+        """Create a database on a fresh simulated cluster.
+
+        ``fused=False`` turns off batch-at-a-time round fusion (the paired
+        baseline of the operator-fusion benchmark); results and operation
+        counts are identical either way.
+        """
+        return cls(
+            cluster=KeyValueCluster(config or ClusterConfig()),
+            strategy=strategy,
+            fused=fused,
+        )
 
     def new_client(
         self,
@@ -106,6 +119,7 @@ class PiqlDatabase:
             clone.client,
             self.catalog,
             strategy=strategy or self.executor.config.strategy,
+            fused=self.executor.config.fused,
         )
         clone.assistant = PerformanceInsightAssistant(self.catalog)
         clone._prepared_cache = {}

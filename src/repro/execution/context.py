@@ -45,6 +45,17 @@ class ExecutionContext:
     catalog: Catalog
     parameters: Dict[str, Any] = field(default_factory=dict)
     strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL
+    #: Batch-at-a-time execution: fuse dereference rounds across an
+    #: operator's inputs, stop dereferencing once a data stop is satisfied,
+    #: and push index-only predicates below the base-record fetch.  Rows,
+    #: operation counts, and static bounds are identical either way — the
+    #: flag exists so paired benchmarks can measure exactly what fusion
+    #: buys.  LAZY execution ignores it (one request per tuple, always).
+    fused: bool = True
+    #: Whether this execution is one page of a PAGINATE query.  Fast paths
+    #: that would bypass the scan's cursor bookkeeping (e.g. the COUNT
+    #: fast path) must stand down for paginated executions.
+    paginated: bool = False
     #: Scan positions to resume from (PAGINATE cursors): scan_id -> last key.
     resume_positions: Dict[str, bytes] = field(default_factory=dict)
     #: Scan positions observed during this execution (for the next cursor).

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, List, Optional, Sequence, Union
 
 from ..errors import ExecutionError
@@ -132,3 +133,60 @@ def sort_rows(
 def _null_safe_key(value: Any):
     # (0, None) sorts before (1, value) so NULLs group first on ascending sorts.
     return (0, "") if value is None else (1, value)
+
+
+class Descending:
+    """Order-reversing comparison wrapper for heap-based top-K selection.
+
+    Wrapping a sort component in ``Descending`` makes "smaller" mean
+    "larger underlying value", so a single ``heapq.nsmallest`` call can
+    select the top K under per-column sort directions while leaving the
+    positional tiebreaker ascending (which is what reproduces the stable
+    ordering of :func:`sort_rows` exactly).
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any):
+        self.key = key
+
+    def __lt__(self, other: "Descending") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Descending) and other.key == self.key
+
+
+def ordering_key(values: Sequence[Any], directions: Sequence[bool]):
+    """Comparable tuple for values under per-column ascending flags."""
+    return tuple(
+        _null_safe_key(value) if ascending else Descending(_null_safe_key(value))
+        for value, ascending in zip(values, directions)
+    )
+
+
+def top_k_rows(
+    rows: List[InternalRow],
+    keys: Sequence[tuple],
+    count: int,
+) -> List[InternalRow]:
+    """Exactly ``sort_rows(rows, keys)[:count]`` via heap selection.
+
+    A chain of stable sorts (what :func:`sort_rows` does) orders rows
+    lexicographically by the sort columns with ties broken by original
+    position; encoding that as one comparison key — per-column null-safe
+    values, direction applied per column, position appended — lets
+    ``heapq.nsmallest`` pick the K winners in O(n log k) instead of fully
+    sorting every joined row first.
+    """
+    if count >= len(rows):
+        return sort_rows(rows, keys)
+    directions = [ascending for _, ascending in keys]
+
+    def selection_key(indexed):
+        position, row = indexed
+        values = [column_value(row, column) for column, _ in keys]
+        return ordering_key(values, directions) + (position,)
+
+    selected = heapq.nsmallest(count, enumerate(rows), key=selection_key)
+    return [row for _, row in selected]

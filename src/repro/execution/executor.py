@@ -31,6 +31,10 @@ class ExecutorConfig:
     #: raises instead of silently continuing.  Tests enable this; benchmark
     #: harnesses keep it on as a safety net.
     enforce_bounds: bool = True
+    #: Batch-at-a-time round fusion (see ExecutionContext.fused).  On by
+    #: default; the operator-fusion benchmark disables it for its baseline
+    #: arm.
+    fused: bool = True
 
 
 class QueryExecutor:
@@ -42,10 +46,13 @@ class QueryExecutor:
         catalog: Catalog,
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
         enforce_bounds: bool = True,
+        fused: bool = True,
     ):
         self.client = client
         self.catalog = catalog
-        self.config = ExecutorConfig(strategy=strategy, enforce_bounds=enforce_bounds)
+        self.config = ExecutorConfig(
+            strategy=strategy, enforce_bounds=enforce_bounds, fused=fused
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -73,7 +80,9 @@ class QueryExecutor:
             catalog=self.catalog,
             parameters=dict(parameters or {}),
             strategy=strategy,
+            paginated=query.is_paginated,
             resume_positions=resume_positions,
+            fused=self.config.fused,
         )
 
         stats_before = self.client.stats.snapshot()
@@ -157,6 +166,7 @@ class QueryExecutor:
             catalog=self.catalog,
             parameters=dict(parameters or {}),
             strategy=strategy or self.config.strategy,
+            fused=self.config.fused,
         )
         stats_before = self.client.stats.snapshot()
         time_before = self.client.clock.now

@@ -6,6 +6,29 @@ execution strategy (LAZY / SIMPLE / PARALLEL) that Section 8.5 compares:
 the strategy decides whether limit hints are used to batch requests and
 whether a remote operator's requests are issued in parallel.
 
+On top of the strategy, the executor plans its fetches **batch-at-a-time**
+(``context.fused``, on by default):
+
+* **RPC fusion** — the secondary-index dereferences of a sorted index join
+  are collected across *all* children and issued as one deduplicated bulk
+  ``multi_get`` round instead of one round per child (per-child attribution
+  is preserved for the merge);
+* **stop-aware dereference** — when the plan carries a data stop / LIMIT,
+  index entries are put in output order *before* the base records are
+  fetched (the sort columns are decoded from the entry keys), dereferenced
+  in stop-sized chunks, and the fetch stops as soon as the stop is
+  satisfied;
+* **predicate pushdown** — residual predicates that only touch index-key
+  fields are evaluated server-side on the index entries
+  (``pushed_predicates``), so non-matching entries are charged as examined
+  but never shipped or dereferenced.
+
+None of this changes the rows returned, the per-query operation counts, or
+the static bounds — logical operations measure *requested* work (skipped
+fetches are charged through ``ClientStats.saved_reads``) and only the RPC
+round structure and the latency composition improve.  The LAZY strategy
+ignores fusion entirely (one request per tuple, as in Figure 12).
+
 Operators exchange *internal rows* — dictionaries mapping a relation alias
 to that relation's column values — so joins simply merge dictionaries and
 the final projection flattens them into user-visible rows.
@@ -13,24 +36,40 @@ the final projection flattens them into user-visible rows.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import heapq
+from itertools import islice
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ExecutionError
 from ..plans import logical as L
 from ..plans import physical as P
 from ..schema.ddl import Table
-from ..schema.keys import encode_key, encode_value, prefix_upper_bound, successor
+from ..schema.keys import (
+    decode_key,
+    encode_key,
+    encode_value,
+    prefix_upper_bound,
+    successor,
+)
 from ..sql.ast import Parameter
 from ..storage.fulltext import query_token
-from ..storage.rows import deserialize_pk, deserialize_row, index_namespace, pk_key
+from ..storage.rows import (
+    cached_pk_key,
+    deserialize_pk,
+    deserialize_row,
+    index_namespace,
+    pk_key,
+)
 from .context import ExecutionContext, ExecutionStrategy, InternalRow
 from .evaluate import (
     column_value,
     evaluate_all,
+    ordering_key,
     resolve_in_list,
     resolve_key_part,
     resolve_value,
     sort_rows,
+    top_k_rows,
 )
 
 KeyValuePairs = List[Tuple[bytes, bytes]]
@@ -96,6 +135,11 @@ def _resolve_count(
                 return count.max_cardinality
             raise
     raise ExecutionError(f"cannot resolve count {count!r}")
+
+
+def _fused(context: ExecutionContext) -> bool:
+    """Whether batch-at-a-time fetch planning applies to this execution."""
+    return context.fused and context.strategy is not ExecutionStrategy.LAZY
 
 
 def _scan_limit(op: P.PhysicalIndexScan, context: ExecutionContext) -> Optional[int]:
@@ -184,20 +228,100 @@ def _fetch_range(
     )
 
 
+# ----------------------------------------------------------------------
+# Dereferencing (index entry -> base record)
+# ----------------------------------------------------------------------
 def _dereference(
     table: Table, entries: KeyValuePairs, context: ExecutionContext
 ) -> List[Dict[str, Any]]:
-    """Fetch base records referenced by secondary index entries."""
+    """Fetch base records referenced by secondary index entries (legacy path:
+    one request per tuple under LAZY, one batched round per call otherwise)."""
     keys = [pk_key(deserialize_pk(value)) for _, value in entries]
     if not keys:
         return []
     if context.strategy is ExecutionStrategy.LAZY:
         values = [context.client.get(table.namespace, key) for key in keys]
+        context.client.stats.dereference_rounds += len(keys)
     else:
         values = context.client.multi_get(table.namespace, keys, parallel=True)
+        context.client.stats.dereference_rounds += 1
     return [deserialize_row(value) for value in values if value is not None]
 
 
+def _fused_dereference_map(
+    table: Table, entries: KeyValuePairs, context: ExecutionContext
+) -> Dict[bytes, Optional[bytes]]:
+    """One deduplicated bulk dereference round over many index entries.
+
+    Returns a ``record key -> payload`` map for per-entry attribution.
+    Operations are charged per *logical* lookup (one per entry), duplicates
+    are fetched once.
+    """
+    keys = [cached_pk_key(value) for _, value in entries]
+    unique = list(dict.fromkeys(keys))
+    if not unique:
+        return {}
+    values = context.client.multi_get(
+        table.namespace, unique, parallel=True, logical_operations=len(keys)
+    )
+    context.client.stats.dereference_rounds += 1
+    return dict(zip(unique, values))
+
+
+# ----------------------------------------------------------------------
+# Predicate pushdown (evaluate residuals on index entries, server-side)
+# ----------------------------------------------------------------------
+def _build_entry_filter(
+    op: P.PhysicalIndexScan,
+    table: Table,
+    checks: List[L.ValuePredicate],
+    context: ExecutionContext,
+) -> Optional[Callable[[bytes, bytes], bool]]:
+    """Server-side filter evaluating ``checks`` on raw index entries.
+
+    Pushability is decided by the shared
+    :func:`repro.plans.physical.pushable_predicate_columns` rules — the
+    same ones Phase II used to annotate the scan — re-checked here because
+    runtime-built local checks (the ``<>`` rewrite) also land in
+    ``checks``; an unpushable predicate simply disables the server-side
+    filter and falls back to post-materialization evaluation.
+    """
+    alias = op.relation_alias
+    if op.index.primary:
+        for predicate in checks:
+            if P.pushable_predicate_columns(predicate, alias, True) is None:
+                return None
+
+        def record_filter(key: bytes, value: bytes) -> bool:
+            return evaluate_all(checks, {alias: deserialize_row(value)}, context)
+
+        return record_filter
+
+    positions = P.entry_decodable_columns(op.index, table)
+    if positions is None:
+        return None
+    needed: List[str] = []
+    for predicate in checks:
+        columns = P.pushable_predicate_columns(predicate, alias, False)
+        if columns is None:
+            return None
+        needed.extend(columns)
+    if any(column not in positions for column in needed):
+        return None
+    wanted = {column: positions[column] for column in set(needed)}
+    components = max(wanted.values()) + 1
+
+    def entry_filter(key: bytes, value: bytes) -> bool:
+        decoded = decode_key(key, count=components)
+        row = {column: decoded[offset] for column, offset in wanted.items()}
+        return evaluate_all(checks, {alias: row}, context)
+
+    return entry_filter
+
+
+# ----------------------------------------------------------------------
+# Index scan
+# ----------------------------------------------------------------------
 def _execute_index_scan(
     op: P.PhysicalIndexScan, context: ExecutionContext
 ) -> List[InternalRow]:
@@ -215,6 +339,31 @@ def _execute_index_scan(
         else:
             end = min(end, resume) if end else resume
 
+    checks = list(local_checks) + list(op.pushed_predicates)
+    entry_filter = None
+    if checks and _fused(context):
+        entry_filter = _build_entry_filter(op, table, checks, context)
+
+    if entry_filter is not None:
+        pairs, examined, last_examined = context.client.filtered_range(
+            namespace, start, end, limit, op.ascending, entry_filter
+        )
+        if last_examined is not None:
+            # Resume after the last *examined* entry: a page whose entries
+            # all fail the pushed predicate must still make progress.
+            context.new_positions[op.scan_id] = last_examined
+        context.scan_exhausted[op.scan_id] = limit is None or examined < limit
+        if op.index.primary:
+            records = [deserialize_row(value) for _, value in pairs]
+        else:
+            by_key = _fused_dereference_map(table, pairs, context)
+            records = _records_for_entries(pairs, by_key)
+            # Entries the filter pruned would each have cost one dereference
+            # in the unfused plan; charge them as requested-but-saved work so
+            # operation counts stay identical.
+            context.client.charge_saved_reads(examined - len(pairs))
+        return [{op.relation_alias: record} for record in records]
+
     pairs = _fetch_range(namespace, start, end, limit, op.ascending, context)
     if pairs:
         # pairs are returned in scan order, so the last one is the position
@@ -225,14 +374,31 @@ def _execute_index_scan(
 
     if op.index.primary:
         records = [deserialize_row(value) for _, value in pairs]
+    elif _fused(context):
+        by_key = _fused_dereference_map(table, pairs, context)
+        records = _records_for_entries(pairs, by_key)
     else:
         records = _dereference(table, pairs, context)
     rows: List[InternalRow] = [{op.relation_alias: record} for record in records]
-    if local_checks:
-        rows = [r for r in rows if evaluate_all(local_checks, r, context)]
+    if checks:
+        rows = [r for r in rows if evaluate_all(checks, r, context)]
     return rows
 
 
+def _records_for_entries(
+    entries: KeyValuePairs, by_key: Dict[bytes, Optional[bytes]]
+) -> List[Dict[str, Any]]:
+    records: List[Dict[str, Any]] = []
+    for _, value in entries:
+        payload = by_key.get(cached_pk_key(value))
+        if payload is not None:
+            records.append(deserialize_row(payload))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Bounded point lookups
+# ----------------------------------------------------------------------
 def _execute_index_lookup(
     op: P.PhysicalIndexLookup, context: ExecutionContext
 ) -> List[InternalRow]:
@@ -246,15 +412,37 @@ def _execute_index_lookup(
             key_value_lists.append([resolve_key_part(part, context)])
     keys: List[bytes] = []
     _expand_keys(key_value_lists, 0, [], keys)
-    if context.strategy is ExecutionStrategy.PARALLEL:
-        values = context.client.multi_get(table.namespace, keys, parallel=True)
-    else:
-        values = [context.client.get(table.namespace, key) for key in keys]
+    values = _point_fetch(table.namespace, keys, context)
     return [
         {op.relation_alias: deserialize_row(value)}
         for value in values
         if value is not None
     ]
+
+
+def _point_fetch(
+    namespace: str, keys: List[bytes], context: ExecutionContext
+) -> List[Optional[bytes]]:
+    """Fetch point keys per the strategy; fused mode deduplicates first.
+
+    Returns one value slot per *requested* key (duplicates share the fetched
+    payload), and always charges one logical operation per requested key.
+    """
+    client = context.client
+    if _fused(context):
+        unique = list(dict.fromkeys(keys))
+        if context.strategy is ExecutionStrategy.PARALLEL:
+            fetched = client.multi_get(
+                namespace, unique, parallel=True, logical_operations=len(keys)
+            )
+        else:
+            fetched = [client.get(namespace, key) for key in unique]
+            client.charge_saved_reads(len(keys) - len(unique))
+        by_key = dict(zip(unique, fetched))
+        return [by_key[key] for key in keys]
+    if context.strategy is ExecutionStrategy.PARALLEL:
+        return client.multi_get(namespace, keys, parallel=True)
+    return [client.get(namespace, key) for key in keys]
 
 
 def _expand_keys(
@@ -280,10 +468,7 @@ def _execute_fk_join(
         keys.append(None if any(v is None for v in values) else encode_key(values))
 
     lookup_keys = [key for key in keys if key is not None]
-    if context.strategy is ExecutionStrategy.PARALLEL:
-        fetched = context.client.multi_get(table.namespace, lookup_keys, parallel=True)
-    else:
-        fetched = [context.client.get(table.namespace, key) for key in lookup_keys]
+    fetched = _point_fetch(table.namespace, lookup_keys, context)
     by_key: Dict[bytes, Optional[bytes]] = dict(zip(lookup_keys, fetched))
 
     joined: List[InternalRow] = []
@@ -297,6 +482,53 @@ def _execute_fk_join(
         merged[op.relation_alias] = deserialize_row(payload)
         joined.append(merged)
     return joined
+
+
+# ----------------------------------------------------------------------
+# Sorted index join
+# ----------------------------------------------------------------------
+def _bound_sort_keys(
+    op: P.PhysicalSortedIndexJoin,
+) -> List[Tuple[L.BoundColumn, bool]]:
+    return [
+        (
+            L.BoundColumn(relation=op.relation_alias, table=op.table, column=name),
+            ascending,
+        )
+        for name, ascending in op.sort_keys
+    ]
+
+
+def _sort_component_slice(
+    op: P.PhysicalSortedIndexJoin, table: Table
+) -> Optional[Tuple[int, int]]:
+    """Key-component positions of the join's sort columns, if decodable.
+
+    Both for a primary-index join (entry key = primary key) and for a
+    secondary index built by the optimizer, the sort columns sit directly
+    after the join-prefix columns, so their encoded values start at
+    component ``len(op.prefix)``.  Returns ``None`` when the layout does
+    not match (e.g. a tokenized component), which disables entry-order
+    selection but not round fusion.
+    """
+    start = len(op.prefix)
+    names = [name for name, _ in op.sort_keys]
+    if not names:
+        return (start, 0)
+    if op.index.primary:
+        layout = list(table.primary_key)
+        if layout[start : start + len(names)] != names:
+            return None
+    else:
+        definition = op.index.definition
+        if definition is None:
+            return None
+        layout = [column.name for column in definition.columns]
+        if layout[start : start + len(names)] != names:
+            return None
+        if any(c.tokenized for c in definition.columns[start : start + len(names)]):
+            return None
+    return (start, len(names))
 
 
 def _execute_sorted_index_join(
@@ -334,6 +566,13 @@ def _execute_sorted_index_join(
             namespace, ranges, parallel=True
         )
 
+    stop = _resolve_count(op.stop_count, context) if op.stop_count is not None else None
+
+    if _fused(context):
+        return _fused_sorted_join(op, table, child_rows, per_child_entries, stop, context)
+
+    # Unfused path: materialize every joined row (one dereference round per
+    # child), then order and truncate locally.
     joined: List[InternalRow] = []
     for row, entries in zip(child_rows, per_child_entries):
         if op.index.primary:
@@ -346,28 +585,214 @@ def _execute_sorted_index_join(
             joined.append(merged)
 
     if op.sort_keys:
-        keys = [
-            (
-                L.BoundColumn(
-                    relation=op.relation_alias, table=op.table, column=name
-                ),
-                ascending,
-            )
-            for name, ascending in op.sort_keys
-        ]
+        keys = _bound_sort_keys(op)
+        if stop is not None:
+            # Top-K selection instead of a full sort of every joined row.
+            return top_k_rows(joined, keys, stop)
         joined = sort_rows(joined, keys)
-    stop = _resolve_count(op.stop_count, context) if op.stop_count is not None else None
     if stop is not None:
         joined = joined[:stop]
     return joined
 
 
+def _fused_sorted_join(
+    op: P.PhysicalSortedIndexJoin,
+    table: Table,
+    child_rows: List[InternalRow],
+    per_child_entries: List[KeyValuePairs],
+    stop: Optional[int],
+    context: ExecutionContext,
+) -> List[InternalRow]:
+    """Batch-at-a-time sorted index join.
+
+    Orders the fetched index entries into the final output order *first*
+    (decoding sort values from the entry keys, with the (child, entry)
+    position as the stable tiebreaker — the exact order the unfused
+    sort-then-truncate produces), then materializes base records lazily:
+    primary-index payloads are deserialised only as needed, and secondary
+    entries are dereferenced in one deduplicated bulk round per stop-sized
+    chunk, stopping as soon as the stop is satisfied.
+    """
+    client = context.client
+    total_entries = sum(len(entries) for entries in per_child_entries)
+    if total_entries == 0:
+        return []
+
+    component_slice = _sort_component_slice(op, table)
+    if component_slice is None:
+        # Sort order not recoverable from the entry keys: still fuse the
+        # dereference into one bulk round, then order locally.
+        joined: List[InternalRow] = []
+        by_key: Dict[bytes, Optional[bytes]] = {}
+        if not op.index.primary:
+            flat = [entry for entries in per_child_entries for entry in entries]
+            by_key = _fused_dereference_map(table, flat, context)
+        for child_index, entries in enumerate(per_child_entries):
+            row = child_rows[child_index]
+            for key, value in entries:
+                if op.index.primary:
+                    record = deserialize_row(value)
+                else:
+                    payload = by_key.get(cached_pk_key(value))
+                    if payload is None:
+                        continue
+                    record = deserialize_row(payload)
+                merged = dict(row)
+                merged[op.relation_alias] = record
+                joined.append(merged)
+        if op.sort_keys:
+            keys = _bound_sort_keys(op)
+            if stop is not None:
+                return top_k_rows(joined, keys, stop)
+            joined = sort_rows(joined, keys)
+        return joined[:stop] if stop is not None else joined
+
+    start, components = component_slice
+    ordered = _entries_in_output_order(
+        op, per_child_entries, start, components
+    )
+    needed = stop if stop is not None else total_entries
+
+    joined = []
+    if op.index.primary:
+        # The payloads already travelled with the range replies; ordering
+        # first just avoids deserialising rows the stop would discard.
+        for child_index, _, value in islice(ordered, needed):
+            merged = dict(child_rows[child_index])
+            merged[op.relation_alias] = deserialize_row(value)
+            joined.append(merged)
+        return joined
+
+    # Secondary index: stop-aware chunked dereference.  Each chunk is one
+    # deduplicated bulk round; entries never reached are charged as
+    # requested-but-saved lookups so operation counts match the unfused plan.
+    chunk_size = max(1, needed)
+    by_key = {}
+    examined = 0
+    while len(joined) < needed:
+        chunk = list(islice(ordered, chunk_size))
+        if not chunk:
+            break
+        examined += len(chunk)
+        chunk_keys = [cached_pk_key(value) for _, _, value in chunk]
+        missing = [key for key in dict.fromkeys(chunk_keys) if key not in by_key]
+        if missing:
+            fetched = client.multi_get(
+                table.namespace, missing, parallel=True,
+                logical_operations=len(chunk),
+            )
+            client.stats.dereference_rounds += 1
+            by_key.update(zip(missing, fetched))
+        else:
+            client.charge_saved_reads(len(chunk))
+        for (child_index, _, _), key in zip(chunk, chunk_keys):
+            payload = by_key.get(key)
+            if payload is None:
+                continue
+            merged = dict(child_rows[child_index])
+            merged[op.relation_alias] = deserialize_row(payload)
+            joined.append(merged)
+            if len(joined) >= needed:
+                break
+    client.charge_saved_reads(total_entries - examined)
+    return joined
+
+
+def _entries_in_output_order(
+    op: P.PhysicalSortedIndexJoin,
+    per_child_entries: List[KeyValuePairs],
+    start: int,
+    components: int,
+) -> Iterator[Tuple[int, int, bytes]]:
+    """Yield ``(child index, entry index, entry value)`` in final output order.
+
+    With no sort keys the output order is simply child order then index
+    order.  With sort keys, each entry's sort values are decoded from its
+    key and a heap yields entries lazily in the exact order the unfused
+    executor's stable sort would produce (position is the tiebreaker), so a
+    stop consumes O(total + stop log total) work instead of a full sort.
+    """
+    if components == 0:
+        for child_index, entries in enumerate(per_child_entries):
+            for entry_index, (_, value) in enumerate(entries):
+                yield (child_index, entry_index, value)
+        return
+    directions = [ascending for _, ascending in op.sort_keys]
+    decorated = []
+    for child_index, entries in enumerate(per_child_entries):
+        for entry_index, (key, value) in enumerate(entries):
+            sort_values = decode_key(key, count=start + components)[start:]
+            decorated.append((
+                ordering_key(sort_values, directions) + (child_index, entry_index),
+                child_index,
+                entry_index,
+                value,
+            ))
+    heapq.heapify(decorated)
+    while decorated:
+        _, child_index, entry_index, value = heapq.heappop(decorated)
+        yield (child_index, entry_index, value)
+
+
 # ----------------------------------------------------------------------
 # Local aggregation and projection
 # ----------------------------------------------------------------------
+def _try_count_fast_path(
+    op: P.PhysicalLocalAggregate, context: ExecutionContext
+) -> Optional[List[InternalRow]]:
+    """Serve ``COUNT(*)`` over a clean index scan with one ``count_range``.
+
+    Applies when the aggregate is COUNT(*)-only with no grouping and the
+    scan carries no residual predicate: the count of index entries in the
+    scan's byte range *is* the answer, so fetching (and for a secondary
+    index, dereferencing and deserialising) every entry client-side is pure
+    waste.  The count is capped at the scan's limit, matching what the
+    fetch-and-count plan would have seen.
+    """
+    if context.strategy is ExecutionStrategy.LAZY:
+        return None
+    if context.paginated:
+        # A paginated COUNT counts one page per execution through the
+        # scan's cursor machinery; the fast path would answer the whole
+        # range at once and break page-by-page equivalence.
+        return None
+    if op.group_by or not op.aggregates:
+        return None
+    if any(
+        spec.function != "COUNT" or spec.argument is not None
+        for spec in op.aggregates
+    ):
+        return None
+    child = op.child
+    if not isinstance(child, P.PhysicalIndexScan):
+        return None
+    if child.pushed_predicates:
+        return None
+    if context.resume_positions.get(child.scan_id) is not None:
+        return None
+    table = context.catalog.table(child.table)
+    namespace = (
+        table.namespace
+        if child.index.primary
+        else index_namespace(child.index.definition)
+    )
+    start, end, local_checks = _range_for_scan(child, context)
+    if local_checks:
+        return None
+    limit = _scan_limit(child, context)
+    count = context.client.count_range(namespace, start, end)
+    if limit is not None:
+        count = min(count, limit)
+    context.scan_exhausted[child.scan_id] = True
+    return [{"__agg__": {spec.output_name: count for spec in op.aggregates}}]
+
+
 def _execute_aggregate(
     op: P.PhysicalLocalAggregate, context: ExecutionContext
 ) -> List[InternalRow]:
+    fast = _try_count_fast_path(op, context)
+    if fast is not None:
+        return fast
     rows = execute_plan(op.child, context)
     groups: Dict[Tuple, List[InternalRow]] = {}
     for row in rows:

@@ -53,6 +53,16 @@ class ClientStats:
     #: They still count as logical ``operations`` — static bounds are about
     #: requested work — but issue no RPC and charge no fresh latency.
     coalesced_reads: int = 0
+    #: Logical point reads that never became physical fetches: duplicate
+    #: lookup keys deduplicated before a ``multi_get``, and index-entry
+    #: dereferences pruned by a data stop or a pushed-down predicate.  Like
+    #: coalesced reads they still count as ``operations`` (static bounds
+    #: measure requested work) but ship no bytes and charge no latency.
+    saved_reads: int = 0
+    #: Batched dereference rounds issued by the execution engine (one fused
+    #: ``multi_get`` per round).  The operator-fusion benchmark compares
+    #: this across executor arms.
+    dereference_rounds: int = 0
     total_latency_seconds: float = 0.0
     latency_samples: List[float] = field(default_factory=list)
     samples_seen: int = 0
@@ -82,6 +92,8 @@ class ClientStats:
             rpcs=self.rpcs,
             partial_results=self.partial_results,
             coalesced_reads=self.coalesced_reads,
+            saved_reads=self.saved_reads,
+            dereference_rounds=self.dereference_rounds,
             total_latency_seconds=self.total_latency_seconds,
             latency_samples=list(self.latency_samples),
             samples_seen=self.samples_seen,
@@ -100,6 +112,8 @@ class ClientStats:
             rpcs=self.rpcs - earlier.rpcs,
             partial_results=self.partial_results - earlier.partial_results,
             coalesced_reads=self.coalesced_reads - earlier.coalesced_reads,
+            saved_reads=self.saved_reads - earlier.saved_reads,
+            dereference_rounds=self.dereference_rounds - earlier.dereference_rounds,
             total_latency_seconds=(
                 self.total_latency_seconds - earlier.total_latency_seconds
             ),
@@ -225,10 +239,35 @@ class StorageClient:
     # ------------------------------------------------------------------
     # Batched reads
     # ------------------------------------------------------------------
+    def charge_saved_reads(self, count: int) -> None:
+        """Account for logical point reads that needed no physical fetch.
+
+        Used by the execution engine when a dereference is skipped — the key
+        was a duplicate of one already in the batch, or a data stop /
+        pushed-down predicate made the base record unnecessary.  The logical
+        operation still counts (static bounds measure requested work), but
+        no RPC is issued and no latency is charged.
+        """
+        if count <= 0:
+            return
+        self.stats.operations += count
+        self.stats.keys_touched += count
+        self.stats.saved_reads += count
+
     def multi_get(
-        self, namespace: str, keys: Sequence[bytes], parallel: bool = True
+        self,
+        namespace: str,
+        keys: Sequence[bytes],
+        parallel: bool = True,
+        logical_operations: Optional[int] = None,
     ) -> List[Optional[bytes]]:
-        """Fetch many keys; counts ``len(keys)`` operations.
+        """Fetch many keys; counts ``logical_operations`` (default
+        ``len(keys)``) operations.
+
+        Callers that deduplicate their key list before batching pass the
+        pre-dedupe count as ``logical_operations`` so operation counts keep
+        describing the requested work; the difference is recorded under
+        ``stats.saved_reads``.
 
         Inside a gather window (parallel batches only) the request is
         coalesced with the window's outstanding reads: keys another branch
@@ -236,14 +275,17 @@ class StorageClient:
         until that reply's completion time rather than re-issuing the RPC —
         and only the remaining keys go to the cluster as one batch.
         """
+        logical = len(keys) if logical_operations is None else logical_operations
         cache = self._gather_cache
         if cache is None or not parallel:
             result = self.cluster.multi_get(
                 namespace, keys, parallel=parallel, sim_time=self.clock.now
             )
             self._record(
-                result, operations=len(keys), rpcs=1 if parallel else len(keys)
+                result, operations=logical, rpcs=1 if parallel else len(keys)
             )
+            self.stats.keys_touched += logical - len(keys)
+            self.stats.saved_reads += logical - len(keys)
             return result.value  # type: ignore[return-value]
         values: List[Optional[bytes]] = [None] * len(keys)
         miss_keys: List[bytes] = []
@@ -272,8 +314,9 @@ class StorageClient:
             self.stats.rpcs += 1
             self.stats.total_latency_seconds += result.latency_seconds
             self.stats.record_latency(result.latency_seconds)
-        self.stats.operations += len(keys)
-        self.stats.keys_touched += len(keys)
+        self.stats.operations += logical
+        self.stats.keys_touched += logical
+        self.stats.saved_reads += logical - len(keys)
         self.stats.coalesced_reads += hits
         self._coalesced_wait(ready_at)
         return values
@@ -299,6 +342,34 @@ class StorageClient:
         )
         self._record(result, operations=1)
         return result.value  # type: ignore[return-value]
+
+    def filtered_range(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int],
+        ascending: bool,
+        record_filter,
+    ) -> Tuple[List[KeyValue], int, Optional[bytes]]:
+        """One range request with a server-side filter (one operation).
+
+        Returns ``(matching pairs, keys examined, last examined key)``.
+        ``limit`` caps *examined* keys — the same entries an unfiltered scan
+        of the range would have fetched — so pushdown never changes which
+        section of the index a bounded scan covers, only how much of it is
+        shipped back and deserialised.
+        """
+        result = self.cluster.get_range(
+            namespace, start, end, limit, ascending, sim_time=self.clock.now,
+            record_filter=record_filter,
+        )
+        self._record(result, operations=1)
+        return (
+            result.value,  # type: ignore[return-value]
+            result.keys_touched,
+            result.last_examined_key,
+        )
 
     def multi_get_range(
         self, namespace: str, ranges: Sequence[RangeSpec], parallel: bool = True

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ExecutionError, QuorumNotMetError, UnavailableError
 from ..replication.manager import RepairReport, ReplicationManager
@@ -58,6 +58,10 @@ from .latency import LatencyParameters
 from .node import StorageNode
 
 KeyValue = Tuple[bytes, bytes]
+
+#: Server-side range-filter hook: ``filter(key, value) -> keep?``.  Installed
+#: per-request by the execution engine's predicate pushdown.
+RecordFilter = Callable[[bytes, bytes], bool]
 
 
 @dataclass(frozen=True)
@@ -137,10 +141,16 @@ class OpResult:
         The node that served the request (``-1`` when several did).
     keys_touched:
         How many keys the request read or wrote; used to verify operation
-        bounds in tests.
+        bounds in tests.  For a server-side-filtered range request this is
+        the number of keys *examined* (filtered-out keys are still work).
     partial:
         True when a range result may be missing keys because too many
         replicas were down and the caller opted into partial results.
+    last_examined_key:
+        For filtered range requests: the last key the scan examined, which
+        may be later than the last key it shipped.  Pagination cursors must
+        resume after the examined position or they would re-examine (and
+        re-filter) the same entries forever.
     """
 
     value: object
@@ -148,6 +158,7 @@ class OpResult:
     node_id: int
     keys_touched: int = 1
     partial: bool = False
+    last_examined_key: Optional[bytes] = None
 
 
 class KeyValueCluster:
@@ -733,6 +744,7 @@ class KeyValueCluster:
         ascending: bool = True,
         sim_time: float = 0.0,
         allow_partial: bool = False,
+        record_filter: Optional[RecordFilter] = None,
     ) -> OpResult:
         """Return ``(key, value)`` pairs with ``start <= key < end``.
 
@@ -743,6 +755,13 @@ class KeyValueCluster:
         (latency is their maximum and stays flat as the cluster grows), for
         an unbounded scan every up node must be visited and the latencies
         *sum*, which is what makes table scans scale-dependent.
+
+        ``record_filter`` is the server-side predicate-pushdown hook: each
+        merged record is offered to the filter and only matching records
+        are shipped (and later deserialised) — but every *examined* record
+        is charged to the node that served it, and ``limit`` caps examined
+        records (not matches), so a filtered scan does exactly the same
+        bounded work as fetching the range and filtering client-side.
         """
         self._require(namespace)
         partial = self._range_may_be_partial(allow_partial)
@@ -750,14 +769,31 @@ class KeyValueCluster:
         triples = self.replication.merged_range(
             namespace, up_ids, start, end, limit, ascending
         )
+        last_examined = triples[-1][0] if triples else None
+        examined: Dict[int, int] = {}
+        if record_filter is not None:
+            for _, _, node_id in triples:
+                examined[node_id] = examined.get(node_id, 0) + 1
+            triples = [t for t in triples if record_filter(t[0], t[1])]
         pairs: List[KeyValue] = [(key, value) for key, value, _ in triples]
         served: Dict[int, Tuple[int, int]] = {}
         for _, value, node_id in triples:
             count, nbytes = served.get(node_id, (0, 0))
             served[node_id] = (count + 1, nbytes + len(value))
+
+        def charge(node_id: int) -> float:
+            count, nbytes = served.get(node_id, (0, 0))
+            if record_filter is None:
+                return self.nodes[node_id].charge_range(count, nbytes, sim_time)
+            return self.nodes[node_id].charge_filtered_range(
+                examined.get(node_id, 0), count, nbytes, sim_time
+            )
+
+        keys_touched = sum(examined.values()) if record_filter is not None else len(pairs)
+        charged_ids = set(served) | set(examined)
         bounded = start is not None and end is not None
         if bounded:
-            if not served:
+            if not charged_ids:
                 # Empty range: one probe RPC at the range's primary replica.
                 # With enough nodes down that the result is already partial,
                 # the anchor key's whole replica set may be down too — any
@@ -776,22 +812,20 @@ class KeyValueCluster:
                     [], latency, probe.node_id, keys_touched=0, partial=partial
                 )
             latency = 0.0
-            for node_id, (count, nbytes) in served.items():
-                latency = max(
-                    latency,
-                    self.nodes[node_id].charge_range(count, nbytes, sim_time),
-                )
-            node_id = next(iter(served)) if len(served) == 1 else -1
+            for node_id in charged_ids:
+                latency = max(latency, charge(node_id))
+            node_id = next(iter(charged_ids)) if len(charged_ids) == 1 else -1
             return OpResult(
-                pairs, latency, node_id, keys_touched=len(pairs), partial=partial
+                pairs, latency, node_id, keys_touched=keys_touched,
+                partial=partial, last_examined_key=last_examined,
             )
         # Full (or half-open) scan: every up partition must be visited.
         latency = 0.0
         for node_id in up_ids:
-            count, nbytes = served.get(node_id, (0, 0))
-            latency += self.nodes[node_id].charge_range(count, nbytes, sim_time)
+            latency += charge(node_id)
         return OpResult(
-            pairs, latency, -1, keys_touched=len(pairs), partial=partial
+            pairs, latency, -1, keys_touched=keys_touched, partial=partial,
+            last_examined_key=last_examined,
         )
 
     def multi_get_range(

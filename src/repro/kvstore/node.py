@@ -27,6 +27,9 @@ class NodeStats:
     range_requests: int = 0
     keys_read: int = 0
     keys_written: int = 0
+    #: Keys examined by a server-side range filter but not shipped to the
+    #: client (predicate pushdown; the examination is still charged).
+    keys_filtered: int = 0
     total_latency_seconds: float = 0.0
     queue_wait_seconds: float = 0.0
 
@@ -36,6 +39,7 @@ class NodeStats:
         self.range_requests = 0
         self.keys_read = 0
         self.keys_written = 0
+        self.keys_filtered = 0
         self.total_latency_seconds = 0.0
         self.queue_wait_seconds = 0.0
 
@@ -156,6 +160,34 @@ class StorageNode:
         latency += self._queue_wait(sim_time, latency)
         self.stats.range_requests += 1
         self.stats.keys_read += num_keys
+        self.stats.total_latency_seconds += latency
+        return latency
+
+    def charge_filtered_range(
+        self,
+        examined_keys: int,
+        shipped_keys: int,
+        shipped_bytes: int,
+        sim_time: float,
+    ) -> float:
+        """Charge one range RPC that filters server-side; return latency (s).
+
+        The node pays for every key it *examines* (the scan work is done
+        whether or not a key matches the pushed predicate) but only for the
+        bytes it actually *ships* — that asymmetry is the whole point of
+        predicate pushdown.
+        """
+        latency = self.latency_model.sample_seconds(
+            num_keys=examined_keys,
+            num_bytes=shipped_bytes,
+            utilization=self.utilization,
+            sim_time=sim_time,
+        )
+        latency *= self.speed_factor
+        latency += self._queue_wait(sim_time, latency)
+        self.stats.range_requests += 1
+        self.stats.keys_read += examined_keys
+        self.stats.keys_filtered += examined_keys - shipped_keys
         self.stats.total_latency_seconds += latency
         return latency
 

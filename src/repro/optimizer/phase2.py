@@ -185,6 +185,34 @@ class PlanGenerator:
         return index
 
     @staticmethod
+    def _split_pushdown(
+        index: P.IndexChoice,
+        table: Table,
+        alias: str,
+        predicates: Sequence[L.ValuePredicate],
+    ) -> Tuple[List[L.ValuePredicate], List[L.ValuePredicate]]:
+        """Split residual predicates into (pushable, kept-local).
+
+        A predicate can be pushed below the base-record fetch when the
+        executor can evaluate it on the index entry alone; the rules live
+        in :func:`repro.plans.physical.pushable_predicate_columns` /
+        :func:`repro.plans.physical.entry_decodable_columns`, shared with
+        the executor's filter builder so the two can never drift.  Pushing
+        is an execution detail — operation counts and static bounds are
+        charged per examined entry either way.
+        """
+        decodable = P.entry_decodable_columns(index, table)
+        pushed: List[L.ValuePredicate] = []
+        remaining: List[L.ValuePredicate] = []
+        for predicate in predicates:
+            columns = P.pushable_predicate_columns(predicate, alias, index.primary)
+            ok = columns is not None and (
+                decodable is None or all(c in decodable for c in columns)
+            )
+            (pushed if ok else remaining).append(predicate)
+        return pushed, remaining
+
+    @staticmethod
     def _is_primary_prefix(table: Table, columns: Sequence[str]) -> bool:
         """True if ``columns`` (as a set) equal the first len(columns) pk columns."""
         prefix = list(table.primary_key[: len(columns)])
@@ -372,6 +400,9 @@ class PlanGenerator:
         ):
             limit_hint = min(stop_count, info.data_stop or stop_count)
 
+        pushed, remaining = self._split_pushdown(
+            index, table, info.alias, info.residual
+        )
         scan = P.PhysicalIndexScan(
             relation_alias=info.alias,
             table=table.name,
@@ -382,11 +413,12 @@ class PlanGenerator:
             data_stop=info.data_stop,
             needs_dereference=not index.primary,
             scan_id=self._next_scan_id(scan_counter),
+            pushed_predicates=tuple(pushed),
         )
         plan: P.PhysicalOperator = scan
-        if info.residual:
+        if remaining:
             plan = P.PhysicalLocalSelection(
-                child=plan, predicates=tuple(info.residual)
+                child=plan, predicates=tuple(remaining)
             )
         return plan, sort_satisfied
 
@@ -492,6 +524,10 @@ class PlanGenerator:
             first = inequalities[0]
             inequality_spec = (first.column.column, first.op, first.value)
 
+        extra_inequalities = inequalities[1:]
+        pushed, remaining = self._split_pushdown(
+            index, table, info.alias, extra_inequalities
+        )
         scan = P.PhysicalIndexScan(
             relation_alias=info.alias,
             table=table.name,
@@ -503,12 +539,12 @@ class PlanGenerator:
             data_stop=None,
             needs_dereference=not use_primary,
             scan_id=self._next_scan_id(scan_counter),
+            pushed_predicates=tuple(pushed),
         )
         plan: P.PhysicalOperator = scan
-        extra_inequalities = inequalities[1:]
-        if extra_inequalities:
+        if remaining:
             plan = P.PhysicalLocalSelection(
-                child=plan, predicates=tuple(extra_inequalities)
+                child=plan, predicates=tuple(remaining)
             )
         return plan, sort_here
 

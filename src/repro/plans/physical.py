@@ -18,10 +18,11 @@ into key/value requests lives in :mod:`repro.execution`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
-from ..schema.ddl import IndexDefinition
+from ..schema.ddl import IndexDefinition, Table
 from ..sql.ast import Literal, Parameter
+from . import logical as L
 from .logical import AggregateSpec, BoundColumn, ProjectionItem, ValuePredicate
 
 #: A value used to build a key at execution time: a literal known at compile
@@ -103,6 +104,14 @@ class PhysicalIndexScan(PhysicalOperator):
     narrows the next index column to a sub-range; ``limit_hint`` is the
     number of matching entries the executor needs (from a stop operator or a
     data-stop), which also drives prefetching.
+
+    ``pushed_predicates`` are residual predicates that reference only
+    fields recoverable from the index entry itself (index-key columns, the
+    primary key, or — for a primary-index scan — the stored record); the
+    executor evaluates them server-side *before* dereferencing or shipping
+    base records.  Operation accounting is per *examined* entry, so pushing
+    a predicate down never changes a plan's operation count or its static
+    bound — only its RPC payloads and deserialisation work.
     """
 
     relation_alias: str
@@ -115,6 +124,7 @@ class PhysicalIndexScan(PhysicalOperator):
     data_stop: Optional[int] = None
     needs_dereference: bool = False
     scan_id: str = "scan0"
+    pushed_predicates: Tuple[ValuePredicate, ...] = ()
 
     def children(self) -> Tuple[PhysicalOperator, ...]:
         return ()
@@ -145,6 +155,9 @@ class PhysicalIndexScan(PhysicalOperator):
         hint = self.static_limit_hint()
         if hint is not None:
             parts.append(f"limitHint={hint}")
+        if self.pushed_predicates:
+            pushed = " AND ".join(p.render() for p in self.pushed_predicates)
+            parts.append(f"pushdown=({pushed})")
         return f"IndexScan({', '.join(parts)})"
 
 
@@ -335,6 +348,64 @@ class PhysicalLocalProjection(PhysicalOperator):
 
     def label(self) -> str:
         return "LocalProjection"
+
+
+# ----------------------------------------------------------------------
+# Predicate pushdown rules (shared by the optimizer and the executor)
+# ----------------------------------------------------------------------
+def pushable_predicate_columns(
+    predicate: ValuePredicate, alias: str, primary_index: bool
+) -> Optional[List[str]]:
+    """Columns a predicate reads, or ``None`` when it cannot be pushed.
+
+    The single source of truth for what may run server-side on an index
+    entry: a value predicate of this relation whose comparison value is a
+    literal or parameter (never another tuple's column).  Token matches
+    need the column's full text, which only a primary (whole record) scan
+    can provide.  Callers scanning a secondary index must additionally
+    check the returned columns against :func:`entry_decodable_columns`.
+    """
+    if isinstance(predicate, (L.AttributeEquality, L.AttributeInequality)):
+        if predicate.column.relation != alias or not isinstance(
+            predicate.value, (Literal, Parameter)
+        ):
+            return None
+        return [predicate.column.column]
+    if isinstance(predicate, L.AttributeIn):
+        if predicate.column.relation != alias:
+            return None
+        return [predicate.column.column]
+    if isinstance(predicate, L.TokenMatch):
+        if not primary_index or predicate.column.relation != alias:
+            return None
+        if not isinstance(predicate.value, (Literal, Parameter)):
+            return None
+        return [predicate.column.column]
+    return None
+
+
+def entry_decodable_columns(
+    index: "IndexChoice", table: Table
+) -> Optional[Dict[str, int]]:
+    """``column -> key component position`` for a secondary index entry.
+
+    Entry keys are the index's column values followed by the full primary
+    key, so every non-tokenized index column and every primary-key column
+    can be recovered from the key bytes alone.  Returns ``None`` for a
+    primary index (the whole record is in the value; no decoding needed).
+    """
+    if index.primary or index.definition is None:
+        return None
+    positions: Dict[str, int] = {}
+    for offset, column in enumerate(index.definition.columns):
+        if not column.tokenized and column.name not in positions:
+            positions[column.name] = offset
+    base = len(index.definition.columns)
+    for offset, pk_column in enumerate(table.primary_key):
+        # The appended primary-key suffix is authoritative (it always holds
+        # the raw value, even when the index column form is transformed).
+        positions[pk_column] = base + offset
+    return positions
 
 
 # ----------------------------------------------------------------------

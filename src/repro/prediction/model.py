@@ -212,12 +212,20 @@ class QueryLatencyModel:
                     )
                 )
                 if operator.needs_dereference:
+                    # The executor fuses the dereference of all children
+                    # into one bulk lookup round, and when the join carries
+                    # a stop it puts entries in output order first and stops
+                    # fetching at the stop — so the latency-relevant fan-out
+                    # is min(children x per-key bound, stop), even though
+                    # the *operation* bound still counts every entry.
+                    deref_alpha = alpha_child * alpha_join
+                    stop = operator.static_stop_count()
+                    if stop is not None:
+                        deref_alpha = min(deref_alpha, stop)
                     requirements.append(
                         OperatorRequirement(
-                            OperatorModelKey(
-                                "lookup", alpha_child * alpha_join, 0, beta
-                            ),
-                            f"Dereference({operator.table})",
+                            OperatorModelKey("lookup", deref_alpha, 0, beta),
+                            f"Dereference({operator.table}, {deref_alpha}x{beta}B)",
                         )
                     )
         if not requirements:

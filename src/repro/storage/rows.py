@@ -5,16 +5,67 @@ their order-preserving primary-key encoding.  Secondary index entries store
 the serialised primary key as their value so that the execution engine can
 dereference an index entry with a single point ``get`` (the "extra round
 trip" of Section 5.1).
+
+Deserialisation is the hottest CPU path of the serving loops (every fetched
+record and every dereferenced index entry passes through it), so the
+decoders here are memoized behind small bounded caches keyed by the payload
+bytes.  The caches use a two-generation scheme — fill the young generation
+up to capacity, then demote it wholesale — which keeps every operation O(1)
+and makes concurrent access from the benchmark harness's threads safe under
+the GIL (worst case a few extra decodes, never a wrong result).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..schema.ddl import IndexDefinition, Table
 from ..schema.keys import encode_key
 from .fulltext import tokenize
+
+#: Per-generation capacity of the payload-decode caches.  Two generations
+#: are live at once, so the worst-case footprint is twice this many entries.
+ROW_CACHE_CAPACITY = 4096
+
+
+class _TwoGenerationCache:
+    """A bounded memo table with O(1) insert/lookup and coarse LRU-ish reuse."""
+
+    __slots__ = ("capacity", "young", "old", "hits", "misses")
+
+    def __init__(self, capacity: int = ROW_CACHE_CAPACITY):
+        self.capacity = capacity
+        self.young: Dict[bytes, Any] = {}
+        self.old: Dict[bytes, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> Optional[Any]:
+        value = self.young.get(key)
+        if value is None:
+            value = self.old.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+        self.hits += 1
+        return value
+
+    def put(self, key: bytes, value: Any) -> None:
+        if len(self.young) >= self.capacity:
+            self.old = self.young
+            self.young = {}
+        self.young[key] = value
+
+    def clear(self) -> None:
+        self.young = {}
+        self.old = {}
+        self.hits = 0
+        self.misses = 0
+
+
+_row_cache = _TwoGenerationCache()
+_pk_key_cache = _TwoGenerationCache()
 
 
 def serialize_row(row: Dict[str, Any]) -> bytes:
@@ -23,8 +74,47 @@ def serialize_row(row: Dict[str, Any]) -> bytes:
 
 
 def deserialize_row(data: bytes) -> Dict[str, Any]:
-    """Inverse of :func:`serialize_row`."""
-    return json.loads(data.decode("utf-8"))
+    """Inverse of :func:`serialize_row` (memoized on the payload bytes).
+
+    Cache hits return a shallow copy so callers may mutate the row dict
+    freely; the column values themselves are shared, which is safe for the
+    scalar types the engine stores.
+    """
+    cached = _row_cache.get(data)
+    if cached is not None:
+        return dict(cached)
+    row = json.loads(data.decode("utf-8"))
+    _row_cache.put(data, row)
+    return dict(row)
+
+
+def cached_pk_key(payload: bytes) -> bytes:
+    """Record key referenced by a secondary-index entry payload.
+
+    Equivalent to ``pk_key(deserialize_pk(payload))`` but interned on the
+    payload bytes: dereferencing hot index entries skips both the JSON
+    decode and the key re-encoding.  The returned bytes are immutable, so
+    the cache can hand out the same object forever.
+    """
+    key = _pk_key_cache.get(payload)
+    if key is None:
+        key = encode_key(json.loads(payload.decode("utf-8")))
+        _pk_key_cache.put(payload, key)
+    return key
+
+
+def row_cache_stats() -> Dict[str, Tuple[int, int]]:
+    """``{"rows": (hits, misses), "pk_keys": (hits, misses)}`` (diagnostics)."""
+    return {
+        "rows": (_row_cache.hits, _row_cache.misses),
+        "pk_keys": (_pk_key_cache.hits, _pk_key_cache.misses),
+    }
+
+
+def clear_row_caches() -> None:
+    """Drop both payload-decode caches (tests and long-lived processes)."""
+    _row_cache.clear()
+    _pk_key_cache.clear()
 
 
 def serialize_pk(values: Sequence[Any]) -> bytes:

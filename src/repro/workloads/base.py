@@ -37,6 +37,12 @@ class InteractionResult:
     name: str
     latency_seconds: float
     operations: int
+    #: Physical RPC batches the interaction issued, and how many of those
+    #: were base-record dereference rounds.  Unlike ``operations`` (logical
+    #: work, identical across executor configurations) these measure round
+    #: structure — the quantity the operator-fusion benchmark compares.
+    rpcs: int = 0
+    dereference_rounds: int = 0
     query_latencies: Dict[str, float] = field(default_factory=dict)
     #: Key/value operations issued by each step, keyed like
     #: ``query_latencies``.  Serial and pipelined replays of the same plan
@@ -178,6 +184,8 @@ class Workload(abc.ABC):
         client = db.client
         started = client.clock.now
         operations_before = client.stats.operations
+        rpcs_before = client.stats.rpcs
+        rounds_before = client.stats.dereference_rounds
         results: Dict[str, object] = {}
         query_latencies: Dict[str, float] = {}
         query_operations: Dict[str, int] = {}
@@ -211,6 +219,8 @@ class Workload(abc.ABC):
             name=plan.name,
             latency_seconds=client.clock.now - started,
             operations=client.stats.operations - operations_before,
+            rpcs=client.stats.rpcs - rpcs_before,
+            dereference_rounds=client.stats.dereference_rounds - rounds_before,
             query_latencies=query_latencies,
             query_operations=query_operations,
         )

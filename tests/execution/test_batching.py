@@ -1,0 +1,347 @@
+"""Batch-at-a-time executor tests: fusion, stop-aware dereference, pushdown.
+
+Round fusion, stop-aware early termination, predicate pushdown, and key
+deduplication must never change *what* a query computes — rows, per-query
+operation counts, and static bounds are invariants; only the RPC round
+structure and the latency composition may differ.  These tests pin the
+invariants on the edge cases: empty child sets, duplicate keys, descending
+paginated scans with resume positions, stop boundaries exactly on a chunk
+edge, and the LAZY-versus-PARALLEL round split.
+"""
+
+import random
+
+import pytest
+
+from repro import ClusterConfig, ExecutionStrategy, PiqlDatabase
+from repro.execution.evaluate import sort_rows, top_k_rows
+from repro.plans import logical as L
+from repro.storage.rows import (
+    cached_pk_key,
+    clear_row_caches,
+    deserialize_pk,
+    deserialize_row,
+    pk_key,
+    serialize_row,
+)
+
+LIBRARY_DDL = """
+CREATE TABLE writers (
+    wid     INT,
+    lname   VARCHAR(32),
+    PRIMARY KEY (wid),
+    CARDINALITY LIMIT 10 (lname)
+);
+
+CREATE TABLE books (
+    bid     INT,
+    wid     INT,
+    title   VARCHAR(64),
+    PRIMARY KEY (bid),
+    CARDINALITY LIMIT 20 (wid)
+)
+"""
+
+BOOKS_BY_LNAME = (
+    "SELECT b.title FROM writers w JOIN books b "
+    "WHERE w.lname = <n> AND b.wid = w.wid ORDER BY b.title ASC LIMIT {limit}"
+)
+
+
+def library_db(fused: bool = True) -> PiqlDatabase:
+    """Writers sharing a last name, each with a handful of titled books."""
+    db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=21), fused=fused)
+    db.execute_ddl(LIBRARY_DDL)
+    bid = 0
+    for wid, (lname, titles) in enumerate(
+        [
+            ("shared", ["delta", "alpha", "echo"]),
+            ("shared", ["bravo", "golf"]),
+            ("shared", ["charlie", "foxtrot", "hotel"]),
+            ("solo", ["india"]),
+            ("bookless", []),
+        ]
+    ):
+        db.insert("writers", {"wid": wid, "lname": lname})
+        for title in titles:
+            db.insert("books", {"bid": bid, "wid": wid, "title": title})
+            bid += 1
+    # A second bookless writer shares the name, making a child whose range
+    # comes back empty inside a multi-child join.
+    db.insert("writers", {"wid": 90, "lname": "bookless"})
+    return db
+
+
+def all_strategy_rows(db, sql, parameters):
+    prepared = db.prepare(sql)
+    return {
+        strategy: prepared.execute(dict(parameters), strategy=strategy).rows
+        for strategy in ExecutionStrategy
+    }
+
+
+class TestFusedSortedJoin:
+    def test_multi_child_join_rows_identical_everywhere(self):
+        expected = [{"title": t} for t in
+                    ["alpha", "bravo", "charlie", "delta", "echo"]]
+        for fused in (False, True):
+            db = library_db(fused=fused)
+            rows = all_strategy_rows(
+                db, BOOKS_BY_LNAME.format(limit=5), {"n": "shared"}
+            )
+            for strategy, got in rows.items():
+                assert got == expected, (fused, strategy)
+
+    def test_fused_join_issues_one_dereference_round(self):
+        db = library_db(fused=True)
+        prepared = db.prepare(BOOKS_BY_LNAME.format(limit=5))
+        before = db.client.stats.snapshot()
+        prepared.execute({"n": "shared"})
+        delta = db.client.stats.snapshot().delta(before)
+        # One bulk round for the join's dereference plus one for the
+        # (secondary) writers scan — versus one round per matching writer.
+        assert delta.dereference_rounds == 2
+        # The stop (5) pruned the dereference of the other fetched entries.
+        assert delta.saved_reads > 0
+
+    def test_serial_join_pays_one_round_per_child(self):
+        db = library_db(fused=False)
+        prepared = db.prepare(BOOKS_BY_LNAME.format(limit=5))
+        before = db.client.stats.snapshot()
+        prepared.execute({"n": "shared"})
+        delta = db.client.stats.snapshot().delta(before)
+        # Scan dereference + one round per matching "shared" writer.
+        assert delta.dereference_rounds == 1 + 3
+        assert delta.saved_reads == 0
+
+    def test_operations_identical_with_and_without_fusion(self):
+        results = {}
+        for fused in (False, True):
+            db = library_db(fused=fused)
+            result = db.prepare(BOOKS_BY_LNAME.format(limit=5)).execute(
+                {"n": "shared"}
+            )
+            results[fused] = result.operations
+        assert results[False] == results[True]
+
+    def test_lazy_ignores_fusion_entirely(self):
+        db = library_db(fused=True)
+        prepared = db.prepare(BOOKS_BY_LNAME.format(limit=5))
+        before = db.client.stats.snapshot()
+        lazy = prepared.execute({"n": "shared"}, strategy=ExecutionStrategy.LAZY)
+        delta = db.client.stats.snapshot().delta(before)
+        parallel = prepared.execute({"n": "shared"})
+        assert lazy.rows == parallel.rows
+        # LAZY dereferences one tuple per request: every fetched entry of
+        # the scan and the join pays its own round, nothing is saved.
+        assert delta.dereference_rounds > 2
+        assert delta.saved_reads == 0
+
+    def test_empty_child_set(self):
+        for fused in (False, True):
+            db = library_db(fused=fused)
+            result = db.prepare(BOOKS_BY_LNAME.format(limit=5)).execute(
+                {"n": "nobody"}
+            )
+            assert result.rows == []
+
+    def test_children_with_empty_ranges(self):
+        # Both "bookless" writers match the scan but contribute no entries.
+        for fused in (False, True):
+            db = library_db(fused=fused)
+            result = db.prepare(BOOKS_BY_LNAME.format(limit=5)).execute(
+                {"n": "bookless"}
+            )
+            assert result.rows == []
+
+    def test_stop_exactly_on_chunk_edge(self):
+        # 8 "shared" books total: a stop of exactly 8 consumes the whole
+        # entry stream in one chunk; 9 needs (and finds) nothing more.
+        full = [{"title": t} for t in
+                ["alpha", "bravo", "charlie", "delta", "echo",
+                 "foxtrot", "golf", "hotel"]]
+        for limit, expected in [(8, full), (9, full)]:
+            for fused in (False, True):
+                db = library_db(fused=fused)
+                result = db.prepare(BOOKS_BY_LNAME.format(limit=limit)).execute(
+                    {"n": "shared"}
+                )
+                assert result.rows == expected, (limit, fused)
+                assert result.operations <= db.prepare(
+                    BOOKS_BY_LNAME.format(limit=limit)
+                ).operation_bound
+
+
+class TestDuplicateKeyDedupe:
+    FAN_IN = (
+        "SELECT w.lname FROM books b JOIN writers w "
+        "WHERE b.wid = <w> AND w.wid = b.wid"
+    )
+
+    def test_fk_join_dedupes_repeated_targets(self):
+        # Every book of writer 0 references the same writer row: the fused
+        # executor fetches it once but still charges one logical lookup per
+        # child tuple.
+        fused_db = library_db(fused=True)
+        serial_db = library_db(fused=False)
+        fused = fused_db.prepare(self.FAN_IN).execute({"w": 0})
+        serial = serial_db.prepare(self.FAN_IN).execute({"w": 0})
+        assert fused.rows == serial.rows == [{"lname": "shared"}] * 3
+        assert fused.operations == serial.operations
+        assert fused_db.client.stats.saved_reads == 2   # 3 lookups, 1 fetch
+        assert serial_db.client.stats.saved_reads == 0
+
+    def test_in_list_lookup_dedupes_duplicate_keys(self, scadr_db):
+        sql = (
+            "SELECT * FROM subscriptions WHERE target = <t> "
+            "AND owner IN [1: friends(10)]"
+        )
+        result = scadr_db.execute(
+            sql, {"t": "alice", "friends": ["bob", "bob", "carol"]}
+        )
+        assert [row["owner"] for row in result.rows] == ["bob", "bob"]
+        assert scadr_db.client.stats.saved_reads == 1
+
+
+class TestPushdown:
+    def test_residual_filter_pushed_to_primary_scan(self, scadr_db,
+                                                    thoughtstream_sql):
+        # The thoughtstream approval filter now runs server-side: nodes
+        # report filtered keys, and results match the reference exactly.
+        result = scadr_db.execute(thoughtstream_sql, {"uname": "alice"})
+        assert {row["owner"] for row in result.rows} == {"bob", "carol"}
+        assert sum(
+            node.stats.keys_filtered for node in scadr_db.cluster.nodes
+        ) > 0
+
+    def test_pushdown_rows_and_operations_match_unfused(self):
+        sql = (
+            "SELECT b.title FROM books b WHERE b.wid = <w> AND b.bid >= 1 "
+        )
+        results = {}
+        for fused in (False, True):
+            db = library_db(fused=fused)
+            results[fused] = db.prepare(sql).execute({"w": 0})
+        assert results[True].rows == results[False].rows
+        assert results[True].operations == results[False].operations
+        assert sorted(r["title"] for r in results[True].rows) == ["alpha", "echo"]
+
+    def test_pushdown_on_secondary_entries_prunes_dereference(self):
+        # bid is recoverable from the (wid, bid) index entry key, so the
+        # fused arm never dereferences the filtered-out book.
+        sql = "SELECT b.title FROM books b WHERE b.wid = <w> AND b.bid >= 1 "
+        db = library_db(fused=True)
+        db.prepare(sql).execute({"w": 0})
+        assert db.client.stats.saved_reads == 1
+
+    def test_descending_paginated_scan_with_pushed_inequality(self, scadr_db):
+        sql = (
+            "SELECT * FROM thoughts WHERE owner = <u> AND timestamp <> <skip> "
+            "ORDER BY timestamp DESC PAGINATE 6"
+        )
+        prepared = scadr_db.prepare(sql)
+        seen = []
+        for page in prepared.pages(u="carol", skip=1_000_010):
+            assert len(page.rows) <= 6
+            seen.extend(row["timestamp"] for row in page.rows)
+        expected = [t for t in range(1_000_019, 999_999, -1) if t != 1_000_010]
+        assert seen == expected
+
+    def test_paginated_pushdown_matches_lazy(self, scadr_db):
+        sql = (
+            "SELECT * FROM thoughts WHERE owner = <u> AND timestamp <> <skip> "
+            "ORDER BY timestamp ASC PAGINATE 7"
+        )
+        prepared = scadr_db.prepare(sql)
+        by_strategy = {}
+        for strategy in (ExecutionStrategy.LAZY, ExecutionStrategy.PARALLEL):
+            rows = []
+            for page in prepared.pages(strategy=strategy, u="carol",
+                                       skip=1_000_003):
+                rows.extend(page.rows)
+            by_strategy[strategy] = rows
+        assert by_strategy[ExecutionStrategy.LAZY] == \
+            by_strategy[ExecutionStrategy.PARALLEL]
+
+
+class TestCountPushdown:
+    def test_count_star_uses_count_range(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT COUNT(*) FROM subscriptions WHERE owner = <u>", {"u": "alice"}
+        )
+        assert result.rows[0]["count"] == 3
+        # One counter probe instead of a range fetch plus three dereferences.
+        assert result.operations == 1
+
+    def test_count_star_lazy_matches(self, scadr_db):
+        prepared = scadr_db.prepare(
+            "SELECT COUNT(*) FROM subscriptions WHERE owner = <u>"
+        )
+        lazy = prepared.execute({"u": "alice"}, strategy=ExecutionStrategy.LAZY)
+        fast = prepared.execute({"u": "alice"})
+        assert lazy.rows == fast.rows
+        assert lazy.operations > fast.operations
+
+    def test_count_with_residual_predicate_not_rerouted(self, scadr_db):
+        # A residual predicate disqualifies the count_range fast path; the
+        # scan still runs (here as a filtered primary range) and the count
+        # reflects the filter in every strategy.
+        prepared = scadr_db.prepare(
+            "SELECT COUNT(*) FROM subscriptions WHERE owner = <u> "
+            "AND approved = true"
+        )
+        fast = prepared.execute({"u": "alice"})
+        lazy = prepared.execute({"u": "alice"}, strategy=ExecutionStrategy.LAZY)
+        assert fast.rows == lazy.rows == [{"count": 2}]
+
+    def test_count_respects_scan_limit(self, scadr_db):
+        result = scadr_db.execute(
+            "SELECT COUNT(*) FROM thoughts WHERE owner = <u> LIMIT 5",
+            {"u": "carol"},
+        )
+        assert result.rows[0]["count"] == 5
+
+    def test_paginated_count_stands_down(self, scadr_db):
+        # A paginated COUNT counts one page per execution; the count_range
+        # fast path must not collapse the cursor to a single page.
+        prepared = scadr_db.prepare(
+            "SELECT COUNT(*) FROM thoughts WHERE owner = <u> PAGINATE 8"
+        )
+        for strategy in (ExecutionStrategy.LAZY, ExecutionStrategy.PARALLEL):
+            counts = [
+                page.rows[0]["count"]
+                for page in prepared.pages(strategy=strategy, u="carol")
+            ]
+            assert counts == [8, 8, 4], strategy
+
+
+class TestTopKSelection:
+    def test_top_k_matches_sort_then_truncate(self):
+        rng = random.Random(5)
+        rows = [
+            {"t": {"a": rng.randrange(6), "b": rng.choice([None, rng.random()])}}
+            for _ in range(200)
+        ]
+        keys = (
+            (L.BoundColumn(relation="t", table="t", column="a"), True),
+            (L.BoundColumn(relation="t", table="t", column="b"), False),
+        )
+        for k in (0, 1, 7, 199, 200, 500):
+            assert top_k_rows(list(rows), keys, k) == sort_rows(rows, keys)[:k]
+
+
+class TestRowCaches:
+    def test_deserialize_row_cache_hits_are_isolated(self):
+        clear_row_caches()
+        payload = serialize_row({"a": 1, "b": "x"})
+        first = deserialize_row(payload)
+        first["a"] = 999
+        second = deserialize_row(payload)
+        assert second == {"a": 1, "b": "x"}
+
+    def test_cached_pk_key_matches_uncached(self):
+        clear_row_caches()
+        payload = b'["alice", 42]'
+        assert cached_pk_key(payload) == pk_key(deserialize_pk(payload))
+        # Second call is served from the intern table, same value.
+        assert cached_pk_key(payload) == pk_key(deserialize_pk(payload))

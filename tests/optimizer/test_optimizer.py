@@ -52,7 +52,9 @@ class TestThoughtstreamPlan:
         operators = plan_operators(optimized.physical_plan)
         joined = "\n".join(operators)
         assert "SortedIndexJoin(thoughts(primary)" in joined
-        assert "LocalSelection(s.approved" in joined
+        # The approval filter only reads the scanned record, so it is pushed
+        # below the base-record fetch and evaluated server-side on the scan.
+        assert "pushdown=(s.approved = True)" in joined
         assert "IndexScan(subscriptions(primary)" in joined
         assert "limitHint=100" in joined  # MaxSubscriptions
         assert "limitHint=10" in joined   # page size
