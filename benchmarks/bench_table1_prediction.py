@@ -60,8 +60,10 @@ def test_table1_prediction_accuracy(run_once):
     save_results("table1_prediction", {"rows": table, "summary": {
         k: float(v) for k, v in summary.items()}})
 
-    # All thirteen read queries of the two benchmarks are reproduced.
-    assert len(rows) == 13
+    # The paper's thirteen read queries, plus the three restored by the
+    # materialized-view tier (Best Sellers and the SCADr profile counts,
+    # which the paper's table omits as inexpressible).
+    assert len(rows) == 16
     # Qualitative columns: the tokenised-search rewrites need their inverted
     # indexes, the point lookups need none.
     by_query = {row.query: row for row in rows}
@@ -69,6 +71,12 @@ def test_table1_prediction_accuracy(run_once):
     assert by_query["search_by_title_wi"].additional_indexes
     assert by_query["home_wi"].additional_indexes == []
     assert by_query["find_user"].additional_indexes == []
+    # The restored queries are served by precomputation: no additional
+    # indexes beyond the views' own bounded structures.
+    assert by_query["best_sellers_wi"].modifications.startswith("Precomputed")
+    assert by_query["best_sellers_wi"].additional_indexes == []
+    assert by_query["thought_count"].additional_indexes == []
+    assert by_query["follower_count"].additional_indexes == []
     # The model predicts SLO compliance conservatively on balance.  (The
     # "actual" column is a max-over-intervals of per-interval percentiles
     # estimated from far fewer samples than the trained models, so individual

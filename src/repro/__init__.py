@@ -29,6 +29,7 @@ from .errors import (
 from .execution.context import ExecutionStrategy, QueryResult
 from .kvstore.cluster import ClusterConfig, KeyValueCluster
 from .kvstore.latency import LatencyParameters
+from .views.definition import MaterializedView
 
 __version__ = "0.1.0"
 
@@ -41,6 +42,7 @@ __all__ = [
     "ExecutionStrategy",
     "KeyValueCluster",
     "LatencyParameters",
+    "MaterializedView",
     "NotScaleIndependentError",
     "ParseError",
     "PiqlDatabase",

@@ -22,6 +22,11 @@ from .bench_serving_slo import (
     ServingSloExperiment,
     ServingSloResult,
 )
+from .bench_view_maintenance import (
+    ViewMaintenanceConfig,
+    ViewMaintenanceExperiment,
+    ViewMaintenanceResult,
+)
 from .harness import ClientSimulationConfig, RunMeasurement, run_workload
 from .intersection import (
     IntersectionExperimentConfig,
@@ -78,6 +83,9 @@ __all__ = [
     "ScalingResult",
     "StrategyMeasurement",
     "SubscriberIntersectionExperiment",
+    "ViewMaintenanceConfig",
+    "ViewMaintenanceExperiment",
+    "ViewMaintenanceResult",
     "format_table",
     "linear_fit_r_squared",
     "percentile",

@@ -1,0 +1,449 @@
+"""Materialized-view maintenance benchmark: scale-independent precomputation.
+
+Three phases prove the three claims of the view tier:
+
+* **write amplification** — the same batch of order-line inserts is applied
+  at increasing table cardinalities, with and without the
+  ``best_sellers_by_subject`` view.  The per-insert maintenance cost (ops
+  with view minus ops without) must be bounded by the static
+  :func:`~repro.plans.bounds.write_operation_bound` and must not grow with
+  cardinality;
+* **correctness** — after a closed-loop run through the serving tier (order
+  lines written by buy-confirm interactions under load), the best-sellers
+  query is executed for every subject and its rows must be identical —
+  values *and* order, including ties — to an offline recomputation of the
+  view from the base tables; SCADr's per-user counts are checked the same
+  way against the thought table;
+* **bounded reads** — the restored best-sellers and thought-count queries
+  execute as bounded view scans whose operation counts never exceed their
+  statically predicted bounds and whose simulated latency stays flat as the
+  order-line table grows by an order of magnitude (the query is rejected
+  outright without the view — the paper's Table 1 omission).
+
+Run with ``PYTHONPATH=src python -m repro.bench.bench_view_maintenance``
+(add ``--quick`` for the CI-sized configuration).  Results land in
+``results/view_maintenance.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import PiqlDatabase
+from ..errors import NotScaleIndependentError
+from ..kvstore.cluster import ClusterConfig
+from ..plans.bounds import write_operation_bound
+from ..serving.simulator import ServingConfig, ServingSimulation
+from ..views.maintenance import recompute_top_k, recompute_view
+from ..workloads.base import WorkloadScale
+from ..workloads.scadr.workload import ScadrWorkload
+from ..workloads.tpcw.schema import SUBJECTS
+from ..workloads.tpcw.workload import TpcwWorkload
+from .reporting import format_table, save_results
+
+
+@dataclass(frozen=True)
+class ViewMaintenanceConfig:
+    """Cluster shape, data scales, and traffic of the experiment."""
+
+    storage_nodes: int = 6
+    node_capacity_ops_per_second: float = 4000.0
+    #: Data scales for the write-amplification / bounded-read sweep; the
+    #: order-line table grows roughly linearly with users_per_node.
+    scale_users_per_node: Tuple[int, ...] = (10, 30, 90)
+    items_total: int = 300
+    #: Probe inserts measured per scale point (fresh order ids).
+    probe_inserts: int = 200
+    #: Read probes per scale point.
+    probe_reads: int = 60
+    #: Serving-tier closed loop (correctness-under-load phase).
+    clients: int = 30
+    think_time_seconds: float = 0.3
+    duration_seconds: float = 12.0
+    #: SCADr correctness phase sizing.
+    scadr_users_per_node: int = 40
+    seed: int = 23
+
+    def quick(self) -> "ViewMaintenanceConfig":
+        """A CI-smoke-sized variant (a few seconds of wall clock)."""
+        return replace(
+            self,
+            scale_users_per_node=(8, 24),
+            items_total=200,
+            probe_inserts=60,
+            probe_reads=20,
+            clients=12,
+            duration_seconds=5.0,
+            scadr_users_per_node=20,
+        )
+
+
+@dataclass
+class ViewScalePoint:
+    """Measurements at one table cardinality."""
+
+    users_per_node: int
+    order_line_rows: int
+    #: Mean key/value operations per probe insert, with/without the view.
+    insert_ops_with_view: float
+    insert_ops_without_view: float
+    write_bound: int
+    write_bound_base: int
+    #: Best-sellers read probes.
+    read_ops_max: int
+    read_bound: int
+    read_mean_latency_ms: float
+
+    @property
+    def maintenance_ops(self) -> float:
+        return self.insert_ops_with_view - self.insert_ops_without_view
+
+
+@dataclass
+class ViewMaintenanceResult:
+    """All phases' measurements."""
+
+    config: ViewMaintenanceConfig
+    scale_points: List[ViewScalePoint]
+    rejected_without_view: bool
+    serving: Dict[str, float]
+    correctness: Dict[str, object]
+
+    def summary_payload(self) -> Dict:
+        return {
+            "config": {
+                "storage_nodes": self.config.storage_nodes,
+                "scale_users_per_node": list(self.config.scale_users_per_node),
+                "items_total": self.config.items_total,
+                "probe_inserts": self.config.probe_inserts,
+                "clients": self.config.clients,
+                "duration_seconds": self.config.duration_seconds,
+                "seed": self.config.seed,
+            },
+            "rejected_without_view": self.rejected_without_view,
+            "scale_points": [
+                {
+                    "users_per_node": p.users_per_node,
+                    "order_line_rows": p.order_line_rows,
+                    "insert_ops_with_view": p.insert_ops_with_view,
+                    "insert_ops_without_view": p.insert_ops_without_view,
+                    "maintenance_ops": p.maintenance_ops,
+                    "write_bound": p.write_bound,
+                    "read_ops_max": p.read_ops_max,
+                    "read_bound": p.read_bound,
+                    "read_mean_latency_ms": p.read_mean_latency_ms,
+                }
+                for p in self.scale_points
+            ],
+            "serving": self.serving,
+            "correctness": self.correctness,
+        }
+
+
+class ViewMaintenanceExperiment:
+    """Runs the write-amplification, correctness, and bounded-read phases."""
+
+    def __init__(self, config: Optional[ViewMaintenanceConfig] = None):
+        self.config = config or ViewMaintenanceConfig()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _tpcw(
+        self, users_per_node: int, views: bool
+    ) -> Tuple[PiqlDatabase, TpcwWorkload]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(
+                storage_nodes=config.storage_nodes,
+                node_capacity_ops_per_second=config.node_capacity_ops_per_second,
+                seed=config.seed,
+            )
+        )
+        workload = TpcwWorkload(materialized_views=views)
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=max(2, config.storage_nodes // 2),
+                users_per_node=users_per_node,
+                items_total=config.items_total,
+                seed=config.seed,
+            ),
+        )
+        db.cluster.reseed_latency_models(config.seed)
+        return db, workload
+
+    # ------------------------------------------------------------------
+    # Phase 1 + 3: write amplification and bounded reads across scales
+    # ------------------------------------------------------------------
+    def _probe_inserts(self, db: PiqlDatabase, base_order_id: int) -> float:
+        """Mean ops per order-line insert for a batch of fresh orders."""
+        config = self.config
+        rng = random.Random(config.seed + 17)
+        view = db.new_client()
+        before = view.client.stats.operations
+        for offset in range(config.probe_inserts):
+            view.insert(
+                "order_line",
+                {
+                    "OL_O_ID": base_order_id + offset,
+                    "OL_ID": 1,
+                    # Generated item ids are 1..items_total (data.py); an id
+                    # outside that range would miss the dimension fetch and
+                    # silently skip maintenance, biasing the measurement low.
+                    "OL_I_ID": rng.randrange(1, config.items_total + 1),
+                    "OL_QTY": rng.randrange(1, 5),
+                    "OL_DISCOUNT": 0.0,
+                    "OL_COMMENT": "",
+                },
+            )
+        return (view.client.stats.operations - before) / config.probe_inserts
+
+    def run_scale_point(self, users_per_node: int) -> ViewScalePoint:
+        config = self.config
+        db, workload = self._tpcw(users_per_node, views=True)
+        baseline_db, _ = self._tpcw(users_per_node, views=False)
+        order_line_rows = db.records.count("order_line")
+
+        with_view = self._probe_inserts(db, base_order_id=50_000_000)
+        without_view = self._probe_inserts(baseline_db, base_order_id=50_000_000)
+
+        rng = random.Random(config.seed + 5)
+        reader = db.new_client()
+        reader_prepared = reader.prepare(workload.query_sql("best_sellers_wi"))
+        ops_max = 0
+        latency = 0.0
+        for _ in range(config.probe_reads):
+            result = reader_prepared.execute(
+                workload.sample_parameters("best_sellers_wi", rng)
+            )
+            ops_max = max(ops_max, result.operations)
+            latency += result.latency_seconds
+        return ViewScalePoint(
+            users_per_node=users_per_node,
+            order_line_rows=order_line_rows,
+            insert_ops_with_view=with_view,
+            insert_ops_without_view=without_view,
+            write_bound=write_operation_bound(db.catalog, "order_line"),
+            write_bound_base=write_operation_bound(
+                baseline_db.catalog, "order_line"
+            ),
+            read_ops_max=ops_max,
+            read_bound=reader_prepared.operation_bound,
+            read_mean_latency_ms=latency / config.probe_reads * 1000.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: serving-tier load, then view-versus-recompute equivalence
+    # ------------------------------------------------------------------
+    def run_serving_and_correctness(self) -> Tuple[Dict[str, float], Dict[str, object]]:
+        config = self.config
+        db, workload = self._tpcw(config.scale_users_per_node[0], views=True)
+        simulation = ServingSimulation(
+            db,
+            workload,
+            ServingConfig(
+                mode="closed",
+                clients=config.clients,
+                think_time_seconds=config.think_time_seconds,
+                duration_seconds=config.duration_seconds,
+                seed=config.seed,
+            ),
+        )
+        report = simulation.run()
+        by_name: Dict[str, int] = {}
+        for record in report.log.records:
+            by_name[record.name] = by_name.get(record.name, 0) + 1
+        serving = {
+            "completed": float(report.completed),
+            "throughput_per_second": report.throughput,
+            "p99_ms": report.response_percentile_ms(0.99),
+            "best_sellers_served": float(by_name.get("best_sellers", 0)),
+            "buy_confirms": float(by_name.get("buy_confirm", 0)),
+        }
+
+        # Offline ground truth from the post-load base tables.
+        view = db.catalog.view("best_sellers_by_subject")
+        recomputed = recompute_view(view, db.catalog, db.cluster)
+        prepared = db.prepare(workload.query_sql("best_sellers_wi"))
+        mismatches = 0
+        compared = 0
+        for subject in SUBJECTS:
+            expected = [
+                {"OL_I_ID": row["OL_I_ID"], "total_sold": row["total_sold"]}
+                for row in recompute_top_k(view, recomputed, (subject,))
+            ]
+            actual = prepared.execute(subject=subject).rows
+            compared += 1
+            if actual != expected:
+                mismatches += 1
+
+        # SCADr: per-user counts against an offline recompute of thoughts.
+        scadr_db = PiqlDatabase.simulated(
+            ClusterConfig(storage_nodes=config.storage_nodes, seed=config.seed + 1)
+        )
+        scadr = ScadrWorkload(materialized_views=True)
+        scadr.setup(
+            scadr_db,
+            WorkloadScale(
+                storage_nodes=2,
+                users_per_node=config.scadr_users_per_node,
+                seed=config.seed + 1,
+            ),
+        )
+        rng = random.Random(config.seed + 2)
+        for _ in range(50):  # extra posts and retractions under the view
+            owner = rng.choice(scadr.usernames)
+            scadr_db.insert(
+                "thoughts",
+                {"owner": owner, "timestamp": 3_000_000_000 + rng.randrange(10**6),
+                 "text": "load"},
+                upsert=True,
+            )
+        thought_view = scadr_db.catalog.view("user_thought_counts")
+        thought_truth = recompute_view(thought_view, scadr_db.catalog, scadr_db.cluster)
+        count_query = scadr_db.prepare(scadr.query_sql("thought_count"))
+        scadr_mismatches = 0
+        for (owner,), expected_row in thought_truth.items():
+            rows = count_query.execute(uname=owner).rows
+            if rows != [{"owner": owner,
+                         "thought_count": expected_row["thought_count"]}]:
+                scadr_mismatches += 1
+        correctness = {
+            "subjects_compared": compared,
+            "best_sellers_mismatches": mismatches,
+            "scadr_users_compared": len(thought_truth),
+            "scadr_mismatches": scadr_mismatches,
+        }
+        return serving, correctness
+
+    # ------------------------------------------------------------------
+    # Whole experiment
+    # ------------------------------------------------------------------
+    def run(self) -> ViewMaintenanceResult:
+        config = self.config
+        # Without the view the query is rejected — the paper's omission.
+        db, _ = self._tpcw(config.scale_users_per_node[0], views=False)
+        try:
+            db.prepare(
+                TpcwWorkload(materialized_views=True).query_sql("best_sellers_wi")
+            )
+            rejected = False
+        except NotScaleIndependentError:
+            rejected = True
+
+        points = [
+            self.run_scale_point(users) for users in config.scale_users_per_node
+        ]
+        serving, correctness = self.run_serving_and_correctness()
+        return ViewMaintenanceResult(
+            config=config,
+            scale_points=points,
+            rejected_without_view=rejected,
+            serving=serving,
+            correctness=correctness,
+        )
+
+
+def check_result(result: ViewMaintenanceResult) -> None:
+    """Regression guard shared by the CLI run and the benchmark suite."""
+    assert result.rejected_without_view, (
+        "best-sellers must be rejected without the materialized view"
+    )
+    points = result.scale_points
+    # Write amplification: maintenance cost bounded by the static write
+    # bound at every scale, and independent of table cardinality (the
+    # largest scale may not cost more than the smallest plus rounding).
+    for point in points:
+        assert point.insert_ops_with_view <= point.write_bound, (
+            f"insert cost {point.insert_ops_with_view:.2f} exceeds static "
+            f"write bound {point.write_bound} at {point.users_per_node} users"
+        )
+    spread = max(p.maintenance_ops for p in points) - min(
+        p.maintenance_ops for p in points
+    )
+    assert spread <= 1.0, (
+        f"per-write maintenance cost varies by {spread:.2f} ops across a "
+        f"{points[-1].order_line_rows / points[0].order_line_rows:.0f}x "
+        "cardinality range — not scale-independent"
+    )
+    # Bounded reads: measured ops never exceed the static bound, and the
+    # bound (and measured ceiling) is identical at every cardinality.
+    assert len({p.read_bound for p in points}) == 1
+    for point in points:
+        assert point.read_ops_max <= point.read_bound
+    latencies = [p.read_mean_latency_ms for p in points]
+    assert max(latencies) <= 2.0 * min(latencies) + 0.5, (
+        f"view-scan latency grew with cardinality: {latencies}"
+    )
+    # Correctness: the view-scan rows are identical to offline recomputation.
+    assert result.correctness["best_sellers_mismatches"] == 0
+    assert result.correctness["scadr_mismatches"] == 0
+    assert result.correctness["subjects_compared"] > 0
+    # The serving tier actually served traffic (including buy-confirms that
+    # exercised maintenance under load).
+    assert result.serving["completed"] > 0
+    assert result.serving["buy_confirms"] > 0
+
+
+def print_result(result: ViewMaintenanceResult) -> None:
+    print("== write amplification & bounded reads across cardinalities ==")
+    print(
+        format_table(
+            ["users/node", "order_line rows", "ins ops (view)",
+             "ins ops (base)", "maint ops", "write bound",
+             "read ops<=", "read bound", "read ms"],
+            [
+                (
+                    p.users_per_node,
+                    p.order_line_rows,
+                    f"{p.insert_ops_with_view:.2f}",
+                    f"{p.insert_ops_without_view:.2f}",
+                    f"{p.maintenance_ops:.2f}",
+                    p.write_bound,
+                    p.read_ops_max,
+                    p.read_bound,
+                    f"{p.read_mean_latency_ms:.2f}",
+                )
+                for p in result.scale_points
+            ],
+        )
+    )
+    print(
+        f"best-sellers rejected without the view: "
+        f"{result.rejected_without_view}"
+    )
+    print("\n== serving-tier closed loop (views in the interaction mix) ==")
+    print(
+        f"completed {result.serving['completed']:.0f} interactions "
+        f"({result.serving['throughput_per_second']:.1f}/s, "
+        f"p99 {result.serving['p99_ms']:.1f} ms); "
+        f"best-sellers pages served: {result.serving['best_sellers_served']:.0f}; "
+        f"buy-confirms (maintenance under load): "
+        f"{result.serving['buy_confirms']:.0f}"
+    )
+    print("\n== view scan versus offline recomputation ==")
+    print(
+        f"best-sellers: {result.correctness['subjects_compared']} subjects "
+        f"compared, {result.correctness['best_sellers_mismatches']} mismatches; "
+        f"SCADr thought counts: {result.correctness['scadr_users_compared']} "
+        f"users compared, {result.correctness['scadr_mismatches']} mismatches"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    args = list(sys.argv[1:] if argv is None else argv)
+    config = ViewMaintenanceConfig()
+    if "--quick" in args:
+        config = config.quick()
+    result = ViewMaintenanceExperiment(config).run()
+    print_result(result)
+    save_results("view_maintenance", result.summary_payload())
+    check_result(result)
+
+
+if __name__ == "__main__":
+    main()

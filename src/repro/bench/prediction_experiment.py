@@ -71,6 +71,10 @@ SCADR_MODIFICATIONS: Dict[str, str] = {
     "recent_thoughts": "-",
     "thoughtstream": "Cardinality constraint on #subscriptions",
     "find_user": "-",
+    "thought_count": "Precomputed via materialized view (user_thought_counts)",
+    "follower_count": (
+        "Precomputed via materialized view (user_follower_counts)"
+    ),
 }
 
 
@@ -173,13 +177,18 @@ class PredictionAccuracyExperiment:
     def run(self, benchmarks: Sequence[str] = ("tpcw", "scadr")) -> List[PredictionRow]:
         rows: List[PredictionRow] = []
         if "tpcw" in benchmarks:
+            # Views enabled: Table 1 now *lists* Best Sellers (precomputed)
+            # instead of silently omitting it like the paper's table.
             rows.extend(
-                self._measure_workload(TpcwWorkload(), QUERY_MODIFICATIONS)
+                self._measure_workload(
+                    TpcwWorkload(materialized_views=True), QUERY_MODIFICATIONS
+                )
             )
         if "scadr" in benchmarks:
             workload = ScadrWorkload(
                 max_subscriptions=self.config.scadr_max_subscriptions,
                 subscriptions_per_user=self.config.scadr_subscriptions_per_user,
+                materialized_views=True,
             )
             rows.extend(self._measure_workload(workload, SCADR_MODIFICATIONS))
         return rows

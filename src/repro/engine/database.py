@@ -38,6 +38,8 @@ from ..sql import ast
 from ..sql.parser import parse
 from ..storage.record_manager import RecordManager
 from ..storage.rows import index_entries, index_namespace, record_key, serialize_row
+from ..views.definition import MaterializedView, analyze_view
+from ..views.maintenance import ViewMaintenanceEngine
 from .query import PreparedQuery
 from .session import Session
 
@@ -64,7 +66,8 @@ class PiqlDatabase:
         self.cluster = cluster or KeyValueCluster(ClusterConfig())
         self.catalog = Catalog()
         self.client = StorageClient(cluster=self.cluster)
-        self.records = RecordManager(self.catalog, self.client)
+        self.views = ViewMaintenanceEngine(self.catalog, self.client)
+        self.records = RecordManager(self.catalog, self.client, views=self.views)
         self.optimizer = PiqlOptimizer(self.catalog)
         self.executor = QueryExecutor(
             self.client, self.catalog, strategy=strategy, fused=fused
@@ -113,7 +116,8 @@ class PiqlDatabase:
         clone.cluster = self.cluster
         clone.catalog = self.catalog
         clone.client = StorageClient(cluster=self.cluster, clock=clock or SimClock())
-        clone.records = RecordManager(self.catalog, clone.client)
+        clone.views = ViewMaintenanceEngine(self.catalog, clone.client)
+        clone.records = RecordManager(self.catalog, clone.client, views=clone.views)
         clone.optimizer = PiqlOptimizer(self.catalog)
         clone.executor = QueryExecutor(
             clone.client,
@@ -175,11 +179,15 @@ class PiqlDatabase:
                 )
                 self.create_index(index)
                 created.append(statement.name)
+            elif isinstance(statement, ast.CreateMaterializedViewStatement):
+                self.create_materialized_view(statement)
+                created.append(statement.name)
             elif isinstance(statement, ast.InsertStatement):
                 self.insert(statement.table, dict(zip(statement.columns, statement.values)))
             else:
                 raise SchemaError(
-                    f"execute_ddl only handles CREATE TABLE / CREATE INDEX / INSERT, "
+                    f"execute_ddl only handles CREATE TABLE / CREATE INDEX / "
+                    f"CREATE MATERIALIZED VIEW / INSERT, "
                     f"got {type(statement).__name__}"
                 )
         return created
@@ -211,6 +219,40 @@ class PiqlDatabase:
         self.records.create_index_storage(registered)
         self._backfill_index(registered)
         return registered
+
+    def create_materialized_view(
+        self, statement: Union[str, ast.CreateMaterializedViewStatement]
+    ) -> MaterializedView:
+        """Register a materialized view and backfill it from existing data.
+
+        Provisions the view's backing table (one row per group) and, for
+        top-k views, its bounded ordered view index; existing driving-table
+        rows are folded in through the latency-free load path.  From then on
+        every insert/update/delete of the driving table maintains the view
+        incrementally at a statically bounded cost, and the optimizer's
+        precomputation phase may rewrite matching aggregate queries into
+        bounded view scans.
+        """
+        if isinstance(statement, str):
+            parsed = parse(statement)
+            if not isinstance(parsed, ast.CreateMaterializedViewStatement):
+                raise SchemaError(
+                    "create_materialized_view expects CREATE MATERIALIZED VIEW"
+                )
+            statement = parsed
+        view = analyze_view(statement, self.catalog)
+        self.catalog.add_table(view.backing_table)
+        self.records.create_table_storage(view.backing_table)
+        if view.order_index is not None:
+            self.catalog.add_index(view.order_index)
+            self.records.create_index_storage(view.order_index)
+        self.catalog.add_view(view)
+        self.views.backfill(view)
+        return view
+
+    def materialized_views(self) -> List[MaterializedView]:
+        """All registered materialized views."""
+        return list(self.catalog.views())
 
     def _backfill_index(self, index: IndexDefinition) -> None:
         table = self.catalog.table(index.table)

@@ -471,6 +471,66 @@ class KeyValueCluster:
             else:
                 self.replication.add_hint(node_id, namespace, key, record)
 
+    def load_delete(self, namespace: str, key: bytes) -> None:
+        """Tombstone a key on every replica without charging any latency.
+
+        The deletion counterpart of :meth:`load`; used by the bulk-load and
+        backfill paths of view maintenance, whose bounded top-k indexes must
+        evict entries while data is being loaded.
+        """
+        self._require(namespace)
+        record = encode_record(self.replication.next_seq(), None)
+        for node_id in self._preference_list(namespace, key):
+            if self.nodes[node_id].up:
+                self.replication.stores[node_id].apply_record(
+                    namespace, key, record
+                )
+            else:
+                self.replication.add_hint(node_id, namespace, key, record)
+
+    def peek(self, namespace: str, key: bytes) -> Optional[bytes]:
+        """Latency-free newest-wins read of one key (bulk load / tooling).
+
+        Resolves across the up replicas of the key's preference list without
+        charging any node or advancing any clock, and without read repair.
+        Raises :class:`~repro.errors.UnavailableError` when every replica is
+        down — a down replica's store may predate hinted writes, so reading
+        it could silently return stale state into a view backfill.
+        """
+        self._require(namespace)
+        prefs = self._preference_list(namespace, key)
+        up = [node_id for node_id in prefs if self.nodes[node_id].up]
+        if not up:
+            raise UnavailableError(
+                f"all {len(prefs)} replicas of the key are down"
+            )
+        _, record = self.replication.newest_record(namespace, key, up)
+        if record is None:
+            return None
+        return decode_record(record)[1]
+
+    def peek_range(
+        self,
+        namespace: str,
+        start: Optional[bytes],
+        end: Optional[bytes],
+        limit: Optional[int] = None,
+        ascending: bool = True,
+    ) -> List[KeyValue]:
+        """Latency-free merged range read (bulk load / tooling).
+
+        Applies the same availability rule as :meth:`iter_namespace`: when
+        enough nodes are down that the merge could silently miss keys, it
+        raises instead of letting a view backfill build permanently
+        incomplete state.
+        """
+        self._require(namespace)
+        self._range_may_be_partial(allow_partial=False)
+        merged = self.replication.merged_range(
+            namespace, self.up_node_ids(), start, end, limit, ascending
+        )
+        return [(key, value) for key, value, _ in merged]
+
     # ------------------------------------------------------------------
     # Quorum write internals
     # ------------------------------------------------------------------

@@ -105,6 +105,14 @@ class CostBasedOptimizer:
             raise PlanningError(
                 "the cost-based baseline supports single-relation queries only"
             )
+        if spec.aggregate_sort_keys:
+            # Ordering by an aggregate output ranks the groups; only the
+            # scale-independent optimizer's materialized-view rewrite can
+            # serve that, and silently dropping the ordering would return
+            # rows in arbitrary order.
+            raise PlanningError(
+                "the cost-based baseline cannot order by aggregate outputs"
+            )
         relation = spec.relations[0]
         table = self.catalog.table(relation.table)
         stats = self.statistics.get(

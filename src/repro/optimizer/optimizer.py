@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from ..errors import PlanningError
+from ..errors import NotScaleIndependentError, PlanningError
 from ..plans import logical as L
 from ..plans import physical as P
 from ..plans.bounds import PlanBound, compute_bound
@@ -30,6 +30,7 @@ from ..schema.catalog import Catalog
 from ..schema.ddl import IndexDefinition
 from ..sql import ast
 from ..sql.parser import parse_select
+from ..views.rewrite import ViewRewriter
 from .phase1 import PreparedPlan, StopOperatorPrepare
 from .phase2 import GeneratedPlan, PlanGenerator
 
@@ -45,6 +46,9 @@ class OptimizedQuery:
     physical_plan: P.PhysicalOperator
     required_indexes: List[IndexDefinition] = field(default_factory=list)
     bound: Optional[PlanBound] = None
+    #: Name of the materialized view this query was rewritten against, when
+    #: the precomputation phase rescued an otherwise-rejected aggregate.
+    view_used: Optional[str] = None
 
     @property
     def logical_plan(self) -> L.LogicalOperator:
@@ -94,11 +98,18 @@ class PiqlOptimizer:
         self._builder = LogicalPlanBuilder(catalog)
         self._phase1 = StopOperatorPrepare(catalog)
         self._phase2 = PlanGenerator(catalog)
+        self._rewriter = ViewRewriter(catalog)
 
     def optimize(
         self, query: Union[str, ast.SelectStatement]
     ) -> OptimizedQuery:
         """Compile ``query`` (SQL text or a parsed statement) into a plan.
+
+        Queries the normal Phase I/II pipeline rejects — and queries ordered
+        by an aggregate output, which no bounded base-table plan can satisfy
+        — get one more chance: the precomputation phase matches them against
+        the catalog's materialized views and, on a hit, compiles a bounded
+        scan of the view instead (the paper's Section 4.3 escape hatch).
 
         Raises :class:`~repro.errors.NotScaleIndependentError` when no
         bounded plan exists; the exception carries suggestions for the
@@ -111,7 +122,53 @@ class PiqlOptimizer:
             sql = ""
             statement = query
         spec = self._builder.build_spec(statement)
-        prepared = self._phase1.prepare(spec)
+
+        rejection: Optional[NotScaleIndependentError] = None
+        if not spec.aggregate_sort_keys:
+            try:
+                return self._compile(sql, statement, spec, spec)
+            except NotScaleIndependentError as error:
+                rejection = error
+
+        match = self._rewriter.rewrite(statement, spec)
+        if match is not None:
+            rewritten_statement, view = match
+            rewritten_spec = self._builder.build_spec(rewritten_statement)
+            try:
+                compiled = self._compile(
+                    sql, statement, spec, rewritten_spec
+                )
+                compiled.view_used = view.name
+                return compiled
+            except NotScaleIndependentError:
+                pass  # the rewrite itself was unbounded; fall through
+
+        if rejection is not None:
+            raise rejection
+        ordering = ", ".join(
+            f"{name} {'ASC' if ascending else 'DESC'}"
+            for name, ascending in spec.aggregate_sort_keys
+        )
+        raise NotScaleIndependentError(
+            f"ordering by the aggregate output(s) {ordering} requires ranking "
+            "every group, which cannot be bounded by any base-table plan "
+            "(Section 4.3); precompute it instead",
+            relation=spec.relations[0].alias,
+            suggestions=[
+                "CREATE MATERIALIZED VIEW ... GROUP BY the query's grouping "
+                f"and partition columns ORDER BY {ordering} LIMIT k",
+            ],
+        )
+
+    def _compile(
+        self,
+        sql: str,
+        statement: ast.SelectStatement,
+        spec: L.QuerySpec,
+        plan_spec: L.QuerySpec,
+    ) -> OptimizedQuery:
+        """Run Phase I/II + bounds over ``plan_spec`` (possibly rewritten)."""
+        prepared = self._phase1.prepare(plan_spec)
         generated: GeneratedPlan = self._phase2.generate(prepared)
         bound = compute_bound(generated.physical_plan)
         return OptimizedQuery(

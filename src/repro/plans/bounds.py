@@ -106,3 +106,46 @@ def compute_bound(plan: P.PhysicalOperator) -> PlanBound:
 def operation_bound(plan: P.PhysicalOperator) -> int:
     """Convenience accessor: the maximum number of key/value operations."""
     return compute_bound(plan).max_operations
+
+
+def estimated_index_entries(table, index) -> int:
+    """Estimated entries one row contributes to ``index``.
+
+    One for a plain index; tokenized columns multiply by an estimated
+    per-row token count (~one token per five characters of the declared
+    column size).  Shared by the static write bound and the write-latency
+    model so the two can never disagree on the same write.
+    """
+    entries = 1
+    for column in index.columns:
+        if column.tokenized:
+            entries *= max(1, table.column(column.name).estimated_size() // 5)
+    return entries
+
+
+def write_operation_bound(catalog, table_name: str) -> int:
+    """Static bound on key/value operations one write to ``table_name`` costs.
+
+    The write-side counterpart of :func:`operation_bound`: base-record
+    write, one entry per secondary index (tokenized indexes charge an
+    estimated per-row token count derived from the column's declared size),
+    one ``count_range`` per cardinality constraint, and — when the table
+    drives materialized views — the statically bounded view-maintenance
+    delta (:func:`repro.views.maintenance.maintenance_operation_bound`).
+    Like read bounds, this is independent of table cardinality, which is
+    exactly what keeps writes scale-independent as views are added.
+    """
+    from ..views.maintenance import maintenance_operation_bound
+
+    table = catalog.table(table_name)
+    # Base record put / test_and_set, plus the old-row read an update (or an
+    # overwriting upsert on a view-driving table) performs first.
+    operations = 2
+    for index in catalog.indexes_for_table(table.name):
+        # An update that changes the indexed value both writes the new
+        # entry and deletes the stale one, so each entry counts twice.
+        operations += 2 * estimated_index_entries(table, index)
+    operations += len(table.cardinality_limits)
+    for view in catalog.views_for_table(table.name):
+        operations += maintenance_operation_bound(view)
+    return operations

@@ -49,11 +49,6 @@ class LogicalPlanBuilder:
         for predicate in statement.where:
             self._add_predicate(spec, bindings, predicate)
 
-        spec.sort_keys = [
-            (self._resolve_column(item.column, bindings), item.ascending)
-            for item in statement.order_by
-        ]
-
         if statement.limit is not None:
             spec.stop = L.Stop(
                 child=None,  # type: ignore[arg-type]
@@ -69,9 +64,37 @@ class LogicalPlanBuilder:
             for item in statement.select_items
             if isinstance(item, ast.AggregateCall)
         )
+        # ORDER BY keys may name an aggregate output ("ORDER BY total_sold
+        # DESC" where total_sold is SUM(...) AS total_sold); those rank the
+        # groups of the aggregation and are kept separate from stored-column
+        # sort keys — only a materialized-view rewrite can satisfy them.
+        for item in statement.order_by:
+            output_name = self._aggregate_alias(item.column, spec.aggregates)
+            if output_name is not None:
+                spec.aggregate_sort_keys.append((output_name, item.ascending))
+            else:
+                spec.sort_keys.append(
+                    (self._resolve_column(item.column, bindings), item.ascending)
+                )
+        if spec.aggregate_sort_keys and spec.sort_keys:
+            raise PlanningError(
+                "ORDER BY cannot mix aggregate outputs with stored columns"
+            )
         spec.projection = self._resolve_projection(statement.select_items, bindings)
         self._validate_aggregation(statement, spec)
         return spec
+
+    @staticmethod
+    def _aggregate_alias(
+        ref: ast.ColumnRef, aggregates: Tuple[L.AggregateSpec, ...]
+    ) -> Optional[str]:
+        """The aggregate output an unqualified ORDER BY key names, if any."""
+        if ref.table is not None:
+            return None
+        for spec in aggregates:
+            if spec.output_name.lower() == ref.column.lower():
+                return spec.output_name
+        return None
 
     def build_initial_plan(self, spec: L.QuerySpec) -> L.LogicalOperator:
         """Construct the naive (pre-optimization) logical plan tree."""

@@ -361,6 +361,12 @@ class QuerySpec:
     projection: Tuple[ProjectionItem, ...]
     group_by: Tuple[BoundColumn, ...] = ()
     aggregates: Tuple[AggregateSpec, ...] = ()
+    #: ``ORDER BY`` keys that name an aggregate output instead of a stored
+    #: column, as ``(output_name, ascending)``.  Such an ordering ranks the
+    #: *groups* of an aggregation, which no bounded scan of base data can
+    #: satisfy — the optimizer either rewrites the query against a
+    #: materialized view (:mod:`repro.views`) or rejects it.
+    aggregate_sort_keys: List[Tuple[str, bool]] = field(default_factory=list)
 
     def relation(self, alias: str) -> RelationSpec:
         for spec in self.relations:

@@ -19,6 +19,12 @@ class Catalog:
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
         self._indexes: Dict[str, IndexDefinition] = {}
+        #: Materialized views by lower-cased name.  The values are
+        #: :class:`repro.views.definition.MaterializedView` objects; the
+        #: catalog stores them opaquely to avoid a schema -> views import
+        #: cycle.  Each view also registers a backing :class:`Table` (one
+        #:  row per group) and, for top-k views, an ordered index on it.
+        self._views: Dict[str, object] = {}
         #: Names (lower-cased) of indexes the optimizer's index selection
         #: invented, as opposed to indexes declared by the schema (CREATE
         #: INDEX, cardinality-constraint support indexes).  Plans keep
@@ -115,6 +121,39 @@ class Catalog:
 
     def indexes_for_table(self, table: str) -> List[IndexDefinition]:
         return [ix for ix in self.indexes() if ix.table.lower() == table.lower()]
+
+    # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+    def add_view(self, view) -> None:
+        """Register a materialized view (its backing table must exist)."""
+        key = view.name.lower()
+        if key in self._views:
+            raise SchemaError(f"materialized view {view.name!r} already exists")
+        if not self.has_table(view.backing_table.name):
+            raise SchemaError(
+                f"materialized view {view.name!r} has no registered backing table"
+            )
+        self._views[key] = view
+        self.version += 1
+
+    def view(self, name: str):
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise SchemaError(f"unknown materialized view: {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def views(self) -> List[object]:
+        return [self._views[k] for k in sorted(self._views)]
+
+    def views_for_table(self, table: str) -> List[object]:
+        """Views whose *driving* table is ``table`` (maintenance triggers)."""
+        return [
+            v for v in self.views() if v.driving_table.lower() == table.lower()
+        ]
 
     # ------------------------------------------------------------------
     # Index search (used by the optimizer's index selection, Section 5.3)

@@ -123,6 +123,11 @@ class Table:
     primary_key: Tuple[str, ...]
     foreign_keys: List[ForeignKey] = field(default_factory=list)
     cardinality_limits: List[CardinalityLimit] = field(default_factory=list)
+    #: Set when this table is the backing store of a materialized view (one
+    #: row per group, maintained incrementally by :mod:`repro.views`).  Such
+    #: tables are written by the view-maintenance engine only — never through
+    #: the DML API — and are what the optimizer's view rewrite scans.
+    backing_view: Optional[str] = None
 
     def __post_init__(self) -> None:
         names = [c.name for c in self.columns]

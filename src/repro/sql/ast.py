@@ -196,6 +196,20 @@ class CreateTableStatement:
 
 
 @dataclass(frozen=True)
+class CreateMaterializedViewStatement:
+    """``CREATE MATERIALIZED VIEW name AS SELECT ...``.
+
+    The SELECT body is an aggregate query (``GROUP BY`` plus aggregate
+    outputs), optionally carrying ``ORDER BY <aggregate> [DESC] LIMIT k``
+    which declares a bounded top-k ordering maintained incrementally (see
+    :mod:`repro.views`).  View definitions are parameter-free.
+    """
+
+    name: str
+    select: "SelectStatement"
+
+
+@dataclass(frozen=True)
 class CreateIndexStatement:
     """CREATE [UNIQUE] INDEX name ON table (col | token(col), ...)."""
 
@@ -226,6 +240,7 @@ Statement = Union[
     SelectStatement,
     CreateTableStatement,
     CreateIndexStatement,
+    CreateMaterializedViewStatement,
     InsertStatement,
     DeleteStatement,
 ]

@@ -24,7 +24,7 @@ KEYWORDS = {
     "ORDER", "BY", "ASC", "DESC", "LIMIT", "PAGINATE", "LIKE", "IN",
     "CONTAINS", "TRUE", "FALSE", "NULL", "NOT",
     "CREATE", "TABLE", "PRIMARY", "KEY", "FOREIGN", "REFERENCES",
-    "CARDINALITY", "UNIQUE", "INDEX", "TOKEN",
+    "CARDINALITY", "UNIQUE", "INDEX", "TOKEN", "MATERIALIZED", "VIEW",
     "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
     "COUNT", "SUM", "AVG", "MIN", "MAX", "GROUP",
 }

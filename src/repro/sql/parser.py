@@ -359,11 +359,31 @@ class Parser:
         self._expect_keyword("CREATE")
         if self._accept_keyword("TABLE"):
             return self._parse_create_table()
+        if self._accept_keyword("MATERIALIZED"):
+            self._expect_keyword("VIEW")
+            return self._parse_create_materialized_view()
         unique = bool(self._accept_keyword("UNIQUE"))
         if self._accept_keyword("INDEX"):
             return self._parse_create_index(unique)
         token = self._peek()
         raise ParseError(f"unsupported CREATE statement: {token.value!r}", token.position)
+
+    def _parse_create_materialized_view(self) -> ast.CreateMaterializedViewStatement:
+        name = self._expect_ident()
+        self._expect_keyword("AS")
+        token = self._peek()
+        if not self._check_keyword("SELECT"):
+            raise ParseError(
+                f"materialized view body must be a SELECT, found {token.value!r}",
+                token.position,
+            )
+        select = self._parse_select()
+        for parameter in select.parameters():
+            raise ParseError(
+                f"materialized view definitions must be parameter-free; "
+                f"found parameter <{parameter.name}>"
+            )
+        return ast.CreateMaterializedViewStatement(name=name, select=select)
 
     def _parse_create_table(self) -> ast.CreateTableStatement:
         name = self._expect_ident()

@@ -43,9 +43,32 @@ from .rows import (
 class RecordManager:
     """Client-side CRUD layer over the simulated key/value store."""
 
-    def __init__(self, catalog: Catalog, client: StorageClient):
+    def __init__(self, catalog: Catalog, client: StorageClient, views=None):
         self.catalog = catalog
         self.client = client
+        #: Optional :class:`~repro.views.maintenance.ViewMaintenanceEngine`.
+        #: When set, every successful write additionally applies its delta to
+        #: the materialized views driven by the written table, through this
+        #: same client (so maintenance is charged to the triggering write).
+        self.views = views
+
+    def _view_engine(self, table: Table):
+        """The maintenance engine, if any view is driven by ``table``."""
+        if self.views is not None and self.views.relevant_views(table.name):
+            return self.views
+        return None
+
+    @staticmethod
+    def _reject_view_backing_writes(table: Table) -> None:
+        """Backing tables hold derived state with hidden merge fields; only
+        the maintenance engine may write them — direct DML would corrupt
+        the aggregates and crash later deltas."""
+        if table.backing_view is not None:
+            raise SchemaError(
+                f"table {table.name!r} backs materialized view "
+                f"{table.backing_view!r} and cannot be written directly; "
+                "write to the view's driving table instead"
+            )
 
     # ------------------------------------------------------------------
     # Namespace / index setup
@@ -110,14 +133,31 @@ class RecordManager:
         enforce_constraints: bool = True,
         upsert: bool = False,
     ) -> Dict[str, Any]:
-        """Insert one row, maintaining indexes and checking constraints."""
+        """Insert one row, maintaining indexes, views, and constraints."""
         table = self.catalog.table(table_name)
+        self._reject_view_backing_writes(table)
         validated = table.validate_row(row)
         key = record_key(table, validated)
         payload = serialize_row(validated)
 
+        # 0. When this table drives materialized views, an overwriting put
+        #    must read the previous row to retract its view contribution;
+        #    with the old row in hand, stale index entries it left behind
+        #    are cleaned up too.  Tables without views keep the legacy
+        #    upsert behaviour — a changed indexed value leaves a dangling
+        #    (garbage-collectable) entry, per Section 7.2's crash semantics
+        #    — because reading the old row on every upsert would charge
+        #    every existing write path for a rarely-needed cleanup.
+        views = self._view_engine(table)
+        indexes = self.catalog.indexes_for_table(table.name)
+        overwrites = not (enforce_constraints and not upsert)
+        old_row: Optional[Dict[str, Any]] = None
+        if overwrites and views is not None:
+            old_payload = self.client.get(table.namespace, key)
+            old_row = deserialize_row(old_payload) if old_payload is not None else None
+
         # 1. Write the new secondary index entries first (Section 7.2).
-        for index in self.catalog.indexes_for_table(table.name):
+        for index in indexes:
             namespace = index_namespace(index)
             for entry_key, entry_value in index_entries(index, table, validated):
                 self.client.put(namespace, entry_key, entry_value)
@@ -126,13 +166,35 @@ class RecordManager:
         if enforce_constraints and not upsert:
             inserted = self.client.test_and_set(table.namespace, key, None, payload)
             if not inserted:
-                self._remove_index_entries(table, validated)
+                # Undo the entries written in step 1 — but only those the
+                # surviving row does not share: when the duplicate's indexed
+                # values equal the survivor's, the entry keys coincide and a
+                # blind delete would strip the live row out of its indexes.
+                survivor_payload = self.client.get(table.namespace, key)
+                if survivor_payload is not None:
+                    self._delete_stale_entries(
+                        table, validated, deserialize_row(survivor_payload)
+                    )
+                else:
+                    self._remove_index_entries(table, validated)
                 raise UniquenessViolationError(
                     f"primary key {tuple(table.primary_key_values(validated))!r} "
                     f"already exists in table {table.name!r}"
                 )
         else:
             self.client.put(table.namespace, key, payload)
+            if old_row is not None:
+                # Overwrote an existing row: its entries for changed indexed
+                # values are now stale (same ordering rule as update()).
+                self._delete_stale_entries(table, old_row, validated)
+
+        # 2b. Apply the delta to materialized views (before the constraint
+        #     check: a violation's undo path retracts it again via delete).
+        if views is not None:
+            if old_row is not None:
+                views.on_update(table.name, old_row, validated)
+            else:
+                views.on_insert(table.name, validated)
 
         # 3. Check cardinality constraints; undo the insert on violation.
         if enforce_constraints:
@@ -148,31 +210,65 @@ class RecordManager:
         return validated
 
     def update(self, table_name: str, row: Dict[str, Any]) -> Dict[str, Any]:
-        """Replace the record with the same primary key as ``row``."""
+        """Replace the record with the same primary key as ``row``.
+
+        Index entries whose key is unchanged by the update are neither
+        rewritten nor deleted — an update that leaves every indexed value
+        alone costs no index RPCs at all.  (The entry *value* is the
+        serialised primary key, which an update cannot change.)  The write
+        order for genuinely changed entries stays crash-safe: new entries
+        before the base record, stale entries deleted after it.
+        """
         table = self.catalog.table(table_name)
+        self._reject_view_backing_writes(table)
         validated = table.validate_row(row)
         key = record_key(table, validated)
         old_payload = self.client.get(table.namespace, key)
         old_row = deserialize_row(old_payload) if old_payload is not None else None
 
+        stale: List[tuple] = []
         for index in self.catalog.indexes_for_table(table.name):
             namespace = index_namespace(index)
-            for entry_key, entry_value in index_entries(index, table, validated):
-                self.client.put(namespace, entry_key, entry_value)
+            new_entries = dict(index_entries(index, table, validated))
+            old_keys = (
+                {k for k, _ in index_entries(index, table, old_row)}
+                if old_row is not None
+                else set()
+            )
+            for entry_key, entry_value in new_entries.items():
+                if entry_key not in old_keys:
+                    self.client.put(namespace, entry_key, entry_value)
+            stale.extend(
+                (namespace, entry_key)
+                for entry_key in old_keys
+                if entry_key not in new_entries
+            )
         self.client.put(table.namespace, key, serialize_row(validated))
-        if old_row is not None:
-            self._delete_stale_entries(table, old_row, validated)
+        for namespace, entry_key in stale:
+            self.client.delete(namespace, entry_key)
+        views = self._view_engine(table)
+        if views is not None:
+            # The engine itself skips no-op deltas (unchanged grouped and
+            # aggregated values contribute nothing).
+            if old_row is not None:
+                views.on_update(table.name, old_row, validated)
+            else:
+                views.on_insert(table.name, validated)
         return validated
 
     def delete(self, table_name: str, pk_values: Sequence[Any]) -> bool:
         """Delete one record by primary key; returns whether it existed."""
         table = self.catalog.table(table_name)
+        self._reject_view_backing_writes(table)
         key = pk_key(list(pk_values))
         payload = self.client.get(table.namespace, key)
         existed = self.client.delete(table.namespace, key)
         if payload is not None:
             row = deserialize_row(payload)
             self._remove_index_entries(table, row)
+            views = self._view_engine(table)
+            if views is not None:
+                views.on_delete(table.name, row)
         return existed
 
     # ------------------------------------------------------------------
@@ -186,8 +282,10 @@ class RecordManager:
         loaded.
         """
         table = self.catalog.table(table_name)
+        self._reject_view_backing_writes(table)
         cluster: KeyValueCluster = self.client.cluster
         indexes = self.catalog.indexes_for_table(table.name)
+        views = self._view_engine(table)
         count = 0
         for row in rows:
             validated = table.validate_row(row)
@@ -198,6 +296,8 @@ class RecordManager:
                 namespace = index_namespace(index)
                 for entry_key, entry_value in index_entries(index, table, validated):
                     cluster.load(namespace, entry_key, entry_value)
+            if views is not None:
+                views.on_insert(table.name, validated, billed=False)
             count += 1
         return count
 

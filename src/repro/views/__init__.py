@@ -1,0 +1,33 @@
+"""Incremental materialized views (the paper's precomputation escape hatch).
+
+PIQL rejects queries it cannot statically bound; the paper's prescribed
+alternative for the rejected class — global aggregates and "rank everything"
+orderings such as TPC-W's Best Sellers — is *precomputation*.  This package
+supplies that tier:
+
+* :mod:`repro.views.definition` analyzes ``CREATE MATERIALIZED VIEW``
+  statements into :class:`MaterializedView` objects: a backing table (one
+  row per group) plus, for ``ORDER BY <aggregate> LIMIT k`` views, a bounded
+  ordered *view index* holding the top-k groups per partition;
+* :mod:`repro.views.maintenance` applies per-write deltas — COUNT/SUM as
+  mergeable counters via read-modify-write, MIN/MAX via bounded candidate
+  buffers, top-k via boundary-checked insertion with eviction — through the
+  same replicated quorum path as every other write, charged to the
+  triggering client so write bounds stay static;
+* :mod:`repro.views.rewrite` lets the optimizer match an otherwise-rejected
+  aggregate query against a registered view and compile it into a bounded
+  view-index scan instead.
+"""
+
+from .definition import MaterializedView, ViewOrderSpec, analyze_view
+from .maintenance import ViewMaintenanceEngine, recompute_view
+from .rewrite import ViewRewriter
+
+__all__ = [
+    "MaterializedView",
+    "ViewMaintenanceEngine",
+    "ViewOrderSpec",
+    "ViewRewriter",
+    "analyze_view",
+    "recompute_view",
+]

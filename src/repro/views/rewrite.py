@@ -1,0 +1,326 @@
+"""Query-to-view matching: the optimizer's precomputation rewrite phase.
+
+Given an aggregate query the normal pipeline rejected (or one ordered by an
+aggregate output, which no bounded base-table plan can ever satisfy), the
+rewriter looks for a registered materialized view that computes the same
+aggregation and emits an equivalent query over the view's backing table:
+
+* every view GROUP BY column must be either equality-bound by the query
+  (it becomes a key-prefix component) or grouped by the query (it is
+  projected per result row);
+* the remaining value predicates of the query must be *identical* to the
+  view definition's (an aggregate cannot be post-filtered), and the join
+  graphs must match;
+* every query aggregate must appear in the view with the same function,
+  argument, and output name;
+* ``ORDER BY <aggregate> LIMIT j`` requires the view's declared ordering
+  with ``j <= k``, and the bound columns must be exactly the view's
+  partition columns — the rewritten query then compiles to a bounded scan
+  of the ordered view index (Figure 4(a) shape, ``1 + j`` operations).
+
+The rewritten statement is compiled through the *normal* Phase I/II
+pipeline, so bounds, prediction, pagination, and execution machinery all
+apply unchanged; if the rewrite is still unbounded the match is discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..plans import logical as L
+from ..schema.catalog import Catalog
+from ..sql import ast
+from .definition import MaterializedView
+
+
+class ViewRewriter:
+    """Matches analyzed queries against the catalog's materialized views."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def rewrite(
+        self, statement: ast.SelectStatement, spec: L.QuerySpec
+    ) -> Optional[Tuple[ast.SelectStatement, MaterializedView]]:
+        """The first registered view that can answer ``spec``, if any."""
+        if not spec.aggregates:
+            return None
+        for view in self.catalog.views():
+            rewritten = self._match(view, statement, spec)
+            if rewritten is not None:
+                return rewritten, view
+        return None
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _match(
+        self,
+        view: MaterializedView,
+        statement: ast.SelectStatement,
+        spec: L.QuerySpec,
+    ) -> Optional[ast.SelectStatement]:
+        alias_map = self._map_aliases(view, spec)
+        if alias_map is None:
+            return None
+        if not self._join_graphs_match(view, spec, alias_map):
+            return None
+        if not self._aggregates_match(view, spec, alias_map):
+            return None
+        if spec.sort_keys:
+            return None  # ordering by stored columns is not view-served
+
+        bindings = self._bind_group_columns(view, spec, alias_map)
+        if bindings is None:
+            return None
+        bound, grouped = bindings
+        if not self._residual_predicates_match(view, spec):
+            return None
+
+        if spec.aggregate_sort_keys:
+            return self._rewrite_top_k(view, statement, spec, bound, grouped)
+        return self._rewrite_point(view, statement, spec, bound, grouped)
+
+    def _map_aliases(
+        self, view: MaterializedView, spec: L.QuerySpec
+    ) -> Optional[Dict[str, str]]:
+        """``query alias -> view alias`` by table name (unique tables only)."""
+        view_by_table: Dict[str, str] = {}
+        for relation in view.spec.relations:
+            key = relation.table.lower()
+            if key in view_by_table:
+                return None
+            view_by_table[key] = relation.alias
+        mapping: Dict[str, str] = {}
+        seen: set = set()
+        for relation in spec.relations:
+            key = relation.table.lower()
+            if key not in view_by_table or key in seen:
+                return None
+            seen.add(key)
+            mapping[relation.alias] = view_by_table[key]
+        if len(seen) != len(view_by_table):
+            return None
+        return mapping
+
+    @staticmethod
+    def _canonical_joins(
+        join_predicates, alias_to_table: Dict[str, str]
+    ) -> set:
+        canonical = set()
+        for predicate in join_predicates:
+            left = (alias_to_table[predicate.left.relation], predicate.left.column.lower())
+            right = (alias_to_table[predicate.right.relation], predicate.right.column.lower())
+            canonical.add(frozenset((left, right)))
+        return canonical
+
+    def _join_graphs_match(
+        self, view: MaterializedView, spec: L.QuerySpec, alias_map: Dict[str, str]
+    ) -> bool:
+        query_tables = {r.alias: r.table.lower() for r in spec.relations}
+        view_tables = {r.alias: r.table.lower() for r in view.spec.relations}
+        return self._canonical_joins(
+            spec.join_predicates, query_tables
+        ) == self._canonical_joins(view.spec.join_predicates, view_tables)
+
+    def _aggregates_match(
+        self, view: MaterializedView, spec: L.QuerySpec, alias_map: Dict[str, str]
+    ) -> bool:
+        view_aggregates = {
+            (
+                a.function,
+                (a.argument.table.lower(), a.argument.column.lower())
+                if a.argument is not None
+                else None,
+                a.output_name.lower(),
+            )
+            for a in view.aggregates
+        }
+        for aggregate in spec.aggregates:
+            key = (
+                aggregate.function,
+                (aggregate.argument.table.lower(), aggregate.argument.column.lower())
+                if aggregate.argument is not None
+                else None,
+                aggregate.output_name.lower(),
+            )
+            if key not in view_aggregates:
+                return False
+        return True
+
+    def _bind_group_columns(
+        self, view: MaterializedView, spec: L.QuerySpec, alias_map: Dict[str, str]
+    ) -> Optional[Tuple[Dict[str, object], List[str]]]:
+        """Classify each view group column as equality-bound or grouped.
+
+        Returns ``(bound column -> value, grouped column names)`` in view
+        group order, or ``None`` when some group column is neither.
+        """
+        view_groups = {
+            (c.table.lower(), c.column.lower()): c.column
+            for c in view.group_columns
+        }
+        bound: Dict[str, object] = {}
+        for relation in spec.relations:
+            for equality in relation.equalities:
+                key = (equality.column.table.lower(), equality.column.column.lower())
+                if key in view_groups:
+                    bound[view_groups[key]] = equality.value
+        grouped: List[str] = []
+        for column in spec.group_by:
+            key = (column.table.lower(), column.column.lower())
+            if key not in view_groups:
+                return None  # grouping by a column the view did not keep
+            grouped.append(view_groups[key])
+        for name in view_groups.values():
+            if name not in bound and name not in grouped:
+                return None
+        return bound, grouped
+
+    def _residual_predicates_match(
+        self, view: MaterializedView, spec: L.QuerySpec
+    ) -> bool:
+        """Non-binding query predicates must equal the view's, exactly.
+
+        Every predicate of the *view definition* filters what the view
+        materialized — including equalities on its own GROUP BY columns —
+        so each must be matched by an identical query predicate.  A query
+        equality on a group column is consumed as a key binding only when
+        it is not needed to match such a view filter; a binding whose value
+        cannot be proven equal to the view's filter (a parameter, or a
+        different literal) makes the view unusable for that query.
+        """
+        view_groups = {
+            (c.table.lower(), c.column.lower()) for c in view.group_columns
+        }
+
+        def canonical_one(predicate) -> Optional[Tuple]:
+            if isinstance(predicate, L.AttributeEquality):
+                op = "="
+            elif isinstance(predicate, L.AttributeInequality):
+                op = predicate.op
+            else:
+                return None  # IN / token predicates: not view-served
+            if not isinstance(predicate.value, ast.Literal):
+                return None
+            key = (
+                predicate.column.table.lower(),
+                predicate.column.column.lower(),
+            )
+            return (op, key, predicate.value.value)
+
+        view_set = set()
+        for predicate in view.predicates:
+            entry = canonical_one(predicate)
+            if entry is None:
+                return False
+            view_set.add(entry)
+
+        query_set = set()
+        for relation in spec.relations:
+            for predicate in relation.all_value_predicates():
+                entry = canonical_one(predicate)
+                is_group_equality = isinstance(
+                    predicate, L.AttributeEquality
+                ) and (
+                    predicate.column.table.lower(),
+                    predicate.column.column.lower(),
+                ) in view_groups
+                if is_group_equality:
+                    # A binding — unless the view filtered this very column,
+                    # in which case the query's value must match the filter.
+                    if entry is not None and entry in view_set:
+                        query_set.add(entry)
+                    continue
+                if entry is None:
+                    return False
+                query_set.add(entry)
+        return query_set == view_set
+
+    # ------------------------------------------------------------------
+    # Rewritten statements
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _where(bound: Dict[str, object]) -> List[ast.Predicate]:
+        return [
+            ast.Comparison(
+                left=ast.ColumnRef(column=column), op="=", right=value
+            )
+            for column, value in bound.items()
+        ]
+
+    def _select_items(
+        self, view: MaterializedView, spec: L.QuerySpec
+    ) -> List[ast.SelectItem]:
+        items: List[ast.SelectItem] = []
+        for item in spec.projection:
+            if isinstance(item, L.BoundColumn):
+                items.append(ast.ColumnRef(column=item.column))
+            elif isinstance(item, L.AggregateSpec):
+                items.append(ast.ColumnRef(column=item.output_name))
+            else:
+                return []
+        return items
+
+    def _rewrite_point(
+        self,
+        view: MaterializedView,
+        statement: ast.SelectStatement,
+        spec: L.QuerySpec,
+        bound: Dict[str, object],
+        grouped: List[str],
+    ) -> Optional[ast.SelectStatement]:
+        items = self._select_items(view, spec)
+        if not items:
+            return None
+        return ast.SelectStatement(
+            select_items=items,
+            tables=[ast.TableRef(name=view.backing_table.name)],
+            where=self._where(bound),
+            limit=statement.limit,
+        )
+
+    def _rewrite_top_k(
+        self,
+        view: MaterializedView,
+        statement: ast.SelectStatement,
+        spec: L.QuerySpec,
+        bound: Dict[str, object],
+        grouped: List[str],
+    ) -> Optional[ast.SelectStatement]:
+        if view.order is None or len(spec.aggregate_sort_keys) != 1:
+            return None
+        output_name, ascending = spec.aggregate_sort_keys[0]
+        if (
+            output_name.lower() != view.order.aggregate.lower()
+            or ascending != view.order.ascending
+        ):
+            return None
+        if statement.limit is None or statement.limit.paginate:
+            return None
+        stop = spec.stop.static_count() if spec.stop is not None else None
+        if stop is None or stop > view.order.limit:
+            return None  # the bounded index only holds the view's top k
+        # The equality-bound columns must be exactly the ranking partition
+        # (they form the view-index prefix) unless the whole group is bound.
+        partition = set(view.partition_column_names)
+        if set(bound) != partition:
+            return self._rewrite_point(view, statement, spec, bound, grouped) \
+                if set(bound) == set(view.group_column_names) else None
+        if set(grouped) != set(view.entity_column_names):
+            return None
+        items = self._select_items(view, spec)
+        if not items:
+            return None
+        return ast.SelectStatement(
+            select_items=items,
+            tables=[ast.TableRef(name=view.backing_table.name)],
+            where=self._where(bound),
+            order_by=[
+                ast.OrderItem(
+                    column=ast.ColumnRef(column=view.order.aggregate),
+                    ascending=ascending,
+                )
+            ],
+            limit=statement.limit,
+        )

@@ -64,12 +64,39 @@ WHERE target = <target_user>
   AND owner IN [1: friends(50)]
 """
 
+#: Profile statistics rendered on the home page: how many thoughts the user
+#: has posted and how many approved *followers* they have.  Both are
+#: unbounded as base-table aggregates — thoughts per owner have no
+#: cardinality limit, and the subscription limit constrains ``owner`` (who
+#: you follow), never ``target`` (who follows you) — so both are served as
+#: single point reads of the per-user count views when views are enabled.
+THOUGHT_COUNT = """
+SELECT owner, COUNT(*) AS thought_count
+FROM thoughts
+WHERE owner = <uname>
+GROUP BY owner
+"""
+
+FOLLOWER_COUNT = """
+SELECT target, COUNT(*) AS follower_count
+FROM subscriptions
+WHERE target = <uname> AND approved = true
+GROUP BY target
+"""
+
 #: Query name -> SQL, in the order they appear in Table 1.
 QUERIES: Dict[str, str] = {
     "users_followed": USERS_FOLLOWED,
     "recent_thoughts": RECENT_THOUGHTS,
     "thoughtstream": THOUGHTSTREAM,
     "find_user": FIND_USER,
+}
+
+#: Queries served by materialized views; included in the workload's query
+#: list (and the home-page interaction) only when views are enabled.
+VIEW_QUERIES: Dict[str, str] = {
+    "thought_count": THOUGHT_COUNT,
+    "follower_count": FOLLOWER_COUNT,
 }
 
 #: Queries that exist for specific experiments rather than the Table 1 list.

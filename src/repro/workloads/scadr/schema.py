@@ -48,6 +48,25 @@ CREATE TABLE thoughts (
 """
 
 
+#: Per-user count views backing the home page's profile statistics.  Both
+#: are plain counter views (no top-k ordering): one backing record per user,
+#: maintained at two extra operations per thought post / subscription write
+#: and read back with a single bounded point get.  The follower count groups
+#: by ``target`` — the direction the schema's CARDINALITY LIMIT does *not*
+#: bound — so no base-table plan exists for it without the view.
+SCADR_VIEWS_DDL = """
+CREATE MATERIALIZED VIEW user_thought_counts AS
+SELECT owner, COUNT(*) AS thought_count
+FROM thoughts
+GROUP BY owner;
+
+CREATE MATERIALIZED VIEW user_follower_counts AS
+SELECT target, COUNT(*) AS follower_count
+FROM subscriptions
+WHERE approved = true
+GROUP BY target
+"""
+
 #: Approximate serialised sizes used by the prediction examples (the paper
 #: quotes 40-byte subscription tuples in Section 6.1).
 SUBSCRIPTION_TUPLE_BYTES = 40

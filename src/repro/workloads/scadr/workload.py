@@ -20,12 +20,20 @@ from typing import Dict, List
 from ...engine.database import PiqlDatabase
 from ..base import InteractionPlan, QueryStep, Workload, WorkloadScale, WriteStep
 from .data import ScadrDataConfig, ScadrDataGenerator
-from .queries import EXTRA_QUERIES, QUERIES
-from .schema import scadr_ddl
+from .queries import EXTRA_QUERIES, QUERIES, VIEW_QUERIES
+from .schema import SCADR_VIEWS_DDL, scadr_ddl
 
 
 class ScadrWorkload(Workload):
-    """Schema + data + interaction mix for SCADr."""
+    """Schema + data + interaction mix for SCADr.
+
+    ``materialized_views=True`` provisions the per-user thought- and
+    subscription-count views and adds the two profile-statistics point
+    queries to the home page render (one extra branch each, one bounded
+    point read each).  Off by default so the paper's original workload is
+    reproduced unchanged; the view benchmarks, examples, and the Table 1
+    reproduction enable it.
+    """
 
     name = "SCADr"
 
@@ -35,6 +43,7 @@ class ScadrWorkload(Workload):
         subscriptions_per_user: int = 10,
         thoughts_per_user: int = 20,
         post_probability: float = 0.01,
+        materialized_views: bool = False,
     ):
         # The scale experiment sets both the cardinality limit and the actual
         # number of subscriptions per user to 10 (Section 8.2).
@@ -42,6 +51,7 @@ class ScadrWorkload(Workload):
         self.subscriptions_per_user = min(subscriptions_per_user, max_subscriptions)
         self.thoughts_per_user = thoughts_per_user
         self.post_probability = post_probability
+        self.materialized_views = materialized_views
         self._usernames: List[str] = []
         self._next_timestamp = 2_000_000_000
 
@@ -50,6 +60,8 @@ class ScadrWorkload(Workload):
     # ------------------------------------------------------------------
     def setup(self, db: PiqlDatabase, scale: WorkloadScale) -> None:
         db.execute_ddl(scadr_ddl(self.max_subscriptions))
+        if self.materialized_views:
+            db.execute_ddl(SCADR_VIEWS_DDL)
         config = ScadrDataConfig(
             users=scale.users_per_node * scale.storage_nodes,
             thoughts_per_user=self.thoughts_per_user,
@@ -65,11 +77,16 @@ class ScadrWorkload(Workload):
     # Queries
     # ------------------------------------------------------------------
     def query_names(self) -> List[str]:
-        return list(QUERIES)
+        names = list(QUERIES)
+        if self.materialized_views:
+            names.extend(VIEW_QUERIES)
+        return names
 
     def query_sql(self, name: str) -> str:
         if name in QUERIES:
             return QUERIES[name]
+        if name in VIEW_QUERIES:
+            return VIEW_QUERIES[name]
         return EXTRA_QUERIES[name]
 
     def sample_parameters(self, name: str, rng: random.Random) -> Dict[str, object]:

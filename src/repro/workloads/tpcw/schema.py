@@ -10,8 +10,14 @@ PIQL-specific schema elements appear:
 * the same limit on order lines per order, which follows from the cart limit
   (an order is created from a cart at BuyConfirm time).
 
-The analytical "Best Sellers" and "Admin Confirm" interactions are omitted,
-as in the paper (Section 8.2).
+The paper omits the analytical "Best Sellers" and "Admin Confirm"
+interactions (Section 8.2) because no bounded base-table plan exists for
+them — and names *precomputation* as the intended escape hatch.  This
+reproduction supplies that hatch: ``TPCW_VIEWS_DDL`` declares the
+``best_sellers_by_subject`` materialized view (total quantity sold per item,
+top ``BEST_SELLERS_LIMIT`` per subject, maintained incrementally on
+order-line inserts), which restores the Best Sellers web interaction as a
+bounded view-index scan.
 """
 
 from __future__ import annotations
@@ -19,6 +25,23 @@ from __future__ import annotations
 #: Maximum number of distinct items in a shopping cart / order.  TPC-W's
 #: specification caps the cart at 100 distinct items.
 MAX_CART_LINES = 100
+
+#: How many best-selling items per subject the materialized view keeps (the
+#: TPC-W Best Sellers page shows the top 50).
+BEST_SELLERS_LIMIT = 50
+
+#: Materialized views backing the restored analytical interactions.  The
+#: ranking partitions by subject (the leading GROUP BY column); order-line
+#: inserts maintain the per-(subject, item) quantity counters and the
+#: bounded top-k view index at a constant per-write cost.
+TPCW_VIEWS_DDL = f"""
+CREATE MATERIALIZED VIEW best_sellers_by_subject AS
+SELECT i.I_SUBJECT, ol.OL_I_ID, SUM(ol.OL_QTY) AS total_sold
+FROM order_line ol JOIN item i
+WHERE i.I_ID = ol.OL_I_ID
+GROUP BY i.I_SUBJECT, ol.OL_I_ID
+ORDER BY total_sold DESC LIMIT {BEST_SELLERS_LIMIT}
+"""
 
 TPCW_DDL = f"""
 CREATE TABLE country (

@@ -140,6 +140,61 @@ class TestIndexMaintenance:
         row = db.get("users", ["bob"])
         assert row["hometown"] == "la"
 
+    def test_failed_duplicate_insert_keeps_survivor_entries(self, db):
+        """The uniqueness-violation undo must not strip the surviving row
+        out of its indexes when the duplicate shares its indexed values."""
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        import pytest as _pytest
+        from repro.errors import UniquenessViolationError
+        with _pytest.raises(UniquenessViolationError):
+            db.insert("users", {"username": "bob", "password": "y",
+                                "hometown": "sf", "created": 2})
+        assert self._entry_count(db, "idx_hometown") == 1
+        rows = db.execute(
+            "SELECT * FROM users WHERE hometown = 'sf' LIMIT 5"
+        ).rows
+        assert [r["username"] for r in rows] == ["bob"]
+
+    def test_upsert_overwrite_removes_stale_entries_on_view_tables(self, db):
+        """On a view-driving table the old row is read anyway (contribution
+        retraction), so upsert overwrites also clean their stale entries."""
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        db.create_materialized_view(
+            "CREATE MATERIALIZED VIEW hometown_counts AS "
+            "SELECT hometown, COUNT(*) AS n FROM users GROUP BY hometown"
+        )
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1}, upsert=True)
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "la",
+                            "created": 1}, upsert=True)
+        index = db.catalog.index("idx_hometown")
+        entries = list(db.cluster.iter_namespace(index_namespace(index)))
+        # The overwrite deleted the old row's sf entry: no phantom match.
+        assert len(entries) == 1
+
+    def test_update_skips_unchanged_index_entries(self, db):
+        db.create_index(
+            IndexDefinition("idx_hometown", "users",
+                            (IndexColumn("hometown"), IndexColumn("username")))
+        )
+        db.insert("users", {"username": "bob", "password": "x", "hometown": "sf",
+                            "created": 1})
+        before = db.client.stats.operations
+        # hometown (the indexed value) is unchanged: the update must cost
+        # exactly the base record's get + put — no index rewrites at all.
+        db.update("users", {"username": "bob", "password": "y", "hometown": "sf",
+                            "created": 1})
+        assert db.client.stats.operations - before == 2
+        assert self._entry_count(db, "idx_hometown") == 1
+
     def test_backfill_on_late_index_creation(self, db):
         for name in ("a", "b", "c"):
             db.insert("users", {"username": name, "password": "x",

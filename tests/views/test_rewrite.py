@@ -1,0 +1,208 @@
+"""Optimizer view-rewrite phase: matching rules and bounded plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PiqlDatabase
+from repro.errors import NotScaleIndependentError
+from repro.kvstore.cluster import ClusterConfig
+from repro.plans import physical as P
+
+DDL = """
+CREATE TABLE thoughts (
+    owner VARCHAR(32), timestamp INT, text VARCHAR(140), approved BOOLEAN,
+    PRIMARY KEY (owner, timestamp)
+)
+"""
+
+COUNT_VIEW = """
+CREATE MATERIALIZED VIEW approved_counts AS
+SELECT owner, COUNT(*) AS n
+FROM thoughts
+WHERE approved = true
+GROUP BY owner
+"""
+
+TOP_VIEW = """
+CREATE MATERIALIZED VIEW prolific AS
+SELECT approved, owner, COUNT(*) AS n
+FROM thoughts
+GROUP BY approved, owner
+ORDER BY n DESC LIMIT 5
+"""
+
+
+@pytest.fixture
+def db() -> PiqlDatabase:
+    database = PiqlDatabase.simulated(ClusterConfig(storage_nodes=3, seed=21))
+    database.execute_ddl(DDL)
+    return database
+
+
+class TestPointRewrite:
+    def test_rejected_query_served_after_view_creation(self, db):
+        sql = ("SELECT owner, COUNT(*) AS n FROM thoughts "
+               "WHERE owner = <uname> AND approved = true GROUP BY owner")
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(sql)
+        db.create_materialized_view(COUNT_VIEW)
+        query = db.prepare(sql)
+        assert query.optimized.view_used == "approved_counts"
+        assert query.operation_bound == 1  # one bounded point lookup
+        assert isinstance(
+            query.physical_plan.children()[0], P.PhysicalIndexLookup
+        )
+
+    def test_predicates_must_match_exactly(self, db):
+        db.create_materialized_view(COUNT_VIEW)
+        # Missing the approved=true filter: must NOT silently use the view.
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "WHERE owner = <uname> GROUP BY owner"
+            )
+        # Extra filters the view did not apply: likewise rejected.
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "WHERE owner = <uname> AND approved = true "
+                "AND timestamp > 5 GROUP BY owner"
+            )
+
+    def test_group_column_filter_in_view_restricts_bindings(self, db):
+        """A view that filters one of its own group columns only answers
+        queries binding that column to the same literal."""
+        db.execute_ddl(
+            "CREATE TABLE sales (sale_id INT, shop VARCHAR(8), "
+            "amount INT, PRIMARY KEY (sale_id))"
+        )
+        db.create_materialized_view(
+            "CREATE MATERIALIZED VIEW sf_sales AS "
+            "SELECT shop, COUNT(*) AS n FROM sales "
+            "WHERE shop = 'sf' GROUP BY shop"
+        )
+        db.insert("sales", {"sale_id": 1, "shop": "sf", "amount": 1})
+        db.insert("sales", {"sale_id": 2, "shop": "la", "amount": 1})
+        db.insert("sales", {"sale_id": 3, "shop": "la", "amount": 1})
+        matching = db.prepare(
+            "SELECT shop, COUNT(*) AS n FROM sales "
+            "WHERE shop = 'sf' GROUP BY shop"
+        )
+        assert matching.optimized.view_used == "sf_sales"
+        assert matching.execute().rows == [{"shop": "sf", "n": 1}]
+        # A different literal — and a runtime-bound parameter, whose value
+        # cannot be proven to equal the filter — must NOT use the view.
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT shop, COUNT(*) AS n FROM sales "
+                "WHERE shop = 'la' GROUP BY shop"
+            )
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT shop, COUNT(*) AS n FROM sales "
+                "WHERE shop = <shop> GROUP BY shop"
+            )
+
+    def test_aggregate_alias_must_match(self, db):
+        db.create_materialized_view(COUNT_VIEW)
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS other_name FROM thoughts "
+                "WHERE owner = <uname> AND approved = true GROUP BY owner"
+            )
+
+
+class TestTopKRewrite:
+    def test_ranking_query_becomes_bounded_index_scan(self, db):
+        db.create_materialized_view(TOP_VIEW)
+        query = db.prepare(
+            "SELECT owner, COUNT(*) AS n FROM thoughts "
+            "WHERE approved = true GROUP BY owner "
+            "ORDER BY n DESC LIMIT 5"
+        )
+        assert query.optimized.view_used == "prolific"
+        scans = P.find_scans(query.physical_plan)
+        assert len(scans) == 1
+        assert scans[0].table == "prolific"
+        assert not scans[0].ascending
+        assert query.operation_bound == 6  # 1 range + 5 dereferences
+
+    def test_smaller_limit_allowed_larger_rejected(self, db):
+        db.create_materialized_view(TOP_VIEW)
+        smaller = db.prepare(
+            "SELECT owner, COUNT(*) AS n FROM thoughts "
+            "WHERE approved = true GROUP BY owner ORDER BY n DESC LIMIT 3"
+        )
+        assert smaller.operation_bound == 4
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "WHERE approved = true GROUP BY owner ORDER BY n DESC LIMIT 50"
+            )
+
+    def test_sort_direction_must_match(self, db):
+        db.create_materialized_view(TOP_VIEW)
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "WHERE approved = true GROUP BY owner ORDER BY n ASC LIMIT 5"
+            )
+
+    def test_results_respect_view_content(self, db):
+        db.create_materialized_view(TOP_VIEW)
+        for owner, count in (("amy", 3), ("bob", 1), ("cas", 2)):
+            for index in range(count):
+                db.insert("thoughts", {
+                    "owner": owner, "timestamp": index, "text": "t",
+                    "approved": True,
+                })
+        rows = db.execute(
+            "SELECT owner, COUNT(*) AS n FROM thoughts "
+            "WHERE approved = true GROUP BY owner ORDER BY n DESC LIMIT 5"
+        ).rows
+        assert rows == [
+            {"owner": "amy", "n": 3},
+            {"owner": "cas", "n": 2},
+            {"owner": "bob", "n": 1},
+        ]
+
+
+class TestNonInterference:
+    def test_plannable_queries_keep_their_base_table_plans(self, db):
+        """A query the normal pipeline can bound never switches to a view."""
+        db.create_materialized_view(COUNT_VIEW)
+        query = db.prepare(
+            "SELECT * FROM thoughts WHERE owner = <uname> "
+            "ORDER BY timestamp DESC LIMIT 10"
+        )
+        assert query.optimized.view_used is None
+        scans = P.find_scans(query.physical_plan)
+        assert scans and scans[0].table == "thoughts"
+
+    def test_error_without_any_matching_view_suggests_precomputation(self, db):
+        with pytest.raises(NotScaleIndependentError, match="precompute"):
+            db.prepare(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "GROUP BY owner ORDER BY n DESC LIMIT 5"
+            )
+
+    def test_cost_based_baseline_rejects_aggregate_ordering(self, db):
+        """The Section 8.3 baseline must not silently drop the ranking."""
+        from repro.errors import PlanningError
+        from repro.optimizer.cost_based import CostBasedOptimizer
+
+        baseline = CostBasedOptimizer(db.catalog, statistics={})
+        with pytest.raises(PlanningError, match="aggregate"):
+            baseline.optimize(
+                "SELECT owner, COUNT(*) AS n FROM thoughts "
+                "WHERE owner = 'a' GROUP BY owner ORDER BY n DESC LIMIT 5"
+            )
+
+    def test_prepared_cache_invalidated_by_view_creation(self, db):
+        sql = ("SELECT owner, COUNT(*) AS n FROM thoughts "
+               "WHERE owner = <uname> AND approved = true GROUP BY owner")
+        with pytest.raises(NotScaleIndependentError):
+            db.prepare(sql)
+        db.create_materialized_view(COUNT_VIEW)
+        assert db.prepare(sql).optimized.view_used == "approved_counts"
