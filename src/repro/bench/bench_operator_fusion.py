@@ -25,6 +25,11 @@ Three phases:
 * **closed loop** — a think-time population drives the serving tier's
   event kernel against each arm; the measured wall-clock throughput
   (interactions completed per wall second) shows the end-to-end effect.
+* **tracing overhead** — the fused replay is repeated with the query-trace
+  subsystem off and on (chunk-paired arms, median per-chunk ratio):
+  recording a full span tree per interaction must stay within single-digit
+  percent of the untraced wall clock, the budget the observability tier
+  promises.
 
 Run with ``PYTHONPATH=src python -m repro.bench.bench_operator_fusion``
 (add ``--quick`` for the CI-sized configuration, which also acts as the
@@ -37,7 +42,7 @@ from __future__ import annotations
 import random
 import sys
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..engine.database import PiqlDatabase
@@ -92,6 +97,10 @@ class OperatorFusionConfig:
     think_time_seconds: float = 0.1
     duration_seconds: float = 15.0
     closed_loop_repetitions: int = 3
+    #: Tracing-overhead phase: full chunk-paired replay passes; the median
+    #: per-chunk traced/untraced ratio over all passes is the reported
+    #: overhead (robust against machine-load drift and spikes).
+    tracing_repetitions: int = 4
     seed: int = 13
 
     def quick(self) -> "OperatorFusionConfig":
@@ -141,6 +150,7 @@ class OperatorFusionResult:
     replay_bounds: Dict[str, Dict[str, int]]
     micro: Dict[str, Dict[str, MicroRecord]]
     closed_loop: Dict[str, Dict[str, float]]
+    tracing_overhead: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Replay-phase summaries
@@ -226,6 +236,7 @@ class OperatorFusionResult:
                 for query in self.micro["serial"]
             },
             "closed_loop": self.closed_loop,
+            "tracing_overhead": self.tracing_overhead,
         }
 
 
@@ -411,6 +422,78 @@ class OperatorFusionExperiment:
         return aggregated
 
     # ------------------------------------------------------------------
+    # Phase 4: tracing overhead
+    # ------------------------------------------------------------------
+    def run_tracing_overhead(self) -> Dict[str, float]:
+        """Paired tracing-off/on replay on the fused executor.
+
+        Both arms replay the identical deterministic interaction sequence on
+        identically seeded databases; the traced arm additionally records a
+        full span tree per interaction (bounded root retention, so memory
+        stays flat).  The replay is split into small chunks whose two arms
+        run back to back; the reported ``overhead_ratio`` is the *median*
+        of the per-chunk paired ratios, which is robust against both
+        machine-load drift (each pair is adjacent in time) and load spikes
+        (the median discards them).
+        """
+        config = self.config
+        arms = ("untraced", "traced")
+        databases: Dict[str, Tuple[PiqlDatabase, TpcwWorkload]] = {}
+        rngs: Dict[str, random.Random] = {}
+        for arm in arms:
+            db, workload = self._tpcw_database(fused=True)
+            db.reset_measurements()
+            if arm == "traced":
+                db.enable_tracing()
+            databases[arm] = (db, workload)
+            rngs[arm] = random.Random(config.seed + 4)
+        walls: Dict[str, float] = {arm: 0.0 for arm in arms}
+        ratios: List[float] = []
+        chunk = 10
+        chunks, remainder = divmod(config.replay_interactions, chunk)
+        sizes = [chunk] * chunks + ([remainder] if remainder else [])
+        for _ in range(max(1, config.tracing_repetitions)):
+            for index, size in enumerate(sizes):
+                # The two arms of a chunk run back to back (alternating which
+                # goes first), so machine-load drift hits both equally; each
+                # chunk yields one paired overhead ratio and the median over
+                # all chunks is immune to load spikes that a total-wall
+                # comparison would absorb into one arm.
+                ordered = arms if index % 2 == 0 else arms[::-1]
+                elapsed = {}
+                for arm in ordered:
+                    db, workload = databases[arm]
+                    rng = rngs[arm]
+                    started = time.perf_counter()
+                    for _ in range(size):
+                        plan = workload.interaction_plan(db, rng)
+                        workload.run_plan(db, plan)
+                    elapsed[arm] = time.perf_counter() - started
+                    walls[arm] += elapsed[arm]
+                if elapsed["untraced"] > 0:
+                    ratios.append(elapsed["traced"] / elapsed["untraced"])
+        untraced = walls["untraced"]
+        traced = walls["traced"]
+        ratios.sort()
+        median_ratio = ratios[len(ratios) // 2] if ratios else 1.0
+        # Tracing must observe the work, never change it: both arms end with
+        # identical operation counts on their deterministic twins.
+        operations = {
+            arm: databases[arm][0].client.stats.operations for arm in arms
+        }
+        return {
+            "interactions": float(config.replay_interactions),
+            "repetitions": float(max(1, config.tracing_repetitions)),
+            "untraced_wall_seconds": untraced,
+            "traced_wall_seconds": traced,
+            "overhead_ratio": median_ratio,
+            "total_wall_ratio": traced / untraced if untraced > 0 else 1.0,
+            "operations_identical": float(
+                operations["untraced"] == operations["traced"]
+            ),
+        }
+
+    # ------------------------------------------------------------------
     # Whole experiment
     # ------------------------------------------------------------------
     def run(self) -> OperatorFusionResult:
@@ -424,6 +507,7 @@ class OperatorFusionExperiment:
             replay_bounds[arm] = bounds
         micro = {arm: self.run_micro(arm == "fused") for arm in ARMS}
         closed_loop = self.run_closed_loops()
+        tracing_overhead = self.run_tracing_overhead()
         return OperatorFusionResult(
             config=self.config,
             replay=replay,
@@ -431,6 +515,7 @@ class OperatorFusionExperiment:
             replay_bounds=replay_bounds,
             micro=micro,
             closed_loop=closed_loop,
+            tracing_overhead=tracing_overhead,
         )
 
 
@@ -472,6 +557,20 @@ def check_result(result: OperatorFusionResult, quick: bool = False) -> None:
         f"fused replay took {fused_wall:.2f}s versus serial {serial_wall:.2f}s "
         f"(tolerance {tolerance}x)"
     )
+    # Tracing observes the work without changing it, and the span recording
+    # stays within the observability tier's wall-clock budget.  The target
+    # is <= 5% overhead; the guard is looser (the chunk-paired median tames
+    # but does not eliminate shared-runner noise on sub-second quick arms).
+    if result.tracing_overhead:
+        assert result.tracing_overhead["operations_identical"] == 1.0, (
+            "tracing changed the operation count of the replay"
+        )
+        ratio = result.tracing_overhead["overhead_ratio"]
+        budget = 1.25 if quick else 1.15
+        assert ratio <= budget, (
+            f"tracing overhead was {ratio:.3f}x untraced wall clock "
+            f"(budget {budget}x)"
+        )
 
 
 def print_result(result: OperatorFusionResult) -> None:
@@ -552,6 +651,19 @@ def print_result(result: OperatorFusionResult) -> None:
     if serial_rate > 0:
         print(
             f"wall-clock throughput gain: {fused_rate / serial_rate:.2f}x"
+        )
+    if result.tracing_overhead:
+        overhead = result.tracing_overhead
+        print()
+        print("== tracing overhead (paired tracing-off/on fused replay) ==")
+        print(
+            f"untraced {overhead['untraced_wall_seconds']:.3f}s, traced "
+            f"{overhead['traced_wall_seconds']:.3f}s over "
+            f"{overhead['interactions']:.0f} interactions x "
+            f"{overhead['repetitions']:.0f} chunk-paired passes: "
+            f"{(overhead['overhead_ratio'] - 1.0) * 100.0:+.1f}% wall clock "
+            f"(chunk-median; total-wall ratio "
+            f"{overhead['total_wall_ratio']:.3f}x)"
         )
 
 

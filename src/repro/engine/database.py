@@ -30,6 +30,8 @@ from ..execution.executor import QueryExecutor
 from ..kvstore.client import StorageClient
 from ..kvstore.cluster import ClusterConfig, KeyValueCluster
 from ..kvstore.simtime import SimClock
+from ..obs.audit import BoundAuditor
+from ..obs.trace import Tracer
 from ..optimizer.assistant import PerformanceInsightAssistant, QueryDiagnosis
 from ..optimizer.optimizer import PiqlOptimizer
 from ..schema.catalog import Catalog
@@ -69,8 +71,13 @@ class PiqlDatabase:
         self.views = ViewMaintenanceEngine(self.catalog, self.client)
         self.records = RecordManager(self.catalog, self.client, views=self.views)
         self.optimizer = PiqlOptimizer(self.catalog)
+        self.auditor = BoundAuditor()
         self.executor = QueryExecutor(
-            self.client, self.catalog, strategy=strategy, fused=fused
+            self.client,
+            self.catalog,
+            strategy=strategy,
+            fused=fused,
+            auditor=self.auditor,
         )
         self.assistant = PerformanceInsightAssistant(self.catalog)
         self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
@@ -119,13 +126,19 @@ class PiqlDatabase:
         clone.views = ViewMaintenanceEngine(self.catalog, clone.client)
         clone.records = RecordManager(self.catalog, clone.client, views=clone.views)
         clone.optimizer = PiqlOptimizer(self.catalog)
+        # All views of one logical database share the auditor, so bound
+        # violations are counted (and policed) globally across app servers.
+        clone.auditor = self.auditor
         clone.executor = QueryExecutor(
             clone.client,
             self.catalog,
             strategy=strategy or self.executor.config.strategy,
             fused=self.executor.config.fused,
+            auditor=self.auditor,
         )
         clone.assistant = PerformanceInsightAssistant(self.catalog)
+        if self.client.tracer is not None:
+            clone.client.enable_tracing()
         clone._prepared_cache = {}
         clone._default_session = None
         clone.unavailable_retries = self.unavailable_retries
@@ -345,11 +358,41 @@ class PiqlDatabase:
         """Model an aggregate offered load across the cluster (queueing delay)."""
         self.cluster.set_offered_load(total_ops_per_second)
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """This view's tracer, or ``None`` while tracing is disabled."""
+        return self.client.tracer
+
+    def enable_tracing(self, keep: int = 64) -> Tracer:
+        """Turn on span collection for this view's executions."""
+        return self.client.enable_tracing(keep=keep)
+
+    def disable_tracing(self) -> None:
+        """Stop collecting spans and drop the tracer."""
+        self.client.disable_tracing()
+
+    def explain_analyze(
+        self,
+        sql: str,
+        parameters: Optional[Dict[str, Any]] = None,
+        latency_model: Optional[Any] = None,
+    ) -> str:
+        """Execute ``sql`` once and render its plan with live measurements."""
+        from ..obs.explain import explain_analyze
+
+        return explain_analyze(self, sql, parameters, latency_model)
+
     def reset_measurements(self) -> None:
         """Reset per-client and per-node statistics (not the data)."""
         self.client.stats = type(self.client.stats)()
         self.client.clock.reset()
         self.cluster.reset_stats()
+        self.auditor.reset()
+        if self.client.tracer is not None:
+            self.client.tracer.clear()
 
     def storage_summary(self) -> Dict[str, int]:
         """Number of keys per namespace (diagnostics)."""

@@ -434,20 +434,41 @@ class Session:
             clock = self.clock
             started = clock.now
             longest = 0.0
-            client.begin_gather_window()
+            tracer = client.tracer
+            gather_span = None
+            if tracer is not None:
+                # One span for the whole gather; each branch becomes a
+                # sibling child span.  The tracer reads time through the
+                # client's clock, so branch spans time themselves on their
+                # scratch clocks automatically.
+                gather_span = tracer.start_span(
+                    "gather", "gather", branches=len(pending)
+                )
             try:
-                for future in pending:
-                    branch_clock = SimClock(now=started)
-                    client.clock = branch_clock
-                    try:
-                        future._run()
-                    finally:
-                        client.clock = clock
-                    self._finish(future, started, branch_clock)
-                    longest = max(longest, branch_clock.now - started)
+                client.begin_gather_window()
+                try:
+                    for future in pending:
+                        branch_clock = SimClock(now=started)
+                        client.clock = branch_clock
+                        branch_span = None
+                        if tracer is not None:
+                            branch_span = tracer.start_span(
+                                "branch", "branch", label=future.label
+                            )
+                        try:
+                            future._run()
+                        finally:
+                            if branch_span is not None:
+                                tracer.end_span(branch_span)
+                            client.clock = clock
+                        self._finish(future, started, branch_clock)
+                        longest = max(longest, branch_clock.now - started)
+                finally:
+                    client.end_gather_window()
+                clock.advance(longest)
             finally:
-                client.end_gather_window()
-            clock.advance(longest)
+                if gather_span is not None:
+                    tracer.end_span(gather_span)
         first_error = next(
             (f.exception() for f in futures if f.exception() is not None), None
         )

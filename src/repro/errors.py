@@ -100,6 +100,33 @@ class ExecutionError(PiqlError):
     """Raised when a physical plan fails during execution."""
 
 
+class BoundViolationError(ExecutionError):
+    """Raised when a query's observed operations exceed its static bound.
+
+    The runtime bound auditor raises this (in strict mode) when the live
+    operation count of a finished query is larger than the scale-independence
+    bound the optimizer proved for it — the invariant at the heart of the
+    paper, now checked on every execution rather than only in benchmarks.
+    """
+
+    def __init__(
+        self,
+        observed_operations: int,
+        bound_operations: int,
+        sql: Optional[str] = None,
+    ):
+        self.observed_operations = observed_operations
+        self.bound_operations = bound_operations
+        self.sql = sql
+        message = (
+            f"scale-independence violation: executed {observed_operations} "
+            f"key/value operations but the static bound is {bound_operations}"
+        )
+        if sql:
+            message += f" (query: {sql.strip()!r})"
+        super().__init__(message)
+
+
 class ConstraintViolationError(ExecutionError):
     """Raised when an insert/update violates a declared constraint."""
 

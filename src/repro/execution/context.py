@@ -62,6 +62,13 @@ class ExecutionContext:
     new_positions: Dict[str, bytes] = field(default_factory=dict)
     #: Whether each scan ran out of data (no further pages).
     scan_exhausted: Dict[str, bool] = field(default_factory=dict)
+    #: The client's tracer while tracing is enabled (``repro.obs.trace.Tracer``),
+    #: else ``None``.  Operators open one ``operator`` span per plan node.
+    tracer: Optional[Any] = None
+    #: The client's live metric-counter mapping, cached here while tracing
+    #: so operator spans can read operation deltas without re-resolving the
+    #: ``client.stats.metrics`` chain per plan node.
+    counters: Optional[Dict[str, float]] = None
 
     def parameter(self, name: str) -> Any:
         if name not in self.parameters:

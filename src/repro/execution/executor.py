@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from ..errors import CursorError, ExecutionError
+from ..errors import BoundViolationError, CursorError, ExecutionError
 from ..kvstore.client import StorageClient
+from ..obs.audit import BoundAuditor
 from ..optimizer.optimizer import OptimizedQuery
 from ..plans import physical as P
 from ..plans.printer import plan_to_string
@@ -35,6 +36,10 @@ class ExecutorConfig:
     #: default; the operator-fusion benchmark disables it for its baseline
     #: arm.
     fused: bool = True
+    #: Runtime bound auditor.  When set, every finished query is routed
+    #: through it (structured events, span annotation, strict/serving
+    #: policy); when ``None`` the executor falls back to its inline check.
+    auditor: Optional[BoundAuditor] = None
 
 
 class QueryExecutor:
@@ -47,11 +52,15 @@ class QueryExecutor:
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
         enforce_bounds: bool = True,
         fused: bool = True,
+        auditor: Optional[BoundAuditor] = None,
     ):
         self.client = client
         self.catalog = catalog
         self.config = ExecutorConfig(
-            strategy=strategy, enforce_bounds=enforce_bounds, fused=fused
+            strategy=strategy,
+            enforce_bounds=enforce_bounds,
+            fused=fused,
+            auditor=auditor,
         )
 
     # ------------------------------------------------------------------
@@ -85,26 +94,54 @@ class QueryExecutor:
             fused=self.config.fused,
         )
 
+        tracer = self.client.tracer
+        context.tracer = tracer
+
         stats_before = self.client.stats.snapshot()
         time_before = self.client.clock.now
-        rows = execute_output(query.physical_plan, context)
+        root_span = None
+        if tracer is not None:
+            root_span = tracer.start_span(
+                "query", "query", sql=query.sql, strategy=strategy.value
+            )
+        try:
+            rows = execute_output(query.physical_plan, context)
+        finally:
+            if root_span is not None:
+                tracer.end_span(root_span)
         stats_after = self.client.stats.snapshot()
         delta = stats_after.delta(stats_before)
         latency = self.client.clock.now - time_before
+        if root_span is not None:
+            attributes = root_span.attributes
+            attributes["operations"] = delta.operations
+            attributes["rpcs"] = delta.rpcs
+            attributes["latency_seconds"] = latency
+            attributes["rows"] = len(rows)
+            if query.bound is not None:
+                attributes["bound"] = query.bound.max_operations
 
         # The static bound assumes the executor uses the compiler's limit
         # hints to batch requests; the Lazy baseline deliberately ignores
         # them (one request per tuple), so it is exempt from enforcement.
-        if (
+        auditor = self.config.auditor
+        if strategy is ExecutionStrategy.LAZY:
+            pass
+        elif auditor is not None:
+            auditor.observe_query(
+                query,
+                delta.operations,
+                latency,
+                span=root_span,
+                enforce=self.config.enforce_bounds,
+            )
+        elif (
             self.config.enforce_bounds
-            and strategy is not ExecutionStrategy.LAZY
             and query.bound is not None
             and delta.operations > query.bound.max_operations
         ):
-            raise ExecutionError(
-                f"scale-independence violation: executed {delta.operations} "
-                f"key/value operations but the static bound is "
-                f"{query.bound.max_operations}"
+            raise BoundViolationError(
+                delta.operations, query.bound.max_operations, query.sql
             )
 
         next_cursor: Optional[str] = None
@@ -167,6 +204,7 @@ class QueryExecutor:
             parameters=dict(parameters or {}),
             strategy=strategy or self.config.strategy,
             fused=self.config.fused,
+            tracer=self.client.tracer,
         )
         stats_before = self.client.stats.snapshot()
         time_before = self.client.clock.now

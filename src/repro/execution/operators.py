@@ -74,12 +74,66 @@ from .evaluate import (
 
 KeyValuePairs = List[Tuple[bytes, bytes]]
 
+#: Per-operator-class span metadata, computed once: the display name
+#: ("Physical" prefix stripped) and whether the operator is a purely local
+#: transform (no storage work, no simulated time) whose span is only worth
+#: recording when the tracer is in verbose mode (EXPLAIN ANALYZE).
+_SPAN_INFO: Dict[type, Tuple[str, bool]] = {}
+
+_LOCAL_OPERATORS = (
+    P.PhysicalLocalSelection,
+    P.PhysicalLocalSort,
+    P.PhysicalLocalStop,
+    P.PhysicalLocalAggregate,
+    P.PhysicalLocalProjection,
+)
+
 
 # ----------------------------------------------------------------------
 # Dispatch
 # ----------------------------------------------------------------------
 def execute_plan(plan: P.PhysicalOperator, context: ExecutionContext) -> List[InternalRow]:
-    """Execute any physical operator, returning internal rows."""
+    """Execute any physical operator, returning internal rows.
+
+    When the execution is traced, every storage-touching operator gets one
+    ``operator`` span carrying ``node_id = id(plan node)`` (how the bound
+    auditor and ``EXPLAIN ANALYZE`` map spans back to the plan) plus the
+    operations, round trips, and rows its subtree produced.  Purely local
+    operators are only spanned when the tracer is in verbose mode
+    (``EXPLAIN ANALYZE`` sets it): they issue no storage work and take no
+    simulated time, so steady-state traces skip them.
+    """
+    tracer = context.tracer
+    if tracer is None:
+        return _dispatch(plan, context)
+    cls = type(plan)
+    info = _SPAN_INFO.get(cls)
+    if info is None:
+        info = _SPAN_INFO[cls] = (
+            cls.__name__.removeprefix("Physical"),
+            issubclass(cls, _LOCAL_OPERATORS),
+        )
+    name, local = info
+    if local and not tracer.verbose:
+        return _dispatch(plan, context)
+    counters = context.counters
+    if counters is None:
+        counters = context.counters = context.client.stats.metrics.live_counters
+    ops_before = counters.get("client.operations", 0)
+    rpcs_before = counters.get("client.rpcs", 0)
+    span = tracer.start_span(name, "operator", node_id=id(plan))
+    try:
+        rows = _dispatch(plan, context)
+    finally:
+        tracer.end_span(span)
+    attributes = span.attributes
+    attributes["operations"] = counters.get("client.operations", 0) - ops_before
+    attributes["rpcs"] = counters.get("client.rpcs", 0) - rpcs_before
+    attributes["rows"] = len(rows)
+    return rows
+
+
+def _dispatch(plan: P.PhysicalOperator, context: ExecutionContext) -> List[InternalRow]:
     if isinstance(plan, P.PhysicalIndexScan):
         return _execute_index_scan(plan, context)
     if isinstance(plan, P.PhysicalIndexLookup):
@@ -111,7 +165,9 @@ def execute_output(
 ) -> List[Dict[str, Any]]:
     """Execute a full plan and flatten its rows for the user."""
     if isinstance(plan, P.PhysicalLocalProjection):
-        rows = execute_plan(plan.child, context)
+        # Going through execute_plan (whose dispatch forwards projection to
+        # its child) keeps the projection node in the trace.
+        rows = execute_plan(plan, context)
         return [_project_row(plan.items, row) for row in rows]
     rows = execute_plan(plan, context)
     return [_project_row((L.StarItem(None),), row) for row in rows]

@@ -12,6 +12,15 @@ Latency composition rules
 * Sequential requests add their latencies (the clock advances after each).
 * A *parallel* batch of requests costs the maximum of its members — this is
   what the Parallel executor of Section 7.1 exploits.
+
+Measurement
+-----------
+All counters live in a :class:`~repro.obs.metrics.MetricsRegistry` under
+``client.*`` names; :class:`ClientStats` is a thin façade exposing them as
+the attributes the rest of the system (and its tests) have always read.
+When a :class:`~repro.obs.trace.Tracer` is attached, every RPC additionally
+records a completed span — one ``tracer is not None`` check per operation
+when tracing is off.
 """
 
 from __future__ import annotations
@@ -20,6 +29,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Span, Tracer
 from ..stats import nearest_rank_percentile
 from .cluster import KeyValueCluster, OpResult
 from .simtime import SimClock
@@ -31,10 +42,44 @@ RangeSpec = Tuple[Optional[bytes], Optional[bytes], Optional[int], bool]
 #: stable 99th percentile, small enough that long simulations stay O(1).
 RESERVOIR_CAPACITY = 512
 
+#: The additive counters ``ClientStats`` exposes as attributes, with the
+#: cast applied on read.  Registry names are ``client.<field>``; counters
+#: recorded under other ``client.*`` names (e.g. failure-path attribution)
+#: flow through snapshot/delta automatically without appearing here.
+_CLIENT_COUNTERS: Tuple[Tuple[str, type], ...] = (
+    ("operations", int),
+    ("keys_touched", int),
+    ("rpcs", int),
+    ("partial_results", int),
+    ("coalesced_reads", int),
+    ("saved_reads", int),
+    ("dereference_rounds", int),
+    ("total_latency_seconds", float),
+)
 
-@dataclass
+
 class ClientStats:
     """Counters of the key/value traffic issued by one client.
+
+    The counters are registry-backed (names ``client.*``); snapshot/delta
+    are generic over every name in the registry, so new counters need no
+    accounting code.  Field meanings:
+
+    * ``operations`` / ``keys_touched`` / ``rpcs`` — logical operations,
+      keys, and physical round trips.
+    * ``partial_results`` — range reads that came back flagged partial (too
+      many replicas down and the caller opted into ``allow_partial``).
+    * ``coalesced_reads`` — point reads served from a gather window's
+      coalescing buffer instead of a fresh RPC.  They still count as logical
+      ``operations`` (static bounds are about requested work) but issue no
+      RPC and charge no fresh latency.
+    * ``saved_reads`` — logical point reads that never became physical
+      fetches: duplicate lookup keys deduplicated before a ``multi_get``,
+      and index-entry dereferences pruned by a data stop or a pushed-down
+      predicate.
+    * ``dereference_rounds`` — batched dereference rounds issued by the
+      execution engine (one fused ``multi_get`` per round); the
+      operator-fusion benchmark compares this across executor arms.
 
     Besides the running totals, the stats keep a bounded reservoir of
     per-call latencies (Vitter's algorithm R with a deterministic stream)
@@ -42,34 +87,43 @@ class ClientStats:
     recording every sample.
     """
 
-    operations: int = 0
-    keys_touched: int = 0
-    rpcs: int = 0
-    #: Range reads that came back flagged partial (too many replicas down
-    #: and the caller opted into ``allow_partial``).
-    partial_results: int = 0
-    #: Point reads served from a gather window's coalescing buffer instead
-    #: of a fresh RPC (duplicate keys across concurrently-resolved queries).
-    #: They still count as logical ``operations`` — static bounds are about
-    #: requested work — but issue no RPC and charge no fresh latency.
-    coalesced_reads: int = 0
-    #: Logical point reads that never became physical fetches: duplicate
-    #: lookup keys deduplicated before a ``multi_get``, and index-entry
-    #: dereferences pruned by a data stop or a pushed-down predicate.  Like
-    #: coalesced reads they still count as ``operations`` (static bounds
-    #: measure requested work) but ship no bytes and charge no latency.
-    saved_reads: int = 0
-    #: Batched dereference rounds issued by the execution engine (one fused
-    #: ``multi_get`` per round).  The operator-fusion benchmark compares
-    #: this across executor arms.
-    dereference_rounds: int = 0
-    total_latency_seconds: float = 0.0
-    latency_samples: List[float] = field(default_factory=list)
-    samples_seen: int = 0
-    reservoir_capacity: int = RESERVOIR_CAPACITY
-    _rng: random.Random = field(
-        default_factory=lambda: random.Random(0x5EED), repr=False, compare=False
+    __slots__ = (
+        "metrics",
+        "latency_samples",
+        "samples_seen",
+        "reservoir_capacity",
+        "_rng",
     )
+
+    def __init__(
+        self,
+        operations: int = 0,
+        keys_touched: int = 0,
+        rpcs: int = 0,
+        partial_results: int = 0,
+        coalesced_reads: int = 0,
+        saved_reads: int = 0,
+        dereference_rounds: int = 0,
+        total_latency_seconds: float = 0.0,
+        latency_samples: Optional[List[float]] = None,
+        samples_seen: int = 0,
+        reservoir_capacity: int = RESERVOIR_CAPACITY,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.metrics = MetricsRegistry() if metrics is None else metrics
+        seeds = (
+            operations, keys_touched, rpcs, partial_results, coalesced_reads,
+            saved_reads, dereference_rounds, total_latency_seconds,
+        )
+        for (name, _), value in zip(_CLIENT_COUNTERS, seeds):
+            if value:
+                self.metrics.set_counter(f"client.{name}", value)
+        self.latency_samples: List[float] = (
+            [] if latency_samples is None else list(latency_samples)
+        )
+        self.samples_seen = samples_seen
+        self.reservoir_capacity = reservoir_capacity
+        self._rng = random.Random(0x5EED)
 
     def record_latency(self, seconds: float) -> None:
         """Offer one latency observation to the bounded reservoir."""
@@ -87,38 +141,46 @@ class ClientStats:
 
     def snapshot(self) -> "ClientStats":
         return ClientStats(
-            operations=self.operations,
-            keys_touched=self.keys_touched,
-            rpcs=self.rpcs,
-            partial_results=self.partial_results,
-            coalesced_reads=self.coalesced_reads,
-            saved_reads=self.saved_reads,
-            dereference_rounds=self.dereference_rounds,
-            total_latency_seconds=self.total_latency_seconds,
             latency_samples=list(self.latency_samples),
             samples_seen=self.samples_seen,
             reservoir_capacity=self.reservoir_capacity,
+            metrics=self.metrics.snapshot(),
         )
 
     def delta(self, earlier: "ClientStats") -> "ClientStats":
         """Return the difference between this snapshot and an earlier one.
 
-        Only the additive counters are differenced; the latency reservoir is
-        a sample (not a sum), so the delta starts with an empty one.
+        Every counter in either registry is differenced; the latency
+        reservoir is a sample (not a sum), so the delta starts with an
+        empty one.
         """
         return ClientStats(
-            operations=self.operations - earlier.operations,
-            keys_touched=self.keys_touched - earlier.keys_touched,
-            rpcs=self.rpcs - earlier.rpcs,
-            partial_results=self.partial_results - earlier.partial_results,
-            coalesced_reads=self.coalesced_reads - earlier.coalesced_reads,
-            saved_reads=self.saved_reads - earlier.saved_reads,
-            dereference_rounds=self.dereference_rounds - earlier.dereference_rounds,
-            total_latency_seconds=(
-                self.total_latency_seconds - earlier.total_latency_seconds
-            ),
             reservoir_capacity=self.reservoir_capacity,
+            metrics=self.metrics.delta(earlier.metrics),
         )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name, _ in _CLIENT_COUNTERS
+        )
+        return f"ClientStats({fields})"
+
+
+def _client_counter(name: str, cast: type) -> property:
+    metric = f"client.{name}"
+
+    def fget(self: ClientStats):
+        return cast(self.metrics.value(metric))
+
+    def fset(self: ClientStats, value) -> None:
+        self.metrics.set_counter(metric, value)
+
+    return property(fget, fset)
+
+
+for _name, _cast in _CLIENT_COUNTERS:
+    setattr(ClientStats, _name, _client_counter(_name, _cast))
+del _name, _cast
 
 
 @dataclass
@@ -128,30 +190,123 @@ class StorageClient:
     cluster: KeyValueCluster
     clock: SimClock = field(default_factory=SimClock)
     stats: ClientStats = field(default_factory=ClientStats)
+    #: Span-tree recorder; ``None`` (the default) disables tracing and costs
+    #: one identity check per operation.
+    tracer: Optional[Tracer] = field(default=None, repr=False, compare=False)
     #: Coalescing buffer of point reads completed during an open gather
     #: window: ``(namespace, key) -> (value, ready_at_seconds)``.  ``None``
     #: outside a window.
     _gather_cache: Optional[Dict[Tuple[str, bytes], Tuple[Optional[bytes], float]]] = \
         field(default=None, repr=False, compare=False)
     _gather_depth: int = field(default=0, repr=False, compare=False)
+    #: Tracing side-table of a gather window: the RPC span that fetched each
+    #: coalesced key, so later logical reads attach as children of the one
+    #: physical request.
+    _gather_spans: Optional[Dict[Tuple[str, bytes], Span]] = \
+        field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Bookkeeping
     # ------------------------------------------------------------------
-    def _record(self, result: OpResult, operations: int, rpcs: int = 1) -> None:
-        self.clock.advance(result.latency_seconds)
-        self.stats.operations += operations
-        self.stats.keys_touched += result.keys_touched
-        self.stats.rpcs += rpcs
+    def _record(
+        self,
+        result: OpResult,
+        operations: int,
+        rpcs: int = 1,
+        op: str = "rpc",
+        namespace: str = "",
+    ) -> Optional[Span]:
+        started = self.clock.now
+        latency = result.latency_seconds
+        self.clock.advance(latency)
+        metrics = self.stats.metrics
+        metrics.add("client.operations", operations)
+        metrics.add("client.keys_touched", result.keys_touched)
+        metrics.add("client.rpcs", rpcs)
         if result.partial:
-            self.stats.partial_results += 1
-        self.stats.total_latency_seconds += result.latency_seconds
-        self.stats.record_latency(result.latency_seconds)
+            metrics.add("client.partial_results", 1)
+        if result.hinted:
+            metrics.add("client.hinted_writes", result.hinted)
+        if result.repaired:
+            metrics.add("client.read_repairs", result.repaired)
+        metrics.add("client.total_latency_seconds", latency)
+        self.stats.record_latency(latency)
+        if self.tracer is not None:
+            span = self.tracer.record(
+                op, "rpc", started, self.clock.now,
+                namespace=namespace,
+                operations=operations,
+                rpcs=rpcs,
+                keys=result.keys_touched,
+                node_id=result.node_id,
+            )
+            # Rarely-set attributes are added only when non-zero; readers
+            # use ``attributes.get`` throughout.
+            attributes = span.attributes
+            if result.payload_bytes:
+                attributes["bytes"] = result.payload_bytes
+            if result.hinted:
+                attributes["hinted"] = result.hinted
+            if result.repaired:
+                attributes["repaired"] = result.repaired
+            return span
+        return None
 
     @property
     def now(self) -> float:
         """Current simulated time at this client."""
         return self.clock.now
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def enable_tracing(self, keep: int = 64) -> Tracer:
+        """Attach (or return) this client's tracer.
+
+        The tracer reads time through the client — ``lambda: client.clock.now``
+        — because sessions temporarily swap the clock during gathers and the
+        trace must follow the active clock.
+        """
+        if self.tracer is None:
+            self.tracer = Tracer(lambda: self.clock.now, keep=keep)
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        self.tracer = None
+
+    def _trace_coalesced(
+        self, op: str, namespace: str, key: bytes, started: float
+    ) -> None:
+        """Attribute one coalesced logical read to the RPC that fetched it."""
+        rpc_span = (
+            self._gather_spans.get((namespace, key))
+            if self._gather_spans is not None
+            else None
+        )
+        ended = self.clock.now
+        if rpc_span is not None:
+            child = Span(op, "logical-op", started)
+            child.end = ended
+            # Raw key bytes: repr() is hot-path cost; the exporter makes
+            # bytes attributes JSON-safe at export time.
+            child.attributes["key"] = key
+            child.attributes["coalesced"] = True
+            rpc_span.children.append(child)
+        else:
+            assert self.tracer is not None
+            self.tracer.record(
+                op, "coalesced", started, ended,
+                namespace=namespace, key=key, coalesced=True,
+            )
+
+    @staticmethod
+    def _attach_logical_read(rpc_span: Span, key: bytes) -> None:
+        """Record the requesting logical read under a fresh RPC span."""
+        child = Span("get", "logical-op", rpc_span.start)
+        child.end = rpc_span.end
+        child.attributes["key"] = key
+        child.attributes["coalesced"] = False
+        rpc_span.children.append(child)
 
     # ------------------------------------------------------------------
     # Gather windows (cross-query read coalescing)
@@ -173,6 +328,8 @@ class StorageClient:
         self._gather_depth += 1
         if self._gather_cache is None:
             self._gather_cache = {}
+            if self.tracer is not None:
+                self._gather_spans = {}
 
     def end_gather_window(self) -> None:
         """Close the window opened by :meth:`begin_gather_window`."""
@@ -181,10 +338,13 @@ class StorageClient:
         self._gather_depth -= 1
         if self._gather_depth == 0:
             self._gather_cache = None
+            self._gather_spans = None
 
     def _invalidate(self, namespace: str, key: bytes) -> None:
         if self._gather_cache is not None:
             self._gather_cache.pop((namespace, key), None)
+            if self._gather_spans is not None:
+                self._gather_spans.pop((namespace, key), None)
 
     def _coalesced_wait(self, ready_at: float) -> None:
         """Wait (in simulated time) for the shared fetch's reply to arrive."""
@@ -201,27 +361,34 @@ class StorageClient:
             hit = cache.get((namespace, key))
             if hit is not None:
                 value, ready_at = hit
-                self.stats.operations += 1
-                self.stats.keys_touched += 1
-                self.stats.coalesced_reads += 1
+                metrics = self.stats.metrics
+                metrics.add("client.operations", 1)
+                metrics.add("client.keys_touched", 1)
+                metrics.add("client.coalesced_reads", 1)
+                started = self.clock.now
                 self._coalesced_wait(ready_at)
+                if self.tracer is not None:
+                    self._trace_coalesced("get", namespace, key, started)
                 return value
         result = self.cluster.get(namespace, key, sim_time=self.clock.now)
-        self._record(result, operations=1)
+        span = self._record(result, operations=1, op="get", namespace=namespace)
         if cache is not None:
             cache[(namespace, key)] = (result.value, self.clock.now)  # type: ignore[arg-type]
+            if span is not None and self._gather_spans is not None:
+                self._attach_logical_read(span, key)
+                self._gather_spans[(namespace, key)] = span
         return result.value  # type: ignore[return-value]
 
     def put(self, namespace: str, key: bytes, value: bytes) -> None:
         """Write a single value (one key/value store operation)."""
         result = self.cluster.put(namespace, key, value, sim_time=self.clock.now)
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="put", namespace=namespace)
         self._invalidate(namespace, key)
 
     def delete(self, namespace: str, key: bytes) -> bool:
         """Delete a key; returns whether it existed."""
         result = self.cluster.delete(namespace, key, sim_time=self.clock.now)
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="delete", namespace=namespace)
         self._invalidate(namespace, key)
         return bool(result.value)
 
@@ -232,7 +399,7 @@ class StorageClient:
         result = self.cluster.test_and_set(
             namespace, key, expected, new_value, sim_time=self.clock.now
         )
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="test_and_set", namespace=namespace)
         self._invalidate(namespace, key)
         return bool(result.value)
 
@@ -250,9 +417,10 @@ class StorageClient:
         """
         if count <= 0:
             return
-        self.stats.operations += count
-        self.stats.keys_touched += count
-        self.stats.saved_reads += count
+        metrics = self.stats.metrics
+        metrics.add("client.operations", count)
+        metrics.add("client.keys_touched", count)
+        metrics.add("client.saved_reads", count)
 
     def multi_get(
         self,
@@ -277,21 +445,24 @@ class StorageClient:
         """
         logical = len(keys) if logical_operations is None else logical_operations
         cache = self._gather_cache
+        metrics = self.stats.metrics
         if cache is None or not parallel:
             result = self.cluster.multi_get(
                 namespace, keys, parallel=parallel, sim_time=self.clock.now
             )
             self._record(
-                result, operations=logical, rpcs=1 if parallel else len(keys)
+                result, operations=logical, rpcs=1 if parallel else len(keys),
+                op="multi_get", namespace=namespace,
             )
-            self.stats.keys_touched += logical - len(keys)
-            self.stats.saved_reads += logical - len(keys)
+            metrics.add("client.keys_touched", logical - len(keys))
+            metrics.add("client.saved_reads", logical - len(keys))
             return result.value  # type: ignore[return-value]
         values: List[Optional[bytes]] = [None] * len(keys)
         miss_keys: List[bytes] = []
         miss_slots: List[int] = []
-        ready_at = self.clock.now
-        hits = 0
+        started = self.clock.now
+        ready_at = started
+        hits: List[bytes] = []
         for slot, key in enumerate(keys):
             hit = cache.get((namespace, key))
             if hit is None:
@@ -300,25 +471,45 @@ class StorageClient:
             else:
                 values[slot] = hit[0]
                 ready_at = max(ready_at, hit[1])
-                hits += 1
+                hits.append(key)
         if miss_keys:
             result = self.cluster.multi_get(
                 namespace, miss_keys, parallel=True, sim_time=self.clock.now
             )
             fetched: List[Optional[bytes]] = result.value  # type: ignore[assignment]
             done_at = self.clock.now + result.latency_seconds
+            rpc_span: Optional[Span] = None
+            if self.tracer is not None:
+                rpc_span = self.tracer.record(
+                    "multi_get", "rpc", self.clock.now, done_at,
+                    namespace=namespace,
+                    operations=len(miss_keys),
+                    rpcs=1,
+                    keys=result.keys_touched,
+                    bytes=result.payload_bytes,
+                    node_id=result.node_id,
+                    repaired=result.repaired,
+                )
             for slot, key, value in zip(miss_slots, miss_keys, fetched):
                 values[slot] = value
                 cache[(namespace, key)] = (value, done_at)
+                if rpc_span is not None and self._gather_spans is not None:
+                    self._attach_logical_read(rpc_span, key)
+                    self._gather_spans[(namespace, key)] = rpc_span
             ready_at = max(ready_at, done_at)
-            self.stats.rpcs += 1
-            self.stats.total_latency_seconds += result.latency_seconds
+            metrics.add("client.rpcs", 1)
+            if result.repaired:
+                metrics.add("client.read_repairs", result.repaired)
+            metrics.add("client.total_latency_seconds", result.latency_seconds)
             self.stats.record_latency(result.latency_seconds)
-        self.stats.operations += logical
-        self.stats.keys_touched += logical
-        self.stats.saved_reads += logical - len(keys)
-        self.stats.coalesced_reads += hits
+        metrics.add("client.operations", logical)
+        metrics.add("client.keys_touched", logical)
+        metrics.add("client.saved_reads", logical - len(keys))
+        metrics.add("client.coalesced_reads", len(hits))
         self._coalesced_wait(ready_at)
+        if self.tracer is not None:
+            for key in hits:
+                self._trace_coalesced("get", namespace, key, started)
         return values
 
     def get_range(
@@ -340,7 +531,7 @@ class StorageClient:
             namespace, start, end, limit, ascending, sim_time=self.clock.now,
             allow_partial=allow_partial,
         )
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="get_range", namespace=namespace)
         return result.value  # type: ignore[return-value]
 
     def filtered_range(
@@ -364,7 +555,7 @@ class StorageClient:
             namespace, start, end, limit, ascending, sim_time=self.clock.now,
             record_filter=record_filter,
         )
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="filtered_range", namespace=namespace)
         return (
             result.value,  # type: ignore[return-value]
             result.keys_touched,
@@ -379,7 +570,8 @@ class StorageClient:
             namespace, ranges, parallel=parallel, sim_time=self.clock.now
         )
         self._record(
-            result, operations=len(ranges), rpcs=1 if parallel else len(ranges)
+            result, operations=len(ranges), rpcs=1 if parallel else len(ranges),
+            op="multi_get_range", namespace=namespace,
         )
         return result.value  # type: ignore[return-value]
 
@@ -390,5 +582,5 @@ class StorageClient:
         result = self.cluster.count_range(
             namespace, start, end, sim_time=self.clock.now
         )
-        self._record(result, operations=1)
+        self._record(result, operations=1, op="count_range", namespace=namespace)
         return int(result.value)  # type: ignore[arg-type]

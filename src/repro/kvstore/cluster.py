@@ -47,6 +47,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ExecutionError, QuorumNotMetError, UnavailableError
+from ..obs.metrics import MetricsRegistry
 from ..replication.manager import RepairReport, ReplicationManager
 from ..replication.store import (
     MISSING_SEQ,
@@ -151,6 +152,13 @@ class OpResult:
         may be later than the last key it shipped.  Pagination cursors must
         resume after the examined position or they would re-examine (and
         re-filter) the same entries forever.
+    hinted:
+        Down replicas that received a hint instead of the write; the
+        triggering client's trace attributes the deferred replay to it.
+    repaired:
+        Stale replicas read-repaired in the background of this request.
+    payload_bytes:
+        Bytes shipped back to the client (0 for writes and counts).
     """
 
     value: object
@@ -159,6 +167,9 @@ class OpResult:
     keys_touched: int = 1
     partial: bool = False
     last_examined_key: Optional[bytes] = None
+    hinted: int = 0
+    repaired: int = 0
+    payload_bytes: int = 0
 
 
 class KeyValueCluster:
@@ -186,6 +197,9 @@ class KeyValueCluster:
             self.replication.attach_node(node.node_id)
         #: Anti-entropy report of the most recent topology change / recovery.
         self.last_repair: Optional[RepairReport] = None
+        #: Cluster-wide counters (``replication.*``): hinted handoff and
+        #: read-repair traffic that no single client's stats can own.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Liveness
@@ -218,6 +232,9 @@ class KeyValueCluster:
         node.mark_up()
         report = self.replication.sync_node(node_id, self.up_node_ids())
         self.last_repair = report
+        self.metrics.add("replication.hints_replayed", report.hints_replayed)
+        self.metrics.add("replication.repair_keys_copied", report.keys_copied)
+        self.metrics.add("replication.repair_bytes_copied", report.bytes_copied)
         copies = report.per_node_copies.get(node_id, 0)
         if copies:
             node.charge_write(
@@ -429,9 +446,17 @@ class KeyValueCluster:
             self.set_offered_load(self._offered_load_total)
 
     def reset_stats(self) -> None:
-        """Reset per-node operation counters."""
+        """Reset per-node operation counters and cluster-wide metrics."""
         for node in self.nodes:
             node.stats.reset()
+        self.metrics.reset()
+
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """Cluster metrics plus every node's counters rolled into one registry."""
+        combined = self.metrics.snapshot()
+        for node in self.nodes:
+            combined.merge(node.stats.metrics)
+        return combined
 
     def reseed_latency_models(self, seed: int) -> None:
         """Reset every node's service-time noise stream.
@@ -470,6 +495,7 @@ class KeyValueCluster:
                 )
             else:
                 self.replication.add_hint(node_id, namespace, key, record)
+                self.metrics.add("replication.hints_added", 1)
 
     def load_delete(self, namespace: str, key: bytes) -> None:
         """Tombstone a key on every replica without charging any latency.
@@ -487,6 +513,7 @@ class KeyValueCluster:
                 )
             else:
                 self.replication.add_hint(node_id, namespace, key, record)
+                self.metrics.add("replication.hints_added", 1)
 
     def peek(self, namespace: str, key: bytes) -> Optional[bytes]:
         """Latency-free newest-wins read of one key (bulk load / tooling).
@@ -541,13 +568,14 @@ class KeyValueCluster:
         value: Optional[bytes],
         sim_time: float,
         operation: str,
-    ) -> Tuple[float, int]:
+    ) -> Tuple[float, int, int]:
         """Write a record (or tombstone) to a key's replicas.
 
         Sends to every up replica (down replicas get hints), charges each
-        destination, and returns ``(ack latency, primary node id)`` where
-        the ack latency is the ``W``-th fastest replica's — the coordinator
-        answers the client as soon as the write quorum is met.
+        destination, and returns ``(ack latency, primary node id, hints)``
+        where the ack latency is the ``W``-th fastest replica's — the
+        coordinator answers the client as soon as the write quorum is met —
+        and ``hints`` counts down replicas whose copy was deferred.
         """
         prefs = self._preference_list(namespace, key)
         needed = self.config.effective_write_quorum
@@ -557,6 +585,7 @@ class KeyValueCluster:
         record = encode_record(self.replication.next_seq(), value)
         nbytes = len(value) if value is not None else 0
         latencies: List[float] = []
+        hints = 0
         for node_id in prefs:
             if self.nodes[node_id].up:
                 self.replication.stores[node_id].apply_record(
@@ -567,8 +596,12 @@ class KeyValueCluster:
                 )
             else:
                 self.replication.add_hint(node_id, namespace, key, record)
+                self.metrics.add("replication.hints_added", 1)
+                hints += 1
+        if hints:
+            self.metrics.add("replication.hints_added", hints)
         latencies.sort()
-        return latencies[needed - 1], prefs[0]
+        return latencies[needed - 1], prefs[0], hints
 
     def _resolve_newest(
         self, namespace: str, key: bytes, chosen: Sequence[int]
@@ -608,13 +641,15 @@ class KeyValueCluster:
 
     def _read_one(
         self, namespace: str, key: bytes, sim_time: float
-    ) -> Tuple[Optional[bytes], float, int]:
-        """Quorum read of one key: ``(live value, latency, serving node)``.
+    ) -> Tuple[Optional[bytes], float, int, int]:
+        """Quorum read of one key:
+        ``(live value, latency, serving node, repairs)``.
 
         Charges each of the ``R`` chosen replicas one read RPC (the client
         waits for all of them, so the latency is their maximum), resolves
         newest-wins, and read-repairs any stale replica in the background
-        (charged to the replica, not to the client).
+        (charged to the replica, not to the client); ``repairs`` counts the
+        repairs applied so the triggering read's trace can attribute them.
         """
         chosen = self._read_replicas(namespace, key)
         best_record, stale, observed = self._resolve_newest(
@@ -628,6 +663,7 @@ class KeyValueCluster:
                     1, self._payload_size(record), sim_time
                 ),
             )
+        repaired = 0
         if best_record is not None:
             for node_id in stale:
                 if self.replication.stores[node_id].apply_record(
@@ -636,8 +672,11 @@ class KeyValueCluster:
                     self.nodes[node_id].charge_write(
                         1, len(best_record), sim_time
                     )
+                    repaired += 1
+        if repaired:
+            self.metrics.add("replication.read_repairs", repaired)
         value = decode_record(best_record)[1] if best_record is not None else None
-        return value, latency, chosen[0]
+        return value, latency, chosen[0], repaired
 
     # ------------------------------------------------------------------
     # Point operations
@@ -645,18 +684,23 @@ class KeyValueCluster:
     def get(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
         """Read one key; ``value`` is the bytes stored or ``None``."""
         self._require(namespace)
-        value, latency, node_id = self._read_one(namespace, key, sim_time)
-        return OpResult(value, latency, node_id, keys_touched=1)
+        value, latency, node_id, repaired = self._read_one(
+            namespace, key, sim_time
+        )
+        return OpResult(
+            value, latency, node_id, keys_touched=1, repaired=repaired,
+            payload_bytes=len(value) if value is not None else 0,
+        )
 
     def put(
         self, namespace: str, key: bytes, value: bytes, sim_time: float = 0.0
     ) -> OpResult:
         """Write one key to its replica set; acks at the write quorum."""
         self._require(namespace)
-        latency, primary = self._quorum_write(
+        latency, primary, hints = self._quorum_write(
             namespace, key, value, sim_time, operation="put"
         )
-        return OpResult(True, latency, primary, keys_touched=1)
+        return OpResult(True, latency, primary, keys_touched=1, hinted=hints)
 
     def delete(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
         """Delete one key (a replicated tombstone); ``value`` is whether it existed."""
@@ -668,10 +712,10 @@ class KeyValueCluster:
         ]
         _, newest = self.replication.newest_record(namespace, key, up_prefs)
         existed = newest is not None and decode_record(newest)[1] is not None
-        latency, primary = self._quorum_write(
+        latency, primary, hints = self._quorum_write(
             namespace, key, None, sim_time, operation="delete"
         )
-        return OpResult(existed, latency, primary, keys_touched=1)
+        return OpResult(existed, latency, primary, keys_touched=1, hinted=hints)
 
     def test_and_set(
         self,
@@ -688,14 +732,19 @@ class KeyValueCluster:
         so the charged latency is their sum.
         """
         self._require(namespace)
-        current, read_latency, node_id = self._read_one(namespace, key, sim_time)
+        current, read_latency, node_id, repaired = self._read_one(
+            namespace, key, sim_time
+        )
         if current != expected:
-            return OpResult(False, read_latency, node_id, keys_touched=1)
-        write_latency, primary = self._quorum_write(
+            return OpResult(
+                False, read_latency, node_id, keys_touched=1, repaired=repaired
+            )
+        write_latency, primary, hints = self._quorum_write(
             namespace, key, new_value, sim_time, operation="test_and_set"
         )
         return OpResult(
-            True, read_latency + write_latency, primary, keys_touched=1
+            True, read_latency + write_latency, primary, keys_touched=1,
+            hinted=hints, repaired=repaired,
         )
 
     # ------------------------------------------------------------------
@@ -722,11 +771,18 @@ class KeyValueCluster:
         if not parallel:
             values: List[Optional[bytes]] = []
             latency = 0.0
+            repaired = 0
             for key in keys:
-                value, key_latency, _ = self._read_one(namespace, key, sim_time)
+                value, key_latency, _, key_repairs = self._read_one(
+                    namespace, key, sim_time
+                )
                 values.append(value)
                 latency += key_latency
-            return OpResult(values, latency, -1, keys_touched=len(keys))
+                repaired += key_repairs
+            return OpResult(
+                values, latency, -1, keys_touched=len(keys), repaired=repaired,
+                payload_bytes=sum(len(v) for v in values if v is not None),
+            )
         # Parallel: every key's R replica reads happen concurrently, one
         # batched RPC per involved node.  Each key is resolved in a single
         # pass over its replicas; the per-node RPC charges are sized from
@@ -760,6 +816,7 @@ class KeyValueCluster:
                     count, group_bytes.get(node_id, 0), sim_time
                 ),
             )
+        repaired = 0
         for node_id, stale_records in repairs.items():
             applied = 0
             nbytes = 0
@@ -769,7 +826,13 @@ class KeyValueCluster:
                     nbytes += len(record)
             if applied:
                 self.nodes[node_id].charge_write(applied, nbytes, sim_time)
-        return OpResult(values, latency, -1, keys_touched=len(keys))
+                repaired += applied
+        if repaired:
+            self.metrics.add("replication.read_repairs", repaired)
+        return OpResult(
+            values, latency, -1, keys_touched=len(keys), repaired=repaired,
+            payload_bytes=sum(group_bytes.values()),
+        )
 
     # ------------------------------------------------------------------
     # Range operations
@@ -850,6 +913,7 @@ class KeyValueCluster:
             )
 
         keys_touched = sum(examined.values()) if record_filter is not None else len(pairs)
+        shipped_bytes = sum(nbytes for _, nbytes in served.values())
         charged_ids = set(served) | set(examined)
         bounded = start is not None and end is not None
         if bounded:
@@ -878,6 +942,7 @@ class KeyValueCluster:
             return OpResult(
                 pairs, latency, node_id, keys_touched=keys_touched,
                 partial=partial, last_examined_key=last_examined,
+                payload_bytes=shipped_bytes,
             )
         # Full (or half-open) scan: every up partition must be visited.
         latency = 0.0
@@ -885,7 +950,7 @@ class KeyValueCluster:
             latency += charge(node_id)
         return OpResult(
             pairs, latency, -1, keys_touched=keys_touched, partial=partial,
-            last_examined_key=last_examined,
+            last_examined_key=last_examined, payload_bytes=shipped_bytes,
         )
 
     def multi_get_range(
@@ -904,6 +969,7 @@ class KeyValueCluster:
         results: List[List[KeyValue]] = []
         latencies: List[float] = []
         keys_touched = 0
+        payload_bytes = 0
         for start, end, limit, ascending in ranges:
             result = self.get_range(
                 namespace, start, end, limit, ascending, sim_time=sim_time
@@ -911,10 +977,14 @@ class KeyValueCluster:
             results.append(result.value)  # type: ignore[arg-type]
             latencies.append(result.latency_seconds)
             keys_touched += result.keys_touched
+            payload_bytes += result.payload_bytes
         if not latencies:
             return OpResult([], 0.0, -1, keys_touched=0)
         latency = max(latencies) if parallel else sum(latencies)
-        return OpResult(results, latency, -1, keys_touched=keys_touched)
+        return OpResult(
+            results, latency, -1, keys_touched=keys_touched,
+            payload_bytes=payload_bytes,
+        )
 
     def count_range(
         self,

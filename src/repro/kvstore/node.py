@@ -13,35 +13,65 @@ substitution that lets a single Python process stand in for the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
+from ..obs.metrics import MetricsRegistry
 from .latency import LatencyModel, LatencyParameters
 
+#: The counters a node keeps, as ``(field name, cast)``; registry names are
+#: ``node.<field>``.
+_NODE_COUNTERS: Tuple[Tuple[str, type], ...] = (
+    ("gets", int),
+    ("puts", int),
+    ("range_requests", int),
+    ("keys_read", int),
+    ("keys_written", int),
+    ("keys_filtered", int),
+    ("total_latency_seconds", float),
+    ("queue_wait_seconds", float),
+)
 
-@dataclass
+
 class NodeStats:
-    """Operation counters for one storage node."""
+    """Operation counters for one storage node, registry-backed.
 
-    gets: int = 0
-    puts: int = 0
-    range_requests: int = 0
-    keys_read: int = 0
-    keys_written: int = 0
-    #: Keys examined by a server-side range filter but not shipped to the
-    #: client (predicate pushdown; the examination is still charged).
-    keys_filtered: int = 0
-    total_latency_seconds: float = 0.0
-    queue_wait_seconds: float = 0.0
+    ``keys_filtered`` counts keys examined by a server-side range filter but
+    not shipped to the client (predicate pushdown; the examination is still
+    charged).  All fields are thin properties over ``node.*`` metrics in
+    :attr:`metrics`; :meth:`reset` and snapshots are generic over the
+    registry's names.
+    """
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None):
+        self.metrics = MetricsRegistry() if metrics is None else metrics
 
     def reset(self) -> None:
-        self.gets = 0
-        self.puts = 0
-        self.range_requests = 0
-        self.keys_read = 0
-        self.keys_written = 0
-        self.keys_filtered = 0
-        self.total_latency_seconds = 0.0
-        self.queue_wait_seconds = 0.0
+        self.metrics.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(
+            f"{name}={getattr(self, name)}" for name, _ in _NODE_COUNTERS
+        )
+        return f"NodeStats({fields})"
+
+
+def _node_counter(name: str, cast: type) -> property:
+    metric = f"node.{name}"
+
+    def fget(self: NodeStats):
+        return cast(self.metrics.value(metric))
+
+    def fset(self: NodeStats, value) -> None:
+        self.metrics.set_counter(metric, value)
+
+    return property(fget, fset)
+
+
+for _name, _cast in _NODE_COUNTERS:
+    setattr(NodeStats, _name, _node_counter(_name, _cast))
+del _name, _cast
 
 
 @dataclass
@@ -130,7 +160,7 @@ class StorageNode:
         if self.request_queue is None:
             return 0.0
         wait = self.request_queue.on_request(sim_time, service_seconds)
-        self.stats.queue_wait_seconds += wait
+        self.stats.metrics.add("node.queue_wait_seconds", wait)
         return wait
 
     def charge_read(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
@@ -143,9 +173,10 @@ class StorageNode:
         )
         latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
-        self.stats.gets += 1
-        self.stats.keys_read += num_keys
-        self.stats.total_latency_seconds += latency
+        metrics = self.stats.metrics
+        metrics.add("node.gets", 1)
+        metrics.add("node.keys_read", num_keys)
+        metrics.add("node.total_latency_seconds", latency)
         return latency
 
     def charge_range(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
@@ -158,9 +189,10 @@ class StorageNode:
         )
         latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
-        self.stats.range_requests += 1
-        self.stats.keys_read += num_keys
-        self.stats.total_latency_seconds += latency
+        metrics = self.stats.metrics
+        metrics.add("node.range_requests", 1)
+        metrics.add("node.keys_read", num_keys)
+        metrics.add("node.total_latency_seconds", latency)
         return latency
 
     def charge_filtered_range(
@@ -185,10 +217,11 @@ class StorageNode:
         )
         latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
-        self.stats.range_requests += 1
-        self.stats.keys_read += examined_keys
-        self.stats.keys_filtered += examined_keys - shipped_keys
-        self.stats.total_latency_seconds += latency
+        metrics = self.stats.metrics
+        metrics.add("node.range_requests", 1)
+        metrics.add("node.keys_read", examined_keys)
+        metrics.add("node.keys_filtered", examined_keys - shipped_keys)
+        metrics.add("node.total_latency_seconds", latency)
         return latency
 
     def charge_write(self, num_keys: int, num_bytes: int, sim_time: float) -> float:
@@ -201,7 +234,8 @@ class StorageNode:
         )
         latency *= self.speed_factor
         latency += self._queue_wait(sim_time, latency)
-        self.stats.puts += 1
-        self.stats.keys_written += num_keys
-        self.stats.total_latency_seconds += latency
+        metrics = self.stats.metrics
+        metrics.add("node.puts", 1)
+        metrics.add("node.keys_written", num_keys)
+        metrics.add("node.total_latency_seconds", latency)
         return latency

@@ -1,0 +1,46 @@
+"""Observability: traces, metrics, and the runtime bound auditor.
+
+PIQL's headline claim is that every admitted query carries a *provable*
+static operation bound and a predicted latency.  This package turns those
+compile-time guarantees into runtime observations:
+
+* :mod:`~repro.obs.metrics` — a named-metric registry (counters, gauges,
+  bounded histograms) with generic snapshot/delta semantics; the single
+  source of truth behind ``ClientStats``/``NodeStats``/``TrafficLog``.
+* :mod:`~repro.obs.trace` — per-query/per-interaction span trees recording
+  simulated start/end, operation counts, RPC fan-out, and bytes at every
+  layer from ``Session`` down to the storage nodes.
+* :mod:`~repro.obs.audit` — the runtime bound auditor: every finished query
+  is checked against its static bound, and per-operator latency residuals
+  (predicted vs observed) are attached to its spans.
+* :mod:`~repro.obs.explain` — ``EXPLAIN ANALYZE``: the annotated span tree
+  rendered through the plan printer.
+* :mod:`~repro.obs.export` — JSON and Chrome-trace-format export.
+"""
+
+from .audit import AuditEvent, BoundAuditor, LatencyResidual
+from .explain import explain_analyze, render_span_tree
+from .export import (
+    span_to_dict,
+    trace_to_chrome_events,
+    trace_to_json,
+    write_chrome_trace,
+)
+from .metrics import BoundedHistogram, MetricsRegistry
+from .trace import Span, Tracer
+
+__all__ = [
+    "AuditEvent",
+    "BoundAuditor",
+    "BoundedHistogram",
+    "LatencyResidual",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "explain_analyze",
+    "render_span_tree",
+    "span_to_dict",
+    "trace_to_chrome_events",
+    "trace_to_json",
+    "write_chrome_trace",
+]

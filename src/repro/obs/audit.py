@@ -1,0 +1,240 @@
+"""The runtime bound auditor: static guarantees checked as live assertions.
+
+PIQL's compiler proves a *static* operation bound for every admitted query
+(Section 5.2 of the paper).  Historically the simulator only verified that
+claim offline, in benchmark scripts diffing aggregate counters.  The
+:class:`BoundAuditor` moves the check into the execution path: every
+finished query is compared against its bound, violations become structured
+:class:`AuditEvent` objects (strict mode raises
+:class:`~repro.errors.BoundViolationError`, serving mode feeds them to a
+sink such as the SLO monitor), and — when a trained latency model is
+attached — each operator span is annotated with the slice of the bound it
+was charged against and its predicted-vs-observed latency residual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from ..errors import (
+    BoundViolationError,
+    NotScaleIndependentError,
+    PredictionError,
+)
+from ..plans import physical as P
+from ..plans.bounds import compute_bound
+from .trace import Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..optimizer.optimizer import OptimizedQuery
+    from ..prediction.model import QueryLatencyModel
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One observed violation of a query's static operation bound."""
+
+    sql: str
+    observed_operations: int
+    bound_operations: int
+    latency_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"bound violation: {self.observed_operations} ops > bound "
+            f"{self.bound_operations} ({self.sql.strip()!r})"
+        )
+
+
+@dataclass(frozen=True)
+class LatencyResidual:
+    """Predicted-vs-observed latency of one operator span."""
+
+    operator: str
+    predicted_seconds: float
+    observed_seconds: float
+
+    @property
+    def residual_seconds(self) -> float:
+        """Observed minus predicted: positive means slower than modelled."""
+        return self.observed_seconds - self.predicted_seconds
+
+
+class BoundAuditor:
+    """Asserts observed operations ≤ static bound on every finished query.
+
+    Parameters
+    ----------
+    mode:
+        ``"strict"`` raises :class:`BoundViolationError` on a violation
+        (tests and benchmarks); ``"serving"`` records the event and feeds
+        the sink but lets the query's result stand (a live service should
+        degrade observably, not crash).
+    latency_model:
+        Optional trained :class:`~repro.prediction.model.QueryLatencyModel`;
+        when present, operator spans gain ``predicted_seconds`` and
+        residuals are accumulated in :attr:`residuals`.
+    sink:
+        Called with each :class:`AuditEvent` (e.g. the SLO monitor's
+        ``record_bound_violation``).
+    """
+
+    def __init__(
+        self,
+        mode: str = "strict",
+        latency_model: Optional["QueryLatencyModel"] = None,
+        sink: Optional[Callable[[AuditEvent], None]] = None,
+        max_events: int = 256,
+    ):
+        if mode not in ("strict", "serving"):
+            raise ValueError(f"unknown auditor mode: {mode!r}")
+        self.mode = mode
+        self.latency_model = latency_model
+        self.sink = sink
+        self.max_events = max_events
+        #: Queries checked since construction (or the last :meth:`reset`).
+        self.audited = 0
+        #: Violations observed, oldest first, capped at ``max_events``.
+        self.events: List[AuditEvent] = []
+        #: Per-operator residuals of audited traced queries (bounded).
+        self.residuals: List[LatencyResidual] = []
+        # Bound slices per plan, keyed by id().  The plan itself is kept as
+        # a strong reference so a recycled id() can never alias a new plan.
+        self._slice_cache: Dict[
+            int, Tuple[P.PhysicalOperator, Dict[int, Tuple[int, int]]]
+        ] = {}
+
+    @property
+    def violations(self) -> int:
+        return len(self.events)
+
+    def reset(self) -> None:
+        self.audited = 0
+        self.events.clear()
+        self.residuals.clear()
+
+    # ------------------------------------------------------------------
+    # The live assertion
+    # ------------------------------------------------------------------
+    def observe_query(
+        self,
+        query: "OptimizedQuery",
+        observed_operations: int,
+        latency_seconds: float,
+        span: Optional[Span] = None,
+        enforce: bool = True,
+    ) -> Optional[AuditEvent]:
+        """Audit one finished execution; returns the event on violation.
+
+        ``span`` is the query's root span when tracing is enabled.  With a
+        latency model attached it is annotated in place (bound slices,
+        predictions, residuals); without one annotation is deferred to the
+        readers that want it (:func:`~repro.obs.explain.explain_analyze`
+        calls :meth:`annotate_span` explicitly), keeping the per-query cost
+        of plain tracing to the bound comparison below.
+        ``enforce=False`` still records violations but never raises (the
+        executor passes this for strategies exempt from the bound).
+        """
+        self.audited += 1
+        if span is not None and self.latency_model is not None:
+            self.annotate_span(query, span)
+        bound = query.bound
+        if bound is None or observed_operations <= bound.max_operations:
+            return None
+        event = AuditEvent(
+            sql=query.sql,
+            observed_operations=observed_operations,
+            bound_operations=bound.max_operations,
+            latency_seconds=latency_seconds,
+        )
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        if self.sink is not None:
+            self.sink(event)
+        if enforce and self.mode == "strict":
+            raise BoundViolationError(
+                observed_operations, bound.max_operations, query.sql
+            )
+        return event
+
+    # ------------------------------------------------------------------
+    # Span annotation
+    # ------------------------------------------------------------------
+    def annotate_span(self, query: "OptimizedQuery", span: Span) -> None:
+        """Attach bound slices (and predictions, if modelled) to a trace.
+
+        Each ``operator`` span carries ``node_id = id(plan node)``; this maps
+        them back to the plan, charges every operator the *slice* of the
+        static bound it owns (its subtree bound minus its children's), and —
+        with a latency model — records the predicted p50 next to the
+        observed duration.
+        """
+        plan = query.physical_plan
+        slices = self._bound_slices(plan)
+        predicted = self._predicted_by_node(plan)
+        for op_span in span.find("operator"):
+            node_id = op_span.attributes.get("node_id")
+            if not isinstance(node_id, int):
+                continue
+            entry = slices.get(node_id)
+            if entry is not None:
+                own, subtree = entry
+                op_span.attributes["bound_slice"] = own
+                op_span.attributes["bound_subtree"] = subtree
+            prediction = predicted.get(node_id)
+            if prediction is not None and op_span.end is not None:
+                op_span.attributes["predicted_seconds"] = prediction
+                residual = LatencyResidual(
+                    operator=op_span.name,
+                    predicted_seconds=prediction,
+                    observed_seconds=op_span.duration,
+                )
+                op_span.attributes["residual_seconds"] = residual.residual_seconds
+                if len(self.residuals) < self.max_events:
+                    self.residuals.append(residual)
+
+    def _bound_slices(
+        self, plan: P.PhysicalOperator
+    ) -> Dict[int, Tuple[int, int]]:
+        """``id(node) -> (own slice, subtree bound)`` for a plan, cached."""
+        cached = self._slice_cache.get(id(plan))
+        if cached is not None and cached[0] is plan:
+            return cached[1]
+        slices: Dict[int, Tuple[int, int]] = {}
+        for node in P.walk(plan):
+            try:
+                subtree = compute_bound(node).max_operations
+                own = subtree - sum(
+                    compute_bound(child).max_operations
+                    for child in node.children()
+                )
+            except NotScaleIndependentError:
+                # Cost-based-baseline plans are deliberately unbounded.
+                continue
+            slices[id(node)] = (own, subtree)
+        if len(self._slice_cache) >= 128:
+            self._slice_cache.clear()
+        self._slice_cache[id(plan)] = (plan, slices)
+        return slices
+
+    def _predicted_by_node(
+        self, plan: P.PhysicalOperator
+    ) -> Dict[int, float]:
+        """Predicted p50 seconds per plan node, summed over its Θ models."""
+        if self.latency_model is None:
+            return {}
+        try:
+            pairs = self.latency_model.requirements_with_operators(plan)
+        except PredictionError:
+            return {}
+        predicted: Dict[int, float] = {}
+        for node, requirement in pairs:
+            try:
+                histogram = self.latency_model.store.histogram(requirement.key)
+            except PredictionError:
+                continue
+            predicted[id(node)] = (
+                predicted.get(id(node), 0.0) + histogram.quantile(0.5)
+            )
+        return predicted

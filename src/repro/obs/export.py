@@ -1,0 +1,88 @@
+"""Trace export: plain JSON and the Chrome trace-event format.
+
+``trace_to_json`` gives a faithful, nested dump of a span tree for
+programmatic consumption.  ``trace_to_chrome_events`` flattens the same
+tree into Chrome's trace-event format (``ph="X"`` complete events with
+microsecond timestamps), so a serving run's traces can be dropped straight
+into ``chrome://tracing`` or Perfetto.  Simulated seconds are exported as
+microseconds, the convention those viewers expect.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from .trace import Span
+
+
+def _json_safe(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return repr(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def span_to_dict(span: Span) -> Dict[str, object]:
+    """One span (and its subtree) as JSON-serialisable nested dicts."""
+    return {
+        "name": span.name,
+        "kind": span.kind,
+        "start": span.start,
+        "end": span.end,
+        "duration": span.duration,
+        "attributes": {
+            key: _json_safe(value) for key, value in span.attributes.items()
+        },
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def trace_to_json(
+    roots: Iterable[Span], indent: Optional[int] = 2
+) -> str:
+    """Serialise root spans to a JSON document (``{"spans": [...]}``)."""
+    return json.dumps(
+        {"spans": [span_to_dict(root) for root in roots]}, indent=indent
+    )
+
+
+def trace_to_chrome_events(
+    roots: Iterable[Span], pid: int = 1
+) -> List[Dict[str, object]]:
+    """Flatten span trees into Chrome trace-event ``ph="X"`` records.
+
+    Each root span gets its own ``tid`` so concurrent interactions render
+    as separate rows in the viewer; nesting within a row comes from the
+    events' time containment, which the viewer reconstructs.
+    """
+    events: List[Dict[str, object]] = []
+    for tid, root in enumerate(roots):
+        for span in root.walk():
+            if span.end is None:
+                continue
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    key: _json_safe(value)
+                    for key, value in span.attributes.items()
+                },
+            })
+    return events
+
+
+def write_chrome_trace(path: str, roots: Iterable[Span]) -> None:
+    """Write root spans to ``path`` as a Chrome trace-viewer JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": trace_to_chrome_events(roots)}, handle)

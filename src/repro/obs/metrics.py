@@ -1,0 +1,191 @@
+"""A named-metric registry: counters, gauges, and bounded histograms.
+
+Before this module, the simulator's measurement state was scattered across
+ad-hoc dataclass fields (``ClientStats``, ``NodeStats``, ``TrafficLog``),
+each with hand-written snapshot/delta/reset code that had to be kept in
+sync with the field list.  The registry replaces that with one generic
+mechanism: a metric is a *name*, snapshots copy every name, and deltas
+difference the union of names — adding a counter somewhere never requires
+touching accounting code anywhere else.
+
+Conventions
+-----------
+Metric names are dotted paths grouped by owner: ``client.operations``,
+``node.keys_filtered``, ``serving.shed``, ``replication.hints_replayed``.
+Counters are monotonic within a measurement window (snapshot/delta make
+windows); gauges are last-write-wins; histograms are bounded reservoirs of
+observations intended for percentile reporting.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..stats import nearest_rank_percentile
+
+#: Default size of a histogram's reservoir — matches the per-client latency
+#: reservoir so long simulations stay O(1) in memory.
+DEFAULT_HISTOGRAM_CAPACITY = 512
+
+
+class BoundedHistogram:
+    """A bounded reservoir of observations (Vitter's algorithm R).
+
+    Keeps at most ``capacity`` samples with each of the ``count`` observed
+    values equally likely to be retained, so percentiles stay representative
+    no matter how long the run.  The random stream is deterministic, keeping
+    simulations reproducible.
+    """
+
+    __slots__ = ("capacity", "samples", "count", "total", "_rng")
+
+    def __init__(self, capacity: int = DEFAULT_HISTOGRAM_CAPACITY, seed: int = 0x5EED):
+        if capacity < 1:
+            raise ValueError("histogram capacity must be positive")
+        self.capacity = capacity
+        self.samples: List[float] = []
+        self.count = 0
+        self.total = 0.0
+        self._rng = random.Random(seed)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile (e.g. ``0.99``) of the retained samples."""
+        return nearest_rank_percentile(self.samples, fraction)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def copy(self) -> "BoundedHistogram":
+        clone = BoundedHistogram.__new__(BoundedHistogram)
+        clone.capacity = self.capacity
+        clone.samples = list(self.samples)
+        clone.count = self.count
+        clone.total = self.total
+        clone._rng = random.Random()
+        clone._rng.setstate(self._rng.getstate())
+        return clone
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with snapshot/delta semantics."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, BoundedHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def add(self, name: str, amount: float = 1) -> None:
+        """Increment a counter (created at zero on first touch)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_counter(self, name: str, value: float) -> None:
+        """Set a counter outright (used by backward-compatible setters)."""
+        self._counters[name] = value
+
+    def value(self, name: str) -> float:
+        """Current value of a counter (zero if never touched)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, float]:
+        """A copy of every counter, for reports and assertions."""
+        return dict(self._counters)
+
+    @property
+    def live_counters(self) -> Dict[str, float]:
+        """The live counter mapping itself — hot-path reads; do not mutate."""
+        return self._counters
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+    def set_gauge(self, name: str, value: float) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    # ------------------------------------------------------------------
+    # Histograms
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        name: str,
+        value: float,
+        capacity: int = DEFAULT_HISTOGRAM_CAPACITY,
+    ) -> None:
+        """Offer one observation to a named bounded histogram."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = BoundedHistogram(capacity)
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> Optional[BoundedHistogram]:
+        return self._histograms.get(name)
+
+    # ------------------------------------------------------------------
+    # Windows
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "MetricsRegistry":
+        """An independent copy of every metric (one end of a window)."""
+        copy = MetricsRegistry()
+        copy._counters = dict(self._counters)
+        copy._gauges = dict(self._gauges)
+        copy._histograms = {
+            name: histogram.copy() for name, histogram in self._histograms.items()
+        }
+        return copy
+
+    def delta(self, earlier: "MetricsRegistry") -> "MetricsRegistry":
+        """Counter differences over the union of names.
+
+        Gauges carry the later value (they are not additive); histograms are
+        samples, not sums, so the delta starts with none.
+        """
+        diff = MetricsRegistry()
+        names = set(self._counters) | set(earlier._counters)
+        diff._counters = {
+            name: self._counters.get(name, 0) - earlier._counters.get(name, 0)
+            for name in names
+        }
+        diff._gauges = dict(self._gauges)
+        return diff
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Add another registry's counters into this one (fleet roll-ups)."""
+        for name, value in other._counters.items():
+            self.add(name, value)
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Tuple[str, float]]:
+        return iter(sorted(self._counters.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({dict(sorted(self._counters.items()))!r})"

@@ -158,7 +158,19 @@ class QueryLatencyModel:
         self, plan: P.PhysicalOperator
     ) -> List[OperatorRequirement]:
         """The Θ settings a plan needs, from its annotations and the schema."""
-        requirements: List[OperatorRequirement] = []
+        return [req for _, req in self.requirements_with_operators(plan)]
+
+    def requirements_with_operators(
+        self, plan: P.PhysicalOperator
+    ) -> List[Tuple[P.PhysicalOperator, OperatorRequirement]]:
+        """Like :meth:`operator_requirements`, keyed by the plan node charged.
+
+        A node may carry several requirements (a secondary-index scan is an
+        ``index_scan`` plus its dereference ``lookup``); the runtime bound
+        auditor sums their predicted latencies per node to compute
+        predicted-vs-observed residuals span by span.
+        """
+        pairs: List[Tuple[P.PhysicalOperator, OperatorRequirement]] = []
         for operator in P.walk(plan):
             if isinstance(operator, P.PhysicalIndexScan):
                 alpha = operator.static_limit_hint()
@@ -167,50 +179,55 @@ class QueryLatencyModel:
                         f"index scan over {operator.table} has no static bound"
                     )
                 beta = self._row_bytes(operator.table)
-                requirements.append(
+                pairs.append((
+                    operator,
                     OperatorRequirement(
                         OperatorModelKey("index_scan", alpha, 0, beta),
                         f"IndexScan({operator.table}, {alpha}x{beta}B)",
-                    )
-                )
+                    ),
+                ))
                 if operator.needs_dereference:
-                    requirements.append(
+                    pairs.append((
+                        operator,
                         OperatorRequirement(
                             OperatorModelKey("lookup", alpha, 0, beta),
                             f"Dereference({operator.table}, {alpha}x{beta}B)",
-                        )
-                    )
+                        ),
+                    ))
             elif isinstance(operator, P.PhysicalIndexLookup):
                 alpha = operator.bound or 1
                 beta = self._row_bytes(operator.table)
-                requirements.append(
+                pairs.append((
+                    operator,
                     OperatorRequirement(
                         OperatorModelKey("lookup", alpha, 0, beta),
                         f"IndexLookup({operator.table}, {alpha}x{beta}B)",
-                    )
-                )
+                    ),
+                ))
             elif isinstance(operator, P.PhysicalIndexFKJoin):
                 alpha = compute_bound(operator.child).max_tuples
                 beta = self._row_bytes(operator.table)
-                requirements.append(
+                pairs.append((
+                    operator,
                     OperatorRequirement(
                         OperatorModelKey("lookup", alpha, 0, beta),
                         f"IndexFKJoin({operator.table}, {alpha}x{beta}B)",
-                    )
-                )
+                    ),
+                ))
             elif isinstance(operator, P.PhysicalSortedIndexJoin):
                 alpha_child = compute_bound(operator.child).max_tuples
                 alpha_join = operator.limit_hint or 1
                 beta = self._row_bytes(operator.table)
-                requirements.append(
+                pairs.append((
+                    operator,
                     OperatorRequirement(
                         OperatorModelKey(
                             "sorted_index_join", alpha_child, alpha_join, beta
                         ),
                         f"SortedIndexJoin({operator.table}, "
                         f"{alpha_child}x{alpha_join}x{beta}B)",
-                    )
-                )
+                    ),
+                ))
                 if operator.needs_dereference:
                     # The executor fuses the dereference of all children
                     # into one bulk lookup round, and when the join carries
@@ -222,15 +239,16 @@ class QueryLatencyModel:
                     stop = operator.static_stop_count()
                     if stop is not None:
                         deref_alpha = min(deref_alpha, stop)
-                    requirements.append(
+                    pairs.append((
+                        operator,
                         OperatorRequirement(
                             OperatorModelKey("lookup", deref_alpha, 0, beta),
                             f"Dereference({operator.table}, {deref_alpha}x{beta}B)",
-                        )
-                    )
-        if not requirements:
+                        ),
+                    ))
+        if not pairs:
             raise PredictionError("plan contains no remote operators to model")
-        return requirements
+        return pairs
 
     def _row_bytes(self, table_name: str) -> int:
         return self.catalog.table(table_name).estimated_row_bytes()

@@ -24,12 +24,13 @@ clock reached, so all servers' requests interleave in global time order.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..engine.database import PiqlDatabase
 from ..errors import UnavailableError
 from ..kvstore.simtime import SimClock
+from ..obs.metrics import MetricsRegistry
 from ..stats import nearest_rank_percentile
 from ..workloads.base import Workload
 from .admission import AdmissionController, AdmissionDecision
@@ -65,17 +66,40 @@ class RequestRecord:
         return self.completion_seconds - self.arrival_seconds
 
 
-@dataclass
 class TrafficLog:
-    """Everything that happened during one serving run."""
+    """Everything that happened during one serving run.
 
-    records: List[RequestRecord] = field(default_factory=list)
-    shed: int = 0
-    #: Interactions that errored because a replica quorum could not be met
-    #: (a crashed node took the cluster below the consistency level).
-    failed: int = 0
-    #: ``(time, interaction)`` of each failure, for timeline reports.
-    failures: List[Tuple[float, str]] = field(default_factory=list)
+    The scalar counters live on a :class:`~repro.obs.metrics.MetricsRegistry`
+    under ``serving.*`` names; ``shed`` / ``failed`` remain available as
+    attributes for existing callers.
+    """
+
+    __slots__ = ("records", "failures", "metrics")
+
+    def __init__(self):
+        self.records: List[RequestRecord] = []
+        #: ``(time, interaction)`` of each failure, for timeline reports.
+        self.failures: List[Tuple[float, str]] = []
+        self.metrics = MetricsRegistry()
+
+    @property
+    def shed(self) -> int:
+        """Requests turned away by admission control."""
+        return int(self.metrics.value("serving.shed"))
+
+    @shed.setter
+    def shed(self, value: int) -> None:
+        self.metrics.set_counter("serving.shed", value)
+
+    @property
+    def failed(self) -> int:
+        """Interactions that errored because a replica quorum could not be
+        met (a crashed node took the cluster below the consistency level)."""
+        return int(self.metrics.value("serving.failed"))
+
+    @failed.setter
+    def failed(self, value: int) -> None:
+        self.metrics.set_counter("serving.failed", value)
 
     @property
     def completed(self) -> int:

@@ -81,6 +81,9 @@ class SLOMonitor:
         self._samples_by_interval: Dict[int, List[float]] = {}
         self._recent: Deque[Tuple[float, float]] = deque()
         self._latest = 0.0
+        #: Bound-violation events delivered by a serving-mode
+        #: :class:`~repro.obs.audit.BoundAuditor` (oldest first, bounded).
+        self.bound_violations: List[object] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -100,6 +103,17 @@ class SLOMonitor:
             self.total_compliant += 1
         self._recent.append((now, latency_seconds))
         self._trim_recent(now)
+
+    def record_bound_violation(self, event: object) -> None:
+        """Sink for the runtime bound auditor in serving mode.
+
+        A query that exceeded its static bound is a correctness regression
+        of the scale-independence story, not just a latency blip — the
+        monitor keeps the structured events so serving reports can surface
+        them even though the requests themselves completed.
+        """
+        if len(self.bound_violations) < 256:
+            self.bound_violations.append(event)
 
     def _summarise(self, index: int, samples: List[float]) -> WindowReport:
         quantile = nearest_rank_percentile(samples, self.slo.quantile)

@@ -66,6 +66,13 @@ class ServingConfig:
     #: queries of each interaction-plan stage overlap in simulated time
     #: (requires the workload to implement ``interaction_plan``).
     pipelined: bool = False
+    #: Bound-auditor policy for the run.  By default the shared auditor is
+    #: flipped to ``serving`` mode — a query exceeding its static bound is
+    #: recorded and fed to the SLO monitor, but the request completes (a
+    #: live service degrades observably rather than crashing).  With
+    #: ``strict_audit=True`` the auditor keeps strict mode and violations
+    #: raise mid-run (CI smoke jobs use this).
+    strict_audit: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -93,6 +100,10 @@ class ServingReport:
     fault_events: List[FaultEvent] = field(default_factory=list)
     #: Aggregate anti-entropy work done by recoveries during the run.
     repair: Optional[RepairReport] = None
+    #: Queries the runtime bound auditor checked during the run.
+    audited: int = 0
+    #: Static-bound violations the auditor observed (should be zero).
+    bound_violations: int = 0
 
     @property
     def completed(self) -> int:
@@ -189,14 +200,28 @@ class ServingSimulation:
     # ------------------------------------------------------------------
     def run(self) -> ServingReport:
         """Run the scenario for ``duration_seconds`` of simulated time."""
-        self.driver.start()
-        if self.fault_injector is not None:
-            self.fault_injector.schedule(self.sim, self.config.faults)
-        self.sim.schedule_at(
-            self.config.control_interval_seconds, self._control_tick,
-            name="control-tick",
-        )
-        self.sim.run(until=self.config.duration_seconds)
+        # The auditor is shared by every app-server view (`new_client`), so
+        # flipping its policy here covers the whole fleet.  Mode and sink
+        # are restored afterwards: the database may host tests or further
+        # scenarios with different policies.
+        auditor = self.db.auditor
+        audited_before = auditor.audited
+        violations_before = auditor.violations
+        saved_mode, saved_sink = auditor.mode, auditor.sink
+        if not self.config.strict_audit:
+            auditor.mode = "serving"
+        auditor.sink = self.monitor.record_bound_violation
+        try:
+            self.driver.start()
+            if self.fault_injector is not None:
+                self.fault_injector.schedule(self.sim, self.config.faults)
+            self.sim.schedule_at(
+                self.config.control_interval_seconds, self._control_tick,
+                name="control-tick",
+            )
+            self.sim.run(until=self.config.duration_seconds)
+        finally:
+            auditor.mode, auditor.sink = saved_mode, saved_sink
         mean_utilization = refresh_utilization(self.db.cluster, self.sim.now)
         windows = list(self.monitor.finalize())
         report = ServingReport(
@@ -214,6 +239,8 @@ class ServingSimulation:
             repair=(
                 self.fault_injector.total_repair() if self.fault_injector else None
             ),
+            audited=auditor.audited - audited_before,
+            bound_violations=auditor.violations - violations_before,
         )
         # Detach the run's measurement state (queues, offered load) so the
         # same database can host several scenarios back to back.  Autoscaler

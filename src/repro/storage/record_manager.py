@@ -18,7 +18,8 @@ protocols follow Section 7.2:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from ..errors import (
     CardinalityViolationError,
@@ -126,6 +127,28 @@ class RecordManager:
     # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
+    @contextmanager
+    def _write_span(self, operation: str, table_name: str) -> Iterator[None]:
+        """One ``write`` span around a DML call, when tracing is enabled.
+
+        Everything the write triggers — index maintenance puts, hinted
+        handoffs, read repairs, materialized-view deltas — nests under this
+        span, so collateral traffic is attributed to the write that caused
+        it.
+        """
+        tracer = self.client.tracer
+        if tracer is None:
+            yield None
+            return
+        span = tracer.start_span(
+            f"{operation} {table_name}", "write",
+            operation=operation, table=table_name,
+        )
+        try:
+            yield None
+        finally:
+            tracer.end_span(span)
+
     def insert(
         self,
         table_name: str,
@@ -134,6 +157,16 @@ class RecordManager:
         upsert: bool = False,
     ) -> Dict[str, Any]:
         """Insert one row, maintaining indexes, views, and constraints."""
+        with self._write_span("insert", table_name):
+            return self._insert(table_name, row, enforce_constraints, upsert)
+
+    def _insert(
+        self,
+        table_name: str,
+        row: Dict[str, Any],
+        enforce_constraints: bool = True,
+        upsert: bool = False,
+    ) -> Dict[str, Any]:
         table = self.catalog.table(table_name)
         self._reject_view_backing_writes(table)
         validated = table.validate_row(row)
@@ -219,6 +252,10 @@ class RecordManager:
         order for genuinely changed entries stays crash-safe: new entries
         before the base record, stale entries deleted after it.
         """
+        with self._write_span("update", table_name):
+            return self._update(table_name, row)
+
+    def _update(self, table_name: str, row: Dict[str, Any]) -> Dict[str, Any]:
         table = self.catalog.table(table_name)
         self._reject_view_backing_writes(table)
         validated = table.validate_row(row)
@@ -258,6 +295,10 @@ class RecordManager:
 
     def delete(self, table_name: str, pk_values: Sequence[Any]) -> bool:
         """Delete one record by primary key; returns whether it existed."""
+        with self._write_span("delete", table_name):
+            return self._delete(table_name, pk_values)
+
+    def _delete(self, table_name: str, pk_values: Sequence[Any]) -> bool:
         table = self.catalog.table(table_name)
         self._reject_view_backing_writes(table)
         key = pk_key(list(pk_values))

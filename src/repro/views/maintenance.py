@@ -32,7 +32,8 @@ Known (documented) approximations, both inherent to bounded state:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..kvstore.client import StorageClient
 from ..kvstore.cluster import KeyValueCluster
@@ -238,14 +239,16 @@ class ViewMaintenanceEngine:
     ) -> None:
         for view in self.relevant_views(table_name):
             io = self._io(billed)
-            self._apply(view, io, old=None, new=row)
+            with self._maintenance_span(view, billed):
+                self._apply(view, io, old=None, new=row)
 
     def on_delete(
         self, table_name: str, row: Dict[str, Any], billed: bool = True
     ) -> None:
         for view in self.relevant_views(table_name):
             io = self._io(billed)
-            self._apply(view, io, old=row, new=None)
+            with self._maintenance_span(view, billed):
+                self._apply(view, io, old=row, new=None)
 
     def on_update(
         self,
@@ -256,10 +259,34 @@ class ViewMaintenanceEngine:
     ) -> None:
         for view in self.relevant_views(table_name):
             io = self._io(billed)
-            self._apply(view, io, old=old_row, new=new_row)
+            with self._maintenance_span(view, billed):
+                self._apply(view, io, old=old_row, new=new_row)
 
     def _io(self, billed: bool):
         return _BilledIO(self.client) if billed else _LoadIO(self.client.cluster)
+
+    @contextmanager
+    def _maintenance_span(
+        self, view: MaterializedView, billed: bool
+    ) -> Iterator[None]:
+        """A ``view-maintenance`` span nesting a delta under its write.
+
+        Billed maintenance runs inside the triggering write's ``write`` span
+        (same client, same tracer stack), so the extra RPCs are attributed
+        to the write that caused them.  Load-path maintenance is free and
+        untraced.
+        """
+        tracer = self.client.tracer if billed else None
+        if tracer is None:
+            yield
+            return
+        span = tracer.start_span(
+            f"maintain {view.name}", "view-maintenance", view=view.name
+        )
+        try:
+            yield
+        finally:
+            tracer.end_span(span)
 
     # ------------------------------------------------------------------
     # Delta application

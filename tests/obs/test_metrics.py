@@ -1,0 +1,139 @@
+"""Unit tests for the metrics registry and bounded histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import BoundedHistogram, MetricsRegistry
+
+
+class TestCounters:
+    def test_add_and_value(self):
+        registry = MetricsRegistry()
+        assert registry.value("client.operations") == 0
+        registry.add("client.operations")
+        registry.add("client.operations", 4)
+        assert registry.value("client.operations") == 5
+
+    def test_set_counter(self):
+        registry = MetricsRegistry()
+        registry.set_counter("client.rpcs", 7)
+        assert registry.value("client.rpcs") == 7
+
+    def test_counters_returns_copy(self):
+        registry = MetricsRegistry()
+        registry.add("a", 1)
+        counters = registry.counters()
+        counters["a"] = 99
+        assert registry.value("a") == 1
+
+    def test_iter_sorted(self):
+        registry = MetricsRegistry()
+        registry.add("b", 2)
+        registry.add("a", 1)
+        assert list(registry) == [("a", 1), ("b", 2)]
+
+
+class TestWindows:
+    def test_snapshot_is_independent(self):
+        registry = MetricsRegistry()
+        registry.add("x", 3)
+        snap = registry.snapshot()
+        registry.add("x", 2)
+        assert snap.value("x") == 3
+        assert registry.value("x") == 5
+
+    def test_delta_over_union_of_names(self):
+        registry = MetricsRegistry()
+        registry.add("old", 1)
+        earlier = registry.snapshot()
+        registry.add("old", 2)
+        registry.add("new", 5)
+        delta = registry.delta(earlier)
+        # Names that appeared after the snapshot still difference correctly.
+        assert delta.value("old") == 2
+        assert delta.value("new") == 5
+
+    def test_merge_adds_counters(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.add("shared", 1)
+        b.add("shared", 2)
+        b.add("only_b", 3)
+        a.merge(b)
+        assert a.value("shared") == 3
+        assert a.value("only_b") == 3
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.add("x", 1)
+        registry.set_gauge("g", 2.0)
+        registry.observe("h", 0.5)
+        registry.reset()
+        assert registry.value("x") == 0
+        assert registry.gauge("g") == 0.0
+        assert registry.histogram("h") is None
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("utilization", 0.2)
+        registry.set_gauge("utilization", 0.8)
+        assert registry.gauge("utilization") == 0.8
+        assert registry.gauge("missing", default=-1.0) == -1.0
+
+    def test_delta_carries_later_gauge(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 1.0)
+        earlier = registry.snapshot()
+        registry.set_gauge("g", 4.0)
+        assert registry.delta(earlier).gauge("g") == 4.0
+
+
+class TestBoundedHistogram:
+    def test_small_streams_keep_everything(self):
+        histogram = BoundedHistogram(capacity=8)
+        for value in [3.0, 1.0, 2.0]:
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.percentile(1.0) == 3.0
+
+    def test_capacity_bounds_memory(self):
+        histogram = BoundedHistogram(capacity=16)
+        for i in range(10_000):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 16
+        assert histogram.count == 10_000
+
+    def test_reservoir_stays_representative(self):
+        histogram = BoundedHistogram(capacity=128)
+        for i in range(20_000):
+            histogram.observe(float(i))
+        # The retained median of a uniform ramp should land near the middle.
+        assert 4_000 < histogram.percentile(0.5) < 16_000
+
+    def test_copy_preserves_rng_state(self):
+        histogram = BoundedHistogram(capacity=4)
+        for i in range(100):
+            histogram.observe(float(i))
+        clone = histogram.copy()
+        histogram.observe(123.0)
+        clone.observe(123.0)
+        assert histogram.samples == clone.samples
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram(capacity=0)
+
+    def test_registry_observe(self):
+        registry = MetricsRegistry()
+        registry.observe("lat", 0.25, capacity=4)
+        registry.observe("lat", 0.75)
+        histogram = registry.histogram("lat")
+        assert histogram is not None
+        assert histogram.count == 2
+        snap = registry.snapshot()
+        registry.observe("lat", 0.5)
+        assert snap.histogram("lat").count == 2

@@ -1,0 +1,292 @@
+"""End-to-end trace propagation: sessions, coalescing, failure attribution.
+
+These tests pin the structural guarantees of the query-trace subsystem:
+
+* gather branches become sibling ``branch`` spans under one ``gather`` root,
+* duplicate point reads coalesced inside a gather window show up as a
+  *single* RPC span with one logical-op child per requesting branch,
+* LAZY and PARALLEL execution of the same query differ visibly in the
+  trace (round structure and simulated latency),
+* work a write *triggers* — hinted handoff, read repair, view-maintenance
+  deltas — is attributed to the triggering operation's span tree,
+* ``EXPLAIN ANALYZE`` renders per-operator observed operations, the static
+  bound slice, and (with a trained model) predicted-vs-observed latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ClusterConfig, PiqlDatabase
+from repro.execution.context import ExecutionStrategy
+from repro.kvstore.cluster import KeyValueCluster
+from repro.obs.explain import render_span_tree
+from repro.prediction import (
+    OperatorModelTrainer,
+    QueryLatencyModel,
+    TrainingConfig,
+)
+from repro.workloads.tpcw.queries import NEW_PRODUCTS_WI
+
+USERS_BY_NAME = "SELECT * FROM users WHERE username = <u>"
+RECENT_THOUGHTS = (
+    "SELECT * FROM thoughts WHERE owner = <u> ORDER BY timestamp DESC LIMIT 10"
+)
+
+TINY_TRAINING = TrainingConfig(
+    alphas=(1, 10, 100),
+    join_cardinalities=(1, 10),
+    tuple_sizes=(40,),
+    intervals=1,
+    samples_per_interval=3,
+    oversample_factor=10,
+    max_samples_per_interval=30,
+)
+
+SALES_DDL = """
+CREATE TABLE sales (
+    sale_id INT, shop VARCHAR(16), product VARCHAR(16), amount INT,
+    PRIMARY KEY (sale_id)
+)
+"""
+
+SALES_VIEW = """
+CREATE MATERIALIZED VIEW product_totals AS
+SELECT shop, product, SUM(amount) AS total
+FROM sales
+GROUP BY shop, product
+ORDER BY total DESC LIMIT 3
+"""
+
+
+def quorum_db(seed: int = 31) -> PiqlDatabase:
+    """3 nodes, 3-fold replication, R=W=2: every node replicates every key."""
+    db = PiqlDatabase.simulated(
+        ClusterConfig(
+            storage_nodes=3,
+            replication=3,
+            read_quorum=2,
+            write_quorum=2,
+            seed=seed,
+        )
+    )
+    db.execute_ddl(SALES_DDL)
+    return db
+
+
+class TestGatherTracing:
+    def test_branches_are_sibling_spans_under_one_gather_root(self, scadr_db):
+        tracer = scadr_db.enable_tracing()
+        session = scadr_db.session()
+        f1 = session.submit(USERS_BY_NAME, u="alice")
+        f2 = session.submit(RECENT_THOUGHTS, u="bob")
+        session.gather(f1, f2)
+
+        root = tracer.last_root()
+        assert root is not None and root.kind == "gather"
+        assert root.attributes["branches"] == 2
+        branches = [child for child in root.children if child.kind == "branch"]
+        assert len(branches) == 2
+        assert {branch.attributes["label"] for branch in branches} == {
+            f1.label, f2.label
+        }
+        # Every branch starts at the same simulated instant...
+        assert all(branch.start == root.start for branch in branches)
+        # ...and contains the nested query span it executed.
+        for branch in branches:
+            queries = branch.find("query")
+            assert len(queries) == 1
+            assert queries[0].attributes["rows"] >= 1
+        # The gather charges the max of the branches, and the span shows it.
+        assert root.duration == pytest.approx(
+            max(branch.duration for branch in branches)
+        )
+
+    def test_coalesced_read_is_one_rpc_with_logical_children(self, scadr_db):
+        tracer = scadr_db.enable_tracing()
+        session = scadr_db.session()
+        f1 = session.submit(USERS_BY_NAME, u="alice")
+        f2 = session.submit(USERS_BY_NAME, u="alice")
+        c1, c2 = session.gather(f1, f2)
+        assert c1.rows == c2.rows
+
+        root = tracer.last_root()
+        shared = [
+            span
+            for span in root.walk()
+            if span.kind == "rpc"
+            and len([c for c in span.children if c.kind == "logical-op"]) >= 2
+        ]
+        # Exactly one physical fetch served both branches.
+        assert len(shared) == 1
+        flags = [
+            child.attributes["coalesced"]
+            for child in shared[0].children
+            if child.kind == "logical-op"
+        ]
+        assert sorted(flags) == [False, True]
+        # The client counted the saved read too.
+        assert scadr_db.client.stats.coalesced_reads >= 1
+
+    def test_coalesced_reads_reported_on_client_stats(self, scadr_db):
+        scadr_db.enable_tracing()
+        session = scadr_db.session()
+        futures = [
+            session.submit(USERS_BY_NAME, u="alice") for _ in range(3)
+        ]
+        session.gather(*futures)
+        assert scadr_db.client.stats.coalesced_reads >= 2
+
+
+class TestStrategyTracing:
+    def test_lazy_vs_parallel_round_structure(self, scadr_db, thoughtstream_sql):
+        tracer = scadr_db.enable_tracing()
+        prepared = scadr_db.prepare(thoughtstream_sql)
+
+        prepared.execute({"uname": "alice"}, strategy=ExecutionStrategy.PARALLEL)
+        parallel_root = tracer.last_root()
+        prepared.execute({"uname": "alice"}, strategy=ExecutionStrategy.LAZY)
+        lazy_root = tracer.last_root()
+
+        assert parallel_root.attributes["strategy"] == "parallel"
+        assert lazy_root.attributes["strategy"] == "lazy"
+        # Same logical work...
+        assert lazy_root.attributes["rows"] == parallel_root.attributes["rows"]
+        # ...but LAZY dereferences one row at a time: more physical round
+        # trips, and the serial rounds are visible as a longer root span.
+        assert len(lazy_root.find("rpc")) > len(parallel_root.find("rpc"))
+        assert lazy_root.duration > parallel_root.duration
+
+    def test_operator_spans_map_back_to_plan_nodes(self, scadr_db, thoughtstream_sql):
+        tracer = scadr_db.enable_tracing()
+        prepared = scadr_db.prepare(thoughtstream_sql)
+        prepared.execute({"uname": "alice"})
+        root = tracer.last_root()
+
+        from repro.plans import physical as P
+
+        plan_ids = {id(node) for node in P.walk(prepared.optimized.physical_plan)}
+        operator_spans = root.find("operator")
+        assert operator_spans
+        for span in operator_spans:
+            assert span.attributes["node_id"] in plan_ids
+
+
+class TestWriteAttribution:
+    def test_hinted_handoff_attributed_to_triggering_write(self):
+        db = quorum_db()
+        db.cluster.crash_node(0)
+        tracer = db.enable_tracing()
+        db.insert(
+            "sales",
+            {"sale_id": 1, "shop": "sf", "product": "apple", "amount": 5},
+        )
+
+        root = tracer.last_root()
+        assert root is not None and root.kind == "write"
+        assert root.attributes["operation"] == "insert"
+        assert root.attributes["table"] == "sales"
+        hinted = [
+            span for span in root.find("rpc")
+            if span.attributes.get("hinted", 0) > 0
+        ]
+        assert hinted, "the crashed replica's hints must appear in the trace"
+        assert db.cluster.replication.hint_count(0) > 0
+
+    def test_read_repair_attributed_to_triggering_read(self):
+        db = quorum_db(seed=32)
+        db.insert(
+            "sales",
+            {"sale_id": 1, "shop": "sf", "product": "apple", "amount": 5},
+        )
+        # Write while one replica is down, then bring it back WITHOUT the
+        # recovery sync: it now holds a stale copy.
+        db.cluster.crash_node(0)
+        db.update(
+            "sales",
+            {"sale_id": 1, "shop": "sf", "product": "apple", "amount": 9},
+        )
+        db.cluster.node(0).mark_up()
+
+        tracer = db.enable_tracing()
+        repaired_spans = []
+        for _ in range(12):
+            result = db.execute("SELECT * FROM sales WHERE sale_id = <sid>", sid=1)
+            assert result.rows[0]["amount"] == 9
+            root = tracer.last_root()
+            repaired_spans = [
+                span for span in root.find("rpc")
+                if span.attributes.get("repaired", 0) > 0
+            ]
+            if repaired_spans:
+                break
+        assert repaired_spans, "an R=2 read must eventually repair the stale copy"
+        assert db.client.stats.metrics.value("client.read_repairs") > 0
+
+    def test_view_maintenance_attributed_to_triggering_write(self):
+        db = PiqlDatabase.simulated(ClusterConfig(storage_nodes=4, seed=5))
+        db.execute_ddl(SALES_DDL)
+        db.create_materialized_view(SALES_VIEW)
+
+        tracer = db.enable_tracing()
+        db.insert(
+            "sales",
+            {"sale_id": 1, "shop": "sf", "product": "apple", "amount": 5},
+        )
+        root = tracer.last_root()
+        assert root.kind == "write" and root.attributes["operation"] == "insert"
+        maintenance = root.first("view-maintenance")
+        assert maintenance is not None
+        assert maintenance.attributes["view"] == "product_totals"
+        # The delta's physical writes nest under the maintenance span.
+        assert maintenance.find("rpc")
+
+        db.delete("sales", [1])
+        root = tracer.last_root()
+        assert root.attributes["operation"] == "delete"
+        retraction = root.first("view-maintenance")
+        assert retraction is not None and retraction.find("rpc")
+
+
+class TestExplainAnalyze:
+    def test_multi_join_tpcw_query(self, loaded_tpcw):
+        db, _ = loaded_tpcw
+        text = db.explain_analyze(NEW_PRODUCTS_WI, {"subject": "COMPUTERS"})
+        assert text.startswith("EXPLAIN ANALYZE")
+        assert "(bound" in text, "a bounded query reports its static bound"
+        annotated = [line for line in text.splitlines() if "ops=" in line]
+        assert len(annotated) >= 2, "a join plan annotates several operators"
+        assert any("bound<=" in line for line in annotated)
+        assert all(" ms" in line for line in annotated)
+
+    def test_latency_model_adds_predictions(self, loaded_tpcw):
+        db, _ = loaded_tpcw
+        cluster = KeyValueCluster(ClusterConfig(storage_nodes=4, seed=3))
+        store = OperatorModelTrainer(cluster, TINY_TRAINING).train()
+        model = QueryLatencyModel(store, db.catalog)
+        text = db.explain_analyze(
+            NEW_PRODUCTS_WI, {"subject": "COMPUTERS"}, latency_model=model
+        )
+        assert any("pred " in line for line in text.splitlines() if "ops=" in line)
+
+    def test_tracer_state_is_restored(self, loaded_tpcw):
+        db, _ = loaded_tpcw
+        assert db.tracer is None
+        db.explain_analyze(NEW_PRODUCTS_WI, {"subject": "COMPUTERS"})
+        assert db.tracer is None, "explain must not leave tracing enabled"
+        db.enable_tracing()
+        try:
+            db.explain_analyze(NEW_PRODUCTS_WI, {"subject": "COMPUTERS"})
+            assert db.tracer is not None
+        finally:
+            db.disable_tracing()
+
+    def test_render_span_tree(self, scadr_db, thoughtstream_sql):
+        tracer = scadr_db.enable_tracing()
+        scadr_db.execute(thoughtstream_sql, uname="alice")
+        text = render_span_tree(tracer.last_root())
+        lines = text.splitlines()
+        assert lines[0].startswith("query [query]")
+        assert any(line.lstrip() != line for line in lines), "children indent"
+        assert any("[rpc]" in line for line in lines)
+        assert any("[operator]" in line for line in lines)
