@@ -39,6 +39,16 @@ from .prediction_experiment import (
     PredictionExperimentConfig,
     PredictionRow,
 )
+from .regression import (
+    Regression,
+    classify_metric,
+    compare_summaries,
+    flatten_numeric,
+    make_summary,
+    run_quick_suite,
+    summary_from_results_dir,
+    write_summary,
+)
 from .reporting import format_table, linear_fit_r_squared, percentile, save_results
 from .scaling import (
     ScalePoint,
@@ -73,6 +83,7 @@ __all__ = [
     "PredictionAccuracyExperiment",
     "PredictionExperimentConfig",
     "PredictionRow",
+    "Regression",
     "RunMeasurement",
     "ServingSloConfig",
     "ServingSloExperiment",
@@ -86,9 +97,16 @@ __all__ = [
     "ViewMaintenanceConfig",
     "ViewMaintenanceExperiment",
     "ViewMaintenanceResult",
+    "classify_metric",
+    "compare_summaries",
+    "flatten_numeric",
     "format_table",
     "linear_fit_r_squared",
+    "make_summary",
     "percentile",
+    "run_quick_suite",
     "run_workload",
     "save_results",
+    "summary_from_results_dir",
+    "write_summary",
 ]

@@ -80,6 +80,7 @@ class PiqlDatabase:
             auditor=self.auditor,
         )
         self.assistant = PerformanceInsightAssistant(self.catalog)
+        self.telemetry = None
         self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
         self._default_session: Optional[Session] = None
 
@@ -137,6 +138,9 @@ class PiqlDatabase:
             auditor=self.auditor,
         )
         clone.assistant = PerformanceInsightAssistant(self.catalog)
+        # Telemetry watches the shared cluster, so every view reports the
+        # same bundle (mirrors the shared auditor above).
+        clone.telemetry = self.telemetry
         if self.client.tracer is not None:
             clone.client.enable_tracing()
         clone._prepared_cache = {}
@@ -373,6 +377,45 @@ class PiqlDatabase:
     def disable_tracing(self) -> None:
         """Stop collecting spans and drop the tracer."""
         self.client.disable_tracing()
+
+    def enable_telemetry(
+        self,
+        interval_seconds: float = 0.5,
+        now_fn: Optional[Any] = None,
+    ) -> "Any":
+        """Attach a standalone fleet-telemetry bundle to this database.
+
+        Builds a :class:`~repro.obs.telemetry.FleetTelemetry` (time-series
+        store + collector over this view's cluster) that the caller scrapes
+        manually via ``db.telemetry.collector.scrape(now)`` — serving runs
+        instead use ``ServingConfig.telemetry_enabled``, which schedules the
+        scrape loop on the event kernel and adds burn-rate alerting.  The
+        bundle is shared by every ``new_client`` view (it watches the shared
+        cluster), and a drift detector is included when the auditor carries
+        a latency model.
+        """
+        from ..obs.drift import PredictionDriftDetector
+        from ..obs.telemetry import FleetTelemetry, TelemetryCollector
+        from ..obs.timeseries import TimeSeriesStore
+
+        if self.telemetry is not None:
+            return self.telemetry
+        store = TimeSeriesStore(resolution_seconds=interval_seconds)
+        collector = TelemetryCollector(store, cluster=self.cluster)
+        drift = None
+        if self.auditor.latency_model is not None:
+            drift = PredictionDriftDetector(self.auditor.latency_model)
+            self.auditor.drift = drift
+        self.telemetry = FleetTelemetry(store, collector, drift=drift)
+        return self.telemetry
+
+    def dashboard(self, width: int = 72) -> str:
+        """Render the fleet dashboard (requires :meth:`enable_telemetry`)."""
+        if self.telemetry is None:
+            raise PiqlError(
+                "telemetry is not enabled; call db.enable_telemetry() first"
+            )
+        return self.telemetry.dashboard(width=width)
 
     def explain_analyze(
         self,

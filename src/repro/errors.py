@@ -179,3 +179,20 @@ class QuorumNotMetError(UnavailableError):
 
 class PredictionError(PiqlError):
     """Raised by the SLO prediction framework (e.g. untrained models)."""
+
+
+class ObservabilityError(PiqlError):
+    """Raised by the observability layer (metrics, telemetry, exporters)."""
+
+
+class HistogramMergeError(ObservabilityError):
+    """Raised when two bounded histograms cannot be merged.
+
+    Merging reservoirs is only statistically sound when both operands are
+    genuine sample reservoirs; an operand with a non-positive capacity (or
+    an internally inconsistent one holding more samples than observations)
+    would poison the roll-up silently, so the merge refuses instead.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"cannot merge histograms: {reason}")

@@ -598,8 +598,6 @@ class KeyValueCluster:
                 self.replication.add_hint(node_id, namespace, key, record)
                 self.metrics.add("replication.hints_added", 1)
                 hints += 1
-        if hints:
-            self.metrics.add("replication.hints_added", hints)
         latencies.sort()
         return latencies[needed - 1], prefs[0], hints
 

@@ -1,4 +1,4 @@
-"""Observability: traces, metrics, and the runtime bound auditor.
+"""Observability: traces, metrics, telemetry, and the runtime bound auditor.
 
 PIQL's headline claim is that every admitted query carries a *provable*
 static operation bound and a predicted latency.  This package turns those
@@ -15,32 +15,65 @@ compile-time guarantees into runtime observations:
   (predicted vs observed) are attached to its spans.
 * :mod:`~repro.obs.explain` — ``EXPLAIN ANALYZE``: the annotated span tree
   rendered through the plan printer.
-* :mod:`~repro.obs.export` — JSON and Chrome-trace-format export.
+* :mod:`~repro.obs.timeseries` — a fixed-memory ring-buffer time-series
+  store with tumbling-window downsampling, keyed by metric name + labels.
+* :mod:`~repro.obs.telemetry` — the fleet scrape loop: cluster, node,
+  replication, view-maintenance, and admission signals into the store.
+* :mod:`~repro.obs.slo` — multi-window SLO burn-rate alerting over the
+  scraped error-budget counters.
+* :mod:`~repro.obs.drift` — prediction-drift detection: rolling per-class
+  latency residuals checked against the model's own stated envelope.
+* :mod:`~repro.obs.dashboard` — the rendered ASCII fleet dashboard.
+* :mod:`~repro.obs.export` — JSON, Chrome-trace, Prometheus-text, and
+  telemetry-artifact export.
 """
 
 from .audit import AuditEvent, BoundAuditor, LatencyResidual
 from .explain import explain_analyze, render_span_tree
 from .export import (
+    prometheus_text,
     span_to_dict,
+    telemetry_to_json,
     trace_to_chrome_events,
     trace_to_json,
     write_chrome_trace,
+    write_telemetry_json,
 )
-from .metrics import BoundedHistogram, MetricsRegistry
+from .metrics import BoundedHistogram, HistogramMergeError, MetricsRegistry
 from .trace import Span, Tracer
+from .timeseries import TimeSeriesPoint, TimeSeriesStore
+from .telemetry import FleetTelemetry, TelemetryCollector
+from .slo import BurnRateAlerter, BurnRateRule, SLOAlert
+from .drift import DriftReport, PredictionDriftDetector
+from .dashboard import render_dashboard, sparkline
 
 __all__ = [
     "AuditEvent",
     "BoundAuditor",
     "BoundedHistogram",
+    "BurnRateAlerter",
+    "BurnRateRule",
+    "DriftReport",
+    "FleetTelemetry",
+    "HistogramMergeError",
     "LatencyResidual",
     "MetricsRegistry",
+    "PredictionDriftDetector",
+    "SLOAlert",
     "Span",
+    "TelemetryCollector",
+    "TimeSeriesPoint",
+    "TimeSeriesStore",
     "Tracer",
     "explain_analyze",
+    "prometheus_text",
+    "render_dashboard",
     "render_span_tree",
     "span_to_dict",
+    "sparkline",
+    "telemetry_to_json",
     "trace_to_chrome_events",
     "trace_to_json",
     "write_chrome_trace",
+    "write_telemetry_json",
 ]

@@ -93,6 +93,11 @@ class BoundAuditor:
         self.latency_model = latency_model
         self.sink = sink
         self.max_events = max_events
+        #: Optional :class:`~repro.obs.drift.PredictionDriftDetector`;
+        #: when attached, every audited query feeds its rolling per-class
+        #: residual distribution (set by ``db.enable_telemetry()`` or the
+        #: serving simulator).
+        self.drift = None
         #: Queries checked since construction (or the last :meth:`reset`).
         self.audited = 0
         #: Violations observed, oldest first, capped at ``max_events``.
@@ -139,6 +144,8 @@ class BoundAuditor:
         self.audited += 1
         if span is not None and self.latency_model is not None:
             self.annotate_span(query, span)
+        if self.drift is not None:
+            self.drift.observe(query, latency_seconds)
         bound = query.bound
         if bound is None or observed_operations <= bound.max_operations:
             return None

@@ -1,4 +1,4 @@
-"""Trace export: plain JSON and the Chrome trace-event format.
+"""Observability export: traces, Prometheus text, telemetry artifacts.
 
 ``trace_to_json`` gives a faithful, nested dump of a span tree for
 programmatic consumption.  ``trace_to_chrome_events`` flattens the same
@@ -6,13 +6,23 @@ tree into Chrome's trace-event format (``ph="X"`` complete events with
 microsecond timestamps), so a serving run's traces can be dropped straight
 into ``chrome://tracing`` or Perfetto.  Simulated seconds are exported as
 microseconds, the convention those viewers expect.
+
+The telemetry exporters render a :class:`~repro.obs.telemetry.FleetTelemetry`
+bundle two ways: ``prometheus_text`` emits the latest value of every series
+in the Prometheus exposition format (dotted metric names become
+underscored, labels carry through), and ``telemetry_to_json`` /
+``write_telemetry_json`` produce the ``results/telemetry_*.json`` artifact
+— full downsampled history per series plus the alert timeline and drift
+report — that CI uploads and tests assert against.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Dict, Iterable, List, Optional
 
+from .timeseries import TimeSeriesStore
 from .trace import Span
 
 
@@ -86,3 +96,119 @@ def write_chrome_trace(path: str, roots: Iterable[Span]) -> None:
     """Write root spans to ``path`` as a Chrome trace-viewer JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"traceEvents": trace_to_chrome_events(roots)}, handle)
+
+
+# ----------------------------------------------------------------------
+# Telemetry export
+# ----------------------------------------------------------------------
+_PROM_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prometheus_name(name: str) -> str:
+    """Dotted metric path → Prometheus metric name (``node.up`` → ``node_up``)."""
+    cleaned = _PROM_NAME_BAD.sub("_", name.replace(".", "_"))
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prometheus_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def prometheus_text(store: TimeSeriesStore) -> str:
+    """The latest value of every series, in Prometheus exposition format.
+
+    Each line is ``metric_name{label="value",...} last_value timestamp_ms``
+    — the textual scrape a real Prometheus server would ingest.  Only the
+    freshest bucket of each series is exported (history lives in the JSON
+    artifact; Prometheus keeps its own).
+    """
+    lines: List[str] = []
+    for name, labels in store.series_keys():
+        point = store.latest(name, dict(labels))
+        if point is None:
+            continue
+        metric = _prometheus_name(name)
+        if labels:
+            rendered = ",".join(
+                f'{_prometheus_name(key)}="{_prometheus_label_value(value)}"'
+                for key, value in labels
+            )
+            metric = f"{metric}{{{rendered}}}"
+        timestamp_ms = int(point.end_seconds * 1000)
+        lines.append(f"{metric} {point.last:.10g} {timestamp_ms}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _series_to_dict(store: TimeSeriesStore, name: str, labels) -> Dict[str, object]:
+    return {
+        "name": name,
+        "labels": dict(labels),
+        "points": [
+            {
+                "start": point.start_seconds,
+                "width": point.width_seconds,
+                "count": point.count,
+                "sum": point.sum,
+                "min": point.min,
+                "max": point.max,
+                "last": point.last,
+            }
+            for point in store.points(name, dict(labels))
+        ],
+    }
+
+
+def telemetry_to_json(telemetry) -> Dict[str, object]:
+    """A :class:`~repro.obs.telemetry.FleetTelemetry` bundle as plain dicts."""
+    store = telemetry.store
+    payload: Dict[str, object] = {
+        "schema": "fleet-telemetry/v1",
+        "scrapes": telemetry.collector.scrapes,
+        "last_scrape_seconds": telemetry.collector.last_scrape_seconds,
+        "dropped_samples": store.dropped_samples,
+        "dropped_series": store.dropped_series,
+        "series": [
+            _series_to_dict(store, name, labels)
+            for name, labels in store.series_keys()
+        ],
+    }
+    alerter = telemetry.alerter
+    if alerter is not None:
+        payload["alerts"] = [
+            {
+                "rule": alert.rule.name,
+                "fast_window_seconds": alert.rule.fast_seconds,
+                "slow_window_seconds": alert.rule.slow_seconds,
+                "threshold": alert.rule.threshold,
+                "fired_at": alert.fired_at,
+                "cleared_at": alert.cleared_at,
+                "fast_burn": alert.fast_burn,
+                "slow_burn": alert.slow_burn,
+                "peak_fast_burn": alert.peak_fast_burn,
+            }
+            for alert in alerter.alerts
+        ]
+    drift = telemetry.drift
+    if drift is not None:
+        payload["drift"] = [
+            {
+                "query_class": report.query_class,
+                "observations": report.observations,
+                "median_residual_seconds": report.median_residual_seconds,
+                "p90_residual_seconds": report.p90_residual_seconds,
+                "envelope_low_seconds": report.envelope.low_residual,
+                "envelope_high_seconds": report.envelope.high_residual,
+                "drifting": report.drifting,
+            }
+            for report in drift.report()
+        ]
+    return payload
+
+
+def write_telemetry_json(telemetry, path: str) -> str:
+    """Write the telemetry artifact to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(telemetry_to_json(telemetry), handle, indent=2)
+    return path

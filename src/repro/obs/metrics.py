@@ -22,6 +22,7 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..errors import HistogramMergeError
 from ..stats import nearest_rank_percentile
 
 #: Default size of a histogram's reservoir — matches the per-client latency
@@ -76,6 +77,66 @@ class BoundedHistogram:
         clone._rng = random.Random()
         clone._rng.setstate(self._rng.getstate())
         return clone
+
+    def merge(self, other: "BoundedHistogram") -> None:
+        """Fold another reservoir into this one (fleet roll-ups).
+
+        The result is a representative sample of the *union* of both
+        observation streams at this histogram's capacity: each retained
+        slot is drawn from one operand with probability proportional to
+        how many observations that operand's reservoir stands for, sampled
+        without replacement within each side.  Differing capacities
+        therefore rebin naturally — the merged reservoir simply re-weights
+        — while an internally inconsistent operand (a reservoir claiming
+        more retained samples than observations, which would silently skew
+        every weight) raises :class:`~repro.errors.HistogramMergeError`.
+        Deterministic: draws come from this histogram's own seeded stream.
+        """
+        if not isinstance(other, BoundedHistogram):
+            raise HistogramMergeError(
+                f"operand is {type(other).__name__}, not BoundedHistogram"
+            )
+        for operand, side in ((self, "self"), (other, "other")):
+            if operand.capacity < 1:
+                raise HistogramMergeError(f"{side} has capacity {operand.capacity}")
+            if len(operand.samples) > operand.count:
+                raise HistogramMergeError(
+                    f"{side} retains {len(operand.samples)} samples but "
+                    f"claims only {operand.count} observations"
+                )
+        if other.count == 0:
+            return
+        if self.count == 0:
+            # Nothing to weight against: adopt a (sub)sample of the other
+            # reservoir at this histogram's capacity.
+            pool = list(other.samples)
+            while len(pool) > self.capacity:
+                pool.pop(self._rng.randrange(len(pool)))
+            self.samples = pool
+            self.count = other.count
+            self.total = other.total
+            return
+        mine = list(self.samples)
+        theirs = list(other.samples)
+        weight_mine = float(self.count)
+        weight_theirs = float(other.count)
+        target = min(self.capacity, len(mine) + len(theirs))
+        merged: List[float] = []
+        rng = self._rng
+        while len(merged) < target:
+            if not mine:
+                take_mine = False
+            elif not theirs:
+                take_mine = True
+            else:
+                take_mine = (
+                    rng.random() * (weight_mine + weight_theirs) < weight_mine
+                )
+            pool = mine if take_mine else theirs
+            merged.append(pool.pop(rng.randrange(len(pool))))
+        self.samples = merged
+        self.count += other.count
+        self.total += other.total
 
 
 class MetricsRegistry:
@@ -172,9 +233,24 @@ class MetricsRegistry:
         return diff
 
     def merge(self, other: "MetricsRegistry") -> None:
-        """Add another registry's counters into this one (fleet roll-ups)."""
+        """Fold another registry into this one (fleet roll-ups).
+
+        Counters add; gauges take the other registry's value (last write
+        wins, matching :meth:`delta`); histograms merge as weighted
+        reservoir samples — see :meth:`BoundedHistogram.merge`, which
+        rebins operands of differing capacities and raises
+        :class:`~repro.errors.HistogramMergeError` on inconsistent ones.
+        """
         for name, value in other._counters.items():
             self.add(name, value)
+        for name, value in other._gauges.items():
+            self._gauges[name] = value
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = histogram.copy()
+            else:
+                mine.merge(histogram)
 
     def reset(self) -> None:
         self._counters.clear()

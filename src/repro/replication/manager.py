@@ -173,6 +173,10 @@ class ReplicationManager:
     def hint_count(self, node_id: int) -> int:
         return len(self._hints.get(node_id, {}))
 
+    def total_hint_count(self) -> int:
+        """Hints buffered across every down node (fleet hint backlog)."""
+        return sum(len(hints) for hints in self._hints.values())
+
     def take_hints(self, node_id: int) -> Dict[Tuple[str, bytes], bytes]:
         """Drain (and return) the hint buffer destined for a node."""
         hints = self._hints.get(node_id, {})

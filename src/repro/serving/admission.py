@@ -121,6 +121,22 @@ class AdmissionController:
         self.shed_probability = max(0.0, self.shed_probability - config.decay)
         return self.shed_probability
 
+    def pre_arm(self, probability: float) -> float:
+        """Seed a shed probability ahead of a measured violation.
+
+        Called by the burn-rate alerter when the error budget starts
+        burning faster than plan: a small probabilistic shed begins *before*
+        the monitor's own quantile check trips, trading a sliver of traffic
+        for a softer landing.  Never lowers an already-higher probability
+        (the proportional controller stays in charge of recovery), and is
+        clamped to the configured maximum.
+        """
+        self.shed_probability = min(
+            self.config.max_shed_probability,
+            max(self.shed_probability, probability),
+        )
+        return self.shed_probability
+
     # ------------------------------------------------------------------
     # Per-request decisions
     # ------------------------------------------------------------------

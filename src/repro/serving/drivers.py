@@ -105,6 +105,11 @@ class TrafficLog:
     def completed(self) -> int:
         return len(self.records)
 
+    def record(self, record: RequestRecord) -> None:
+        """Append a completed interaction, counting it for telemetry."""
+        self.records.append(record)
+        self.metrics.add("serving.completed")
+
     @property
     def availability(self) -> float:
         """Fraction of attempted interactions that completed successfully."""
@@ -268,7 +273,7 @@ class ClosedLoopDriver:
                 operations=result.operations,
                 query_operations=tuple(sorted(result.query_operations.items())),
             )
-            self.log.records.append(record)
+            self.log.record(record)
             _observe_at_completion(sim, self.monitor, record)
             sim.schedule_at(
                 completion + self._think(rng), tick,
@@ -353,5 +358,5 @@ class OpenLoopDriver:
             operations=result.operations,
             query_operations=tuple(sorted(result.query_operations.items())),
         )
-        self.log.records.append(record)
+        self.log.record(record)
         _observe_at_completion(sim, self.monitor, record)

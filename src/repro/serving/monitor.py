@@ -84,6 +84,9 @@ class SLOMonitor:
         #: Bound-violation events delivered by a serving-mode
         #: :class:`~repro.obs.audit.BoundAuditor` (oldest first, bounded).
         self.bound_violations: List[object] = []
+        #: Burn-rate alerts delivered by a telemetry
+        #: :class:`~repro.obs.slo.BurnRateAlerter` (oldest first, bounded).
+        self.alerts: List[object] = []
 
     # ------------------------------------------------------------------
     # Recording
@@ -114,6 +117,15 @@ class SLOMonitor:
         """
         if len(self.bound_violations) < 256:
             self.bound_violations.append(event)
+
+    def record_alert(self, alert: object) -> None:
+        """Sink for the burn-rate alerter: keeps the run's alert timeline.
+
+        The alert objects are mutated in place by the alerter as they peak
+        and clear, so the list reflects the final timeline at report time.
+        """
+        if len(self.alerts) < 256:
+            self.alerts.append(alert)
 
     def _summarise(self, index: int, samples: List[float]) -> WindowReport:
         quantile = nearest_rank_percentile(samples, self.slo.quantile)

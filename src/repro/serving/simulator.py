@@ -22,6 +22,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..engine.database import PiqlDatabase
+from ..obs.drift import PredictionDriftDetector
+from ..obs.slo import BurnRateAlerter, BurnRateRule
+from ..obs.telemetry import FleetTelemetry, TelemetryCollector
+from ..obs.timeseries import TimeSeriesStore
 from ..prediction.slo import SLOPrediction, ServiceLevelObjective
 from ..replication.faults import FaultEvent, FaultInjector, FaultSpec
 from ..replication.manager import RepairReport
@@ -73,6 +77,19 @@ class ServingConfig:
     #: ``strict_audit=True`` the auditor keeps strict mode and violations
     #: raise mid-run (CI smoke jobs use this).
     strict_audit: bool = False
+    #: Fleet telemetry: when enabled the run scrapes cluster/node/SLO state
+    #: into a time-series store every ``telemetry_interval_seconds``, runs
+    #: the burn-rate alerter after each scrape, and — when the shared
+    #: auditor carries a latency model — feeds the prediction-drift
+    #: detector.  The assembled bundle lands on ``ServingReport.telemetry``.
+    telemetry_enabled: bool = False
+    telemetry_interval_seconds: float = 0.5
+    #: Burn-rate rule ladder; ``None`` uses :data:`~repro.obs.slo.DEFAULT_RULES`.
+    burn_rules: Optional[Sequence[BurnRateRule]] = None
+    #: Requests required inside a rule's fast window before it may fire.
+    burn_min_events: int = 10
+    #: Shed probability the alerter seeds into the admission controller.
+    pre_arm_probability: float = 0.1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -82,6 +99,8 @@ class ServingConfig:
             raise ValueError("duration must be positive")
         if self.control_interval_seconds <= 0:
             raise ValueError("control interval must be positive")
+        if self.telemetry_interval_seconds <= 0:
+            raise ValueError("telemetry interval must be positive")
 
 
 @dataclass
@@ -104,6 +123,17 @@ class ServingReport:
     audited: int = 0
     #: Static-bound violations the auditor observed (should be zero).
     bound_violations: int = 0
+    #: The run's telemetry bundle (``None`` unless telemetry was enabled).
+    telemetry: Optional[FleetTelemetry] = None
+
+    def dashboard(self, width: int = 72) -> str:
+        """The rendered fleet dashboard (requires telemetry_enabled)."""
+        if self.telemetry is None:
+            raise ValueError(
+                "telemetry was not enabled for this run "
+                "(set ServingConfig.telemetry_enabled)"
+            )
+        return self.telemetry.dashboard(width=width)
 
     @property
     def completed(self) -> int:
@@ -153,6 +183,32 @@ class ServingSimulation:
         self.fault_injector: Optional[FaultInjector] = None
         if config.faults:
             self.fault_injector = FaultInjector(db.cluster)
+        self.telemetry: Optional[FleetTelemetry] = None
+        if config.telemetry_enabled:
+            store = TimeSeriesStore(
+                resolution_seconds=config.telemetry_interval_seconds
+            )
+            alerter = BurnRateAlerter(
+                store,
+                config.slo,
+                rules=config.burn_rules,
+                min_events=config.burn_min_events,
+                sink=self.monitor.record_alert,
+                admission=self.admission,
+                pre_arm_probability=config.pre_arm_probability,
+            )
+            drift = None
+            if db.auditor.latency_model is not None:
+                drift = PredictionDriftDetector(db.auditor.latency_model)
+            collector = TelemetryCollector(
+                store,
+                cluster=db.cluster,
+                monitor=self.monitor,
+                admission=self.admission,
+                registries_fn=self._server_registries,
+                alerter=alerter,
+            )
+            self.telemetry = FleetTelemetry(store, collector, alerter, drift)
         self.log = TrafficLog()
         if config.mode == "closed":
             self.driver = ClosedLoopDriver(
@@ -184,6 +240,16 @@ class ServingSimulation:
     # ------------------------------------------------------------------
     # Control loop
     # ------------------------------------------------------------------
+    def _server_registries(self):
+        """The live metric registries rolled up each scrape: the traffic
+        log's ``serving.*`` counters plus every app server's client stats
+        (``client.*``, ``views.deltas.*``)."""
+        registries = [self.log.metrics]
+        registries.extend(
+            server.db.client.stats.metrics for server in self.driver.servers
+        )
+        return registries
+
     def _control_tick(self, sim: Simulation) -> None:
         now = sim.now
         refresh_utilization(self.db.cluster, now)
@@ -208,9 +274,12 @@ class ServingSimulation:
         audited_before = auditor.audited
         violations_before = auditor.violations
         saved_mode, saved_sink = auditor.mode, auditor.sink
+        saved_drift = auditor.drift
         if not self.config.strict_audit:
             auditor.mode = "serving"
         auditor.sink = self.monitor.record_bound_violation
+        if self.telemetry is not None and self.telemetry.drift is not None:
+            auditor.drift = self.telemetry.drift
         try:
             self.driver.start()
             if self.fault_injector is not None:
@@ -219,9 +288,20 @@ class ServingSimulation:
                 self.config.control_interval_seconds, self._control_tick,
                 name="control-tick",
             )
+            if self.telemetry is not None:
+                self.telemetry.collector.schedule(
+                    self.sim,
+                    self.config.telemetry_interval_seconds,
+                    self.config.duration_seconds,
+                )
             self.sim.run(until=self.config.duration_seconds)
+            if self.telemetry is not None:
+                # One closing scrape so the artifact covers the very end of
+                # the run (the loop stops short of the horizon).
+                self.telemetry.collector.scrape(self.sim.now)
         finally:
             auditor.mode, auditor.sink = saved_mode, saved_sink
+            auditor.drift = saved_drift
         mean_utilization = refresh_utilization(self.db.cluster, self.sim.now)
         windows = list(self.monitor.finalize())
         report = ServingReport(
@@ -241,6 +321,7 @@ class ServingSimulation:
             ),
             audited=auditor.audited - audited_before,
             bound_violations=auditor.violations - violations_before,
+            telemetry=self.telemetry,
         )
         # Detach the run's measurement state (queues, offered load) so the
         # same database can host several scenarios back to back.  Autoscaler

@@ -314,6 +314,11 @@ class ViewMaintenanceEngine:
             # No-op delta: the write did not change any grouped or aggregated
             # value (or the row never satisfied the view's predicates).
             return
+        # Only real deltas are counted: the telemetry scraper reads these as
+        # the fleet's view-maintenance rate, and no-op writes cost nothing.
+        metrics = self.client.stats.metrics
+        metrics.add("views.deltas")
+        metrics.add(f"views.deltas.{view.name}")
         if removed is not None and added is not None and removed[0] == added[0]:
             self._group_delta(view, io, removed[0], remove=removed[1], add=added[1])
             return

@@ -1,0 +1,188 @@
+"""Tests for the bench-regression harness (summary schema + baseline diff)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    SCHEMA,
+    classify_metric,
+    compare_summaries,
+    flatten_numeric,
+    main,
+    make_summary,
+    summary_from_results_dir,
+    write_summary,
+)
+
+
+def summary(benches):
+    payload = make_summary(benches)
+    payload["timestamp"] = 0.0  # the diff must never read the clock
+    return payload
+
+
+class TestClassifyMetric:
+    def test_latency_metrics_are_lower_is_better(self):
+        for name in ("p99_ms", "p50_ms", "mean_latency_ms", "queue_wait", "backlog_seconds"):
+            assert classify_metric(name).direction == "lower"
+
+    def test_throughput_metrics_are_higher_is_better(self):
+        for name in ("throughput_per_second", "completed", "availability", "overall_compliance"):
+            assert classify_metric(name).direction == "higher"
+
+    def test_operation_counts_are_tight(self):
+        rule = classify_metric("mean_operations")
+        assert rule.direction == "lower"
+        assert rule.tolerance == pytest.approx(0.10)
+
+    def test_unknown_metrics_are_informational(self):
+        rule = classify_metric("some_new_experimental_number")
+        assert rule.direction == "info"
+
+
+class TestFlattenNumeric:
+    def test_nested_dicts_become_dotted_paths(self):
+        flat = flatten_numeric({"a": {"b": 1, "c": 2.5}, "d": 3})
+        assert flat == {"a.b": 1.0, "a.c": 2.5, "d": 3.0}
+
+    def test_lists_index_numerically(self):
+        flat = flatten_numeric({"series": [{"p99": 5.0}, {"p99": 7.0}]})
+        assert flat == {"series.0.p99": 5.0, "series.1.p99": 7.0}
+
+    def test_booleans_and_strings_are_skipped(self):
+        flat = flatten_numeric({"ok": True, "label": "fast", "n": 2})
+        assert flat == {"n": 2.0}
+
+    def test_bare_number(self):
+        assert flatten_numeric(42) == {"value": 42.0}
+
+
+class TestCompareSummaries:
+    def test_identical_summaries_have_no_regressions(self):
+        s = summary({"b": {"p99_ms": 10.0, "throughput": 100.0}})
+        assert compare_summaries(s, s) == []
+
+    def test_latency_regression_beyond_band_is_flagged(self):
+        base = summary({"b": {"p99_ms": 10.0}})
+        cur = summary({"b": {"p99_ms": 20.0}})  # +100% > 25% band
+        (regression,) = compare_summaries(cur, base)
+        assert regression.bench == "b"
+        assert regression.metric == "p99_ms"
+        assert regression.relative_change == pytest.approx(1.0)
+        assert "lower-is-better" in regression.describe()
+
+    def test_latency_within_band_passes(self):
+        base = summary({"b": {"p99_ms": 10.0}})
+        cur = summary({"b": {"p99_ms": 11.0}})  # +10% < 25% band
+        assert compare_summaries(cur, base) == []
+
+    def test_latency_improvement_never_fails(self):
+        base = summary({"b": {"p99_ms": 10.0}})
+        cur = summary({"b": {"p99_ms": 1.0}})
+        assert compare_summaries(cur, base) == []
+
+    def test_throughput_drop_is_flagged(self):
+        base = summary({"b": {"throughput_per_second": 100.0}})
+        cur = summary({"b": {"throughput_per_second": 50.0}})
+        (regression,) = compare_summaries(cur, base)
+        assert regression.direction == "higher"
+
+    def test_only_metrics_in_both_are_judged(self):
+        base = summary({"b": {"p99_ms": 10.0, "gone_ms": 1.0}, "removed": {"p99_ms": 1.0}})
+        cur = summary({"b": {"p99_ms": 10.0, "new_ms": 999.0}, "added": {"p99_ms": 999.0}})
+        assert compare_summaries(cur, base) == []
+
+    def test_info_metrics_never_fail(self):
+        base = summary({"b": {"telemetry_scrapes": 17.0}})
+        cur = summary({"b": {"telemetry_scrapes": 1.0}})
+        assert compare_summaries(cur, base) == []
+
+    def test_schema_mismatch_is_rejected(self):
+        good = summary({})
+        bad = dict(good, schema="bench-summary/v0")
+        with pytest.raises(ValueError, match="schema"):
+            compare_summaries(bad, good)
+        with pytest.raises(ValueError, match="baseline"):
+            compare_summaries(good, bad)
+
+
+class TestSummaryFromResultsDir:
+    def test_flattens_each_results_file(self, tmp_path):
+        (tmp_path / "bench_a.json").write_text(json.dumps({"p99": 1.5}))
+        (tmp_path / "bench_b.json").write_text(json.dumps({"rows": [1, 2]}))
+        (tmp_path / "BENCH_summary.json").write_text(json.dumps({"p99": 9.9}))
+        (tmp_path / "broken.json").write_text("{not json")
+        result = summary_from_results_dir(str(tmp_path))
+        assert result["schema"] == SCHEMA
+        assert result["benches"] == {
+            "bench_a": {"p99": 1.5},
+            "bench_b": {"rows.0": 1.0, "rows.1": 2.0},
+        }
+
+
+class TestCli:
+    """The CI contract: nonzero exit on a doctored out-of-band summary."""
+
+    def write(self, tmp_path, name, benches):
+        path = tmp_path / name
+        write_summary(summary(benches), str(path))
+        return str(path)
+
+    def test_exits_nonzero_on_doctored_regression(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path,
+            "baseline.json",
+            {"quick_serving": {"p99_ms": 80.0, "throughput_per_second": 35.0}},
+        )
+        doctored = self.write(
+            tmp_path,
+            "current.json",
+            {"quick_serving": {"p99_ms": 160.0, "throughput_per_second": 17.0}},
+        )
+        exit_code = main(["--summary", doctored, "--baseline", baseline])
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        assert "p99_ms" in out and "throughput_per_second" in out
+
+    def test_exits_zero_within_tolerance(self, tmp_path, capsys):
+        baseline = self.write(
+            tmp_path, "baseline.json", {"quick_serving": {"p99_ms": 80.0}}
+        )
+        current = self.write(
+            tmp_path, "current.json", {"quick_serving": {"p99_ms": 85.0}}
+        )
+        assert main(["--summary", current, "--baseline", baseline]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_emit_from_results_writes_summary(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "bench_a.json").write_text(json.dumps({"p99": 2.0}))
+        out = tmp_path / "BENCH_summary.json"
+        assert main(["--emit-from-results", str(results), "--summary", str(out)]) == 0
+        written = json.loads(out.read_text())
+        assert written["schema"] == SCHEMA
+        assert written["benches"]["bench_a"] == {"p99": 2.0}
+
+    def test_committed_baseline_is_valid(self):
+        with open("benchmarks/baselines/BENCH_summary.json", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert baseline["schema"] == SCHEMA
+        assert set(baseline["benches"]) == {"quick_query", "quick_serving"}
+        # Self-diff of the committed baseline is trivially clean.
+        assert compare_summaries(baseline, baseline) == []
+
+    def test_trace_and_telemetry_artifacts_are_skipped(self, tmp_path):
+        (tmp_path / "bench_a.json").write_text(json.dumps({"p99": 1.5}))
+        (tmp_path / "serving_trace.json").write_text(
+            json.dumps({"traceEvents": [{"ts": 1, "dur": 2}]})
+        )
+        (tmp_path / "telemetry_fault.json").write_text(
+            json.dumps({"schema": "fleet-telemetry/v1", "scrapes": 33})
+        )
+        result = summary_from_results_dir(str(tmp_path))
+        assert set(result["benches"]) == {"bench_a"}

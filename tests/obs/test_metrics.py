@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import HistogramMergeError
 from repro.obs.metrics import BoundedHistogram, MetricsRegistry
 
 
@@ -137,3 +138,114 @@ class TestBoundedHistogram:
         snap = registry.snapshot()
         registry.observe("lat", 0.5)
         assert snap.histogram("lat").count == 2
+
+
+class TestHistogramMerge:
+    """Regression tests for merging reservoirs of differing shapes.
+
+    The fleet roll-up path merges per-node histograms whose capacities and
+    sample counts differ; an earlier implementation concatenated raw sample
+    lists, which skewed quantiles toward the smaller-capacity side and
+    could overrun the destination's capacity.
+    """
+
+    def test_merge_small_into_large(self):
+        a = BoundedHistogram(capacity=128)
+        b = BoundedHistogram(capacity=8)
+        for _ in range(100):
+            a.observe(1.0)
+        for _ in range(300):
+            b.observe(3.0)
+        a.merge(b)
+        assert a.count == 400
+        assert a.total == pytest.approx(100 * 1.0 + 300 * 3.0)
+        assert len(a.samples) <= a.capacity
+        assert set(a.samples) <= {1.0, 3.0}
+
+    def test_merge_large_into_small_rebins(self):
+        # The destination's capacity bounds the result even when the
+        # operand retains far more samples.
+        small = BoundedHistogram(capacity=8)
+        big = BoundedHistogram(capacity=512)
+        for _ in range(100):
+            small.observe(1.0)
+        for _ in range(300):
+            big.observe(3.0)
+        small.merge(big)
+        assert small.count == 400
+        assert len(small.samples) == 8
+        assert small.mean == pytest.approx(2.5)
+
+    def test_merge_weights_by_observation_count(self):
+        # 90% of the union's observations are 5.0: the merged reservoir
+        # should be dominated by them even though both reservoirs retain
+        # the same number of raw samples.
+        a = BoundedHistogram(capacity=64, seed=7)
+        b = BoundedHistogram(capacity=64, seed=11)
+        for _ in range(9_000):
+            a.observe(5.0)
+        for _ in range(1_000):
+            b.observe(1.0)
+        a.merge(b)
+        heavy = sum(1 for s in a.samples if s == 5.0)
+        assert heavy / len(a.samples) > 0.7
+
+    def test_merge_into_empty_adopts_subsample(self):
+        empty = BoundedHistogram(capacity=4)
+        full = BoundedHistogram(capacity=64)
+        for i in range(50):
+            full.observe(float(i))
+        empty.merge(full)
+        assert empty.count == 50
+        assert len(empty.samples) == 4
+        assert empty.total == full.total
+
+    def test_merge_empty_operand_is_noop(self):
+        a = BoundedHistogram(capacity=8)
+        a.observe(2.0)
+        a.merge(BoundedHistogram(capacity=8))
+        assert a.count == 1
+        assert a.samples == [2.0]
+
+    def test_merge_is_deterministic(self):
+        def build():
+            a = BoundedHistogram(capacity=16, seed=3)
+            b = BoundedHistogram(capacity=16, seed=5)
+            for i in range(200):
+                a.observe(float(i))
+                b.observe(float(-i))
+            a.merge(b)
+            return a.samples
+
+        assert build() == build()
+
+    def test_merge_rejects_non_histogram(self):
+        a = BoundedHistogram(capacity=8)
+        with pytest.raises(HistogramMergeError, match="not BoundedHistogram"):
+            a.merge([1.0, 2.0])
+
+    def test_merge_rejects_inconsistent_operand(self):
+        a = BoundedHistogram(capacity=8)
+        bad = BoundedHistogram(capacity=8)
+        bad.samples = [1.0, 2.0, 3.0]
+        bad.count = 2  # claims fewer observations than it retains
+        with pytest.raises(HistogramMergeError, match="retains 3 samples"):
+            a.merge(bad)
+        # And symmetrically when self is the inconsistent side.
+        with pytest.raises(HistogramMergeError):
+            bad.merge(a)
+
+    def test_registry_merge_covers_all_metric_kinds(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.add("ops", 2)
+        b.add("ops", 3)
+        b.set_gauge("util", 0.5)
+        a.observe("lat", 1.0, capacity=8)
+        b.observe("lat", 3.0, capacity=8)
+        b.observe("only_b", 9.0)
+        a.merge(b)
+        assert a.value("ops") == 5
+        assert a.gauge("util") == 0.5
+        assert a.histogram("lat").count == 2
+        assert a.histogram("only_b").count == 1

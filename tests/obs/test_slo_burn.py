@@ -1,0 +1,210 @@
+"""Unit tests for multi-window SLO burn-rate alerting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import DEFAULT_RULES, BurnRateAlerter, BurnRateRule, SLOAlert
+from repro.obs.telemetry import SLO_GOOD_METRIC, SLO_TOTAL_METRIC
+from repro.obs.timeseries import TimeSeriesStore
+from repro.prediction.slo import ServiceLevelObjective
+
+
+def make_slo(quantile=0.9):
+    return ServiceLevelObjective(
+        quantile=quantile, latency_seconds=0.1, interval_seconds=1.0
+    )
+
+
+def scrape(store, t, total, good):
+    """Record one scrape tick of the cumulative SLO counters."""
+    store.record(SLO_TOTAL_METRIC, float(total), t=t)
+    store.record(SLO_GOOD_METRIC, float(good), t=t)
+
+
+class TestBurnRateMath:
+    def test_idle_store_burns_nothing(self):
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(store, make_slo())
+        assert alerter.burn_rate(10.0, 5.0) == 0.0
+        assert alerter.evaluate(10.0) == []
+
+    def test_on_plan_burn_is_one(self):
+        # Exactly the budgeted bad fraction (10% at quantile 0.9).
+        store = TimeSeriesStore()
+        scrape(store, 0.0, total=0, good=0)
+        scrape(store, 10.0, total=100, good=90)
+        alerter = BurnRateAlerter(store, make_slo(0.9))
+        assert alerter.burn_rate(10.0, 10.0) == pytest.approx(1.0)
+
+    def test_all_bad_burns_at_inverse_budget(self):
+        store = TimeSeriesStore()
+        scrape(store, 0.0, total=0, good=0)
+        scrape(store, 10.0, total=100, good=0)
+        alerter = BurnRateAlerter(store, make_slo(0.9))
+        assert alerter.burn_rate(10.0, 10.0) == pytest.approx(10.0)
+
+    def test_error_budget(self):
+        store = TimeSeriesStore()
+        assert BurnRateAlerter(store, make_slo(0.99)).error_budget == pytest.approx(0.01)
+
+
+class TestFiringAndClearing:
+    def rule(self):
+        return BurnRateRule(fast_seconds=2.0, slow_seconds=6.0, threshold=5.0)
+
+    def test_fires_when_both_windows_exceed(self):
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(
+            store, make_slo(0.9), rules=[self.rule()], min_events=10
+        )
+        # Healthy traffic for 6 s, then everything goes bad.
+        total = good = 0
+        for t in range(7):
+            scrape(store, float(t), total, good)
+            total += 20
+            good += 20
+        for t in range(7, 13):
+            scrape(store, float(t), total, good)
+            total += 20  # all new requests miss the SLO
+        fired = alerter.evaluate(12.0)
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.active
+        assert alert.fast_burn >= 5.0 and alert.slow_burn >= 5.0
+        assert alerter.active_alerts == [alert]
+
+    def test_fast_spike_alone_does_not_fire(self):
+        # Slow window still healthy: a 2-second blip must not page.
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(
+            store, make_slo(0.9), rules=[self.rule()], min_events=10
+        )
+        total = good = 0
+        for t in range(11):
+            scrape(store, float(t), total, good)
+            bad_tick = t >= 9
+            total += 20
+            good += 0 if bad_tick else 20
+        assert alerter.burn_rate(10.0, 2.0) >= 5.0
+        assert alerter.burn_rate(10.0, 6.0) < 5.0
+        assert alerter.evaluate(10.0) == []
+
+    def test_min_events_gates_cold_start(self):
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(
+            store, make_slo(0.9), rules=[self.rule()], min_events=10
+        )
+        # 100% bad, but only 4 events in the fast window.
+        scrape(store, 0.0, total=0, good=0)
+        scrape(store, 6.0, total=4, good=0)
+        assert alerter.evaluate(6.0) == []
+        assert alerter.alerts == []
+
+    def test_clears_when_fast_window_recovers(self):
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(
+            store, make_slo(0.9), rules=[self.rule()], min_events=5
+        )
+        total = good = 0
+        for t in range(7):
+            scrape(store, float(t), total, good)
+            total += 20
+        (alert,) = alerter.evaluate(6.0)
+        assert alert.active
+        # Recovery: new requests are all good; the fast window forgets the
+        # incident within 2 s while the slow window still remembers it.
+        for t in range(7, 10):
+            scrape(store, float(t), total, good)
+            total += 20
+            good = total
+        scrape(store, 10.0, total, good)
+        assert alerter.evaluate(10.0) == []  # clearing is not a new firing
+        assert not alert.active
+        assert alert.cleared_at == 10.0
+        assert alert.duration_seconds == pytest.approx(4.0)
+        assert alerter.active_alerts == []
+        assert alerter.fired_and_cleared() == [alert]
+        assert "cleared" in alert.describe()
+
+    def test_peak_burn_tracked_while_active(self):
+        store = TimeSeriesStore()
+        alerter = BurnRateAlerter(
+            store, make_slo(0.9), rules=[self.rule()], min_events=5
+        )
+        total = good = 0
+        for t in range(13):
+            scrape(store, float(t), total, good)
+            total += 20  # bad from the first tick
+        (alert,) = alerter.evaluate(6.0)
+        first_fast = alert.fast_burn
+        alerter.evaluate(12.0)
+        assert alert.peak_fast_burn >= first_fast
+
+
+class TestSinkAndPreArm:
+    class FakeAdmission:
+        def __init__(self):
+            self.armed = []
+
+        def pre_arm(self, probability):
+            self.armed.append(probability)
+
+    def test_sink_and_admission_called_on_fire(self):
+        store = TimeSeriesStore()
+        seen = []
+        admission = self.FakeAdmission()
+        alerter = BurnRateAlerter(
+            store,
+            make_slo(0.9),
+            rules=[BurnRateRule(2.0, 4.0, 2.0)],
+            min_events=5,
+            sink=seen.append,
+            admission=admission,
+            pre_arm_probability=0.25,
+        )
+        total = 0
+        for t in range(6):
+            scrape(store, float(t), total, 0)
+            total += 10
+        (alert,) = alerter.evaluate(5.0)
+        assert seen == [alert]
+        assert admission.armed == [0.25]
+        # Still-active alert does not re-arm every tick.
+        alerter.evaluate(5.5)
+        assert admission.armed == [0.25]
+
+
+class TestRules:
+    def test_rule_validation(self):
+        with pytest.raises(ValueError):
+            BurnRateRule(fast_seconds=0.0, slow_seconds=5.0, threshold=2.0)
+        with pytest.raises(ValueError):
+            BurnRateRule(fast_seconds=6.0, slow_seconds=5.0, threshold=2.0)
+        with pytest.raises(ValueError):
+            BurnRateRule(fast_seconds=1.0, slow_seconds=5.0, threshold=0.0)
+
+    def test_rule_name(self):
+        assert BurnRateRule(2.0, 10.0, 10.0).name == "burn[2s/10s]x10"
+
+    def test_default_ladder_shape(self):
+        assert len(DEFAULT_RULES) >= 2
+        fast, slow = DEFAULT_RULES[0], DEFAULT_RULES[1]
+        # The fast pair pages on sharper burn than the slow pair.
+        assert fast.threshold > slow.threshold
+        assert fast.fast_seconds < slow.fast_seconds
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ValueError):
+            BurnRateAlerter(TimeSeriesStore(), make_slo(), rules=[])
+
+    def test_alert_describe_active(self):
+        alert = SLOAlert(
+            rule=BurnRateRule(2.0, 6.0, 2.0),
+            fired_at=3.0,
+            fast_burn=4.0,
+            slow_burn=3.0,
+            peak_fast_burn=4.0,
+        )
+        text = alert.describe()
+        assert "ACTIVE" in text and "burn[2s/6s]x2" in text

@@ -1,0 +1,220 @@
+"""Unit tests for the fixed-memory telemetry time-series store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.timeseries import TimeSeriesStore, make_labels
+
+
+class TestBasics:
+    def test_single_sample_round_trip(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=8)
+        assert store.record("m", 3.0, t=2.4)
+        points = store.points("m")
+        assert len(points) == 1
+        point = points[0]
+        assert point.start_seconds == 2.0
+        assert point.width_seconds == 1.0
+        assert point.count == 1
+        assert point.sum == point.min == point.max == point.last == 3.0
+
+    def test_samples_fold_within_a_bucket(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=8)
+        store.record("m", 1.0, t=5.1)
+        store.record("m", 5.0, t=5.6)
+        store.record("m", 3.0, t=5.9)
+        (point,) = store.points("m")
+        assert point.count == 3
+        assert point.sum == 9.0
+        assert point.mean == pytest.approx(3.0)
+        assert point.min == 1.0
+        assert point.max == 5.0
+        assert point.last == 3.0  # arrival order, not value order
+
+    def test_labels_make_distinct_series(self):
+        store = TimeSeriesStore()
+        store.record("node.up", 1.0, t=0.0, labels={"node": "a"})
+        store.record("node.up", 0.0, t=0.0, labels={"node": "b"})
+        assert store.latest_value("node.up", {"node": "a"}) == 1.0
+        assert store.latest_value("node.up", {"node": "b"}) == 0.0
+        assert store.label_sets("node.up") == [
+            (("node", "a"),),
+            (("node", "b"),),
+        ]
+
+    def test_label_order_is_canonical(self):
+        assert make_labels({"b": 2, "a": 1}) == (("a", "1"), ("b", "2"))
+        store = TimeSeriesStore()
+        store.record("m", 1.0, t=0.0, labels={"x": "1", "y": "2"})
+        store.record("m", 2.0, t=0.5, labels={"y": "2", "x": "1"})
+        (point,) = store.points("m", {"x": "1", "y": "2"})
+        assert point.count == 2
+
+
+class TestEmptyWindows:
+    def test_unknown_series_has_no_points(self):
+        store = TimeSeriesStore()
+        assert store.points("nope") == []
+        assert store.latest("nope") is None
+        assert store.latest_value("nope", default=-1.0) == -1.0
+
+    def test_window_with_no_samples_is_empty(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=16)
+        store.record("m", 1.0, t=1.0)
+        store.record("m", 2.0, t=9.0)
+        assert store.points("m", start=3.0, end=8.0) == []
+
+    def test_counter_delta_over_empty_window_is_zero(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=16)
+        store.record("total", 100.0, t=1.0)
+        store.record("total", 100.0, t=9.0)
+        # No scrape (and no increase) inside (3, 8].
+        assert store.counter_delta("total", 3.0, 8.0) == 0.0
+        # Window entirely before the first scrape.
+        assert store.counter_delta("total", -5.0, 0.5) == 0.0
+
+    def test_counter_delta_ignores_preexisting_total(self):
+        # The first scrape sees a counter that is already at 1000; a window
+        # opening before that scrape must not report the 1000 as fresh burn.
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=16)
+        store.record("total", 1000.0, t=4.0)
+        store.record("total", 1010.0, t=6.0)
+        assert store.counter_delta("total", 0.0, 6.0) == pytest.approx(10.0)
+
+    def test_counter_delta_normal_window(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=32)
+        for t in range(12):
+            store.record("total", float(t * 5), t=float(t))
+        assert store.counter_delta("total", 3.0, 11.0) == pytest.approx(40.0)
+
+
+class TestOutOfOrder:
+    def test_late_sample_folds_into_its_bucket(self):
+        store = TimeSeriesStore(resolution_seconds=1.0, capacity=16)
+        store.record("m", 1.0, t=3.2)
+        store.record("m", 9.0, t=8.0)
+        assert store.record("m", 2.0, t=3.7)  # late, but bucket still live
+        points = store.points("m")
+        assert points[0].count == 2
+        assert points[0].sum == 3.0
+        assert store.dropped_samples == 0
+
+    def test_sample_older_than_every_ring_is_dropped(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=4, levels=2, downsample_factor=4
+        )
+        # Fill both levels so every slot holds recent history: the fine
+        # ring covers 97..100, the coarse ring covers 80..100.
+        for t in range(80, 101):
+            store.record("m", 1.0, t=float(t))
+        assert not store.record("m", 2.0, t=1.0)
+        assert store.dropped_samples == 1
+        # The live data is untouched.
+        assert all(p.min == 1.0 for p in store.points("m"))
+
+    def test_late_sample_lands_in_coarser_level(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=4, levels=2, downsample_factor=4
+        )
+        for t in range(12):
+            store.record("m", 1.0, t=float(t))
+        # t=2 has been recycled out of the fine ring (which now holds 8..11)
+        # but its 4-second coarse bucket [0, 4) is still live.
+        assert store.record("m", 1.0, t=2.0)
+        assert store.dropped_samples == 0
+        coarse = [p for p in store.points("m") if p.width_seconds == 4.0]
+        first = next(p for p in coarse if p.start_seconds == 0.0)
+        assert first.count == 5  # four original samples + the late one
+
+
+class TestWraparoundAndDownsampling:
+    def test_evicted_fine_buckets_fold_into_coarse(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=4, levels=2, downsample_factor=4
+        )
+        for t in range(12):
+            store.record("m", float(t), t=float(t))
+        points = store.points("m")
+        fine = [p for p in points if p.width_seconds == 1.0]
+        coarse = [p for p in points if p.width_seconds == 4.0]
+        # Fine ring keeps the newest 4 seconds; the evicted 0..7 live on as
+        # two 4-second coarse buckets.
+        assert [p.start_seconds for p in fine] == [8.0, 9.0, 10.0, 11.0]
+        assert [p.start_seconds for p in coarse] == [0.0, 4.0]
+        assert coarse[0].count == 4
+        assert coarse[0].sum == 0.0 + 1.0 + 2.0 + 3.0
+        assert coarse[0].min == 0.0 and coarse[0].max == 3.0
+
+    def test_points_prefer_fine_over_overlapping_coarse(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=4, levels=2, downsample_factor=4
+        )
+        for t in range(10):
+            store.record("m", 1.0, t=float(t))
+        points = store.points("m")
+        # The coarse bucket [4, 8) overlaps fine buckets 6 and 7; the query
+        # must not report the same seconds at two resolutions.
+        for fine in (p for p in points if p.width_seconds == 1.0):
+            for coarse in (p for p in points if p.width_seconds == 4.0):
+                overlap = not (
+                    fine.end_seconds <= coarse.start_seconds
+                    or coarse.end_seconds <= fine.start_seconds
+                )
+                assert not overlap
+
+    def test_history_beyond_coarsest_level_expires(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=2, levels=2, downsample_factor=2
+        )
+        for t in range(40):
+            store.record("m", 1.0, t=float(t))
+        points = store.points("m")
+        # Memory stays fixed: at most capacity buckets per level.
+        assert len(points) <= 4
+        assert points[0].start_seconds >= 32.0
+
+    def test_total_memory_is_bounded(self):
+        store = TimeSeriesStore(
+            resolution_seconds=1.0, capacity=8, levels=3, downsample_factor=8
+        )
+        for t in range(100_000):
+            store.record("m", float(t), t=float(t))
+        assert len(store.points("m")) <= 8 * 3
+        assert store.latest("m").last == 99_999.0
+
+
+class TestCardinalityCap:
+    def test_series_beyond_cap_are_dropped_and_counted(self):
+        store = TimeSeriesStore(max_series=2)
+        assert store.record("m", 1.0, t=0.0, labels={"node": "a"})
+        assert store.record("m", 1.0, t=0.0, labels={"node": "b"})
+        assert not store.record("m", 1.0, t=0.0, labels={"node": "c"})
+        assert not store.record("other", 1.0, t=0.0)
+        assert len(store) == 2
+        assert store.dropped_series == 2
+        # Existing series still accept samples.
+        assert store.record("m", 2.0, t=1.0, labels={"node": "a"})
+
+    def test_high_cardinality_label_cannot_grow_heap(self):
+        store = TimeSeriesStore(max_series=16)
+        for user in range(1000):
+            store.record("per_user", 1.0, t=0.0, labels={"user": str(user)})
+        assert len(store) == 16
+        assert store.dropped_series == 1000 - 16
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"resolution_seconds": 0.0},
+            {"capacity": 1},
+            {"levels": 0},
+            {"downsample_factor": 1},
+            {"max_series": 0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(**kwargs)
