@@ -22,6 +22,11 @@ from .bench_serving_slo import (
     ServingSloExperiment,
     ServingSloResult,
 )
+from .bench_storage_engine import (
+    StorageEngineConfig,
+    StorageEngineExperiment,
+    StorageEngineResult,
+)
 from .bench_view_maintenance import (
     ViewMaintenanceConfig,
     ViewMaintenanceExperiment,
@@ -92,6 +97,9 @@ __all__ = [
     "ScalingExperiment",
     "ScalingExperimentConfig",
     "ScalingResult",
+    "StorageEngineConfig",
+    "StorageEngineExperiment",
+    "StorageEngineResult",
     "StrategyMeasurement",
     "SubscriberIntersectionExperiment",
     "ViewMaintenanceConfig",

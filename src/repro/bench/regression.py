@@ -212,6 +212,9 @@ def run_quick_suite(telemetry_path: Optional[str] = None) -> Dict[str, object]:
     enabled — headline throughput/latency/compliance, plus the scrape
     loop's own health.  When ``telemetry_path`` is given the run's
     telemetry artifact is written there (the CI job uploads it).
+    ``quick_storage``: the storage-engine experiment's CI configuration —
+    dict/LSM parity, per-query latency across the cardinality sweep,
+    acked-write recovery, and budgeted bulk-load spills.
     """
     from ..engine.database import PiqlDatabase
     from ..kvstore.cluster import ClusterConfig
@@ -287,8 +290,29 @@ def run_quick_suite(telemetry_path: Optional[str] = None) -> Dict[str, object]:
             report.telemetry.collector.scrapes if report.telemetry else 0
         ),
     }
+    # --- quick_storage: storage-engine parity / recovery / budgets ------
+    from .bench_storage_engine import StorageEngineConfig, StorageEngineExperiment
+
+    storage = StorageEngineExperiment(StorageEngineConfig.quick()).run()
+    quick_storage = {
+        "parity_identical": 1.0 if storage.parity_identical else 0.0,
+        "sweep_latency_ratio": storage.sweep_latency_ratio,
+        "get_mean_ms_smallest": storage.sweep[0].get_mean_ms,
+        "get_mean_ms_largest": storage.sweep[-1].get_mean_ms,
+        "peak_memtable_bytes": float(
+            max(point.peak_memtable_bytes for point in storage.sweep)
+        ),
+        "recovery_acknowledged": float(storage.recovery_acknowledged),
+        "recovery_lost": float(storage.recovery_lost),
+        "recovery_oracle_match": 1.0 if storage.recovery_oracle_match else 0.0,
+        "bulk_spill_count": float(storage.bulk_spill_count),
+    }
     return make_summary(
-        {"quick_query": quick_query, "quick_serving": quick_serving}
+        {
+            "quick_query": quick_query,
+            "quick_serving": quick_serving,
+            "quick_storage": quick_storage,
+        }
     )
 
 

@@ -1,0 +1,356 @@
+"""Append-only sorted segment files with sparse indexes and key filters.
+
+A segment is one immutable sorted run of ``(key, value)`` entries flushed
+from a memtable (or built by compaction / bulk load).  The file layout::
+
+    header   "SEG1"
+    entries  [ key_len u32 | val_len u32 | key | value ]*    (key-ascending)
+    footer   ns_len u16 | namespace
+             entry_count u64
+             min_key_len u32 | min_key | max_key_len u32 | max_key
+             index_count u32 | [ key_len u32 | key | offset u64 ]*
+             bloom_nbits u32 | bloom_hashes u8 | bloom_len u32 | bits
+    trailer  footer_offset u64 | footer_crc u32 | "SEGF"
+
+``val_len == 0xFFFFFFFF`` marks an engine-level **delete marker** (the key
+was physically removed after this run's predecessors were written); markers
+are dropped when a compaction includes the oldest segment, since nothing
+older remains to shadow.
+
+Readers validate the trailer magic and the footer CRC before trusting a
+file: a partially written segment (the crash hit mid-flush) fails
+validation, is discarded by recovery, and its contents are re-read from the
+WAL — which is reset only after a flush completes.
+
+Point lookups consult a bloom-style key filter (k salted CRC32 probes over
+a bit array) to skip segments that cannot hold the key, then binary-search
+the sparse index (one anchor every ``sparse_every`` entries) and scan at
+most one block.  Range scans seek the block containing ``start`` and stream
+forward; descending scans walk blocks in reverse, materialising one block
+at a time so memory stays bounded by the block size, never the range size.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+_HEADER = b"SEG1"
+_TRAILER_MAGIC = b"SEGF"
+_TRAILER = struct.Struct(">QI4s")
+_U64 = struct.Struct(">Q")
+_U32 = struct.Struct(">I")
+_U16 = struct.Struct(">H")
+_ENTRY = struct.Struct(">II")
+
+#: ``val_len`` sentinel marking an engine-level delete.
+_DELETE_LEN = 0xFFFFFFFF
+
+#: Bits per key / probe count for the key filter (~2% false positives).
+_BLOOM_BITS_PER_KEY = 10
+_BLOOM_HASHES = 4
+
+#: Entry payload value for a delete marker (never stored).
+DELETED = None
+
+
+class SegmentError(Exception):
+    """A segment file is missing, truncated, or fails validation."""
+
+
+def _bloom_probes(key: bytes, nbits: int, hashes: int) -> Iterator[int]:
+    h1 = zlib.crc32(key)
+    h2 = zlib.crc32(key, 0x9E3779B9) | 1
+    for i in range(hashes):
+        yield (h1 + i * h2) % nbits
+
+
+class _BloomBuilder:
+    def __init__(self, expected_keys: int):
+        self.nbits = max(64, expected_keys * _BLOOM_BITS_PER_KEY)
+        self.hashes = _BLOOM_HASHES
+        self.bits = bytearray((self.nbits + 7) // 8)
+
+    def add(self, key: bytes) -> None:
+        for probe in _bloom_probes(key, self.nbits, self.hashes):
+            self.bits[probe >> 3] |= 1 << (probe & 7)
+
+
+def write_segment(
+    path: str,
+    namespace: str,
+    items: Iterable[Tuple[bytes, Optional[bytes]]],
+    sparse_every: int = 32,
+    expected_keys: int = 0,
+) -> int:
+    """Write one sorted run to ``path``; return the entry count.
+
+    ``items`` must be key-ascending with no duplicate keys; a ``None``
+    value writes a delete marker.  The file is written to a temporary name
+    and renamed into place so a crash mid-write can never leave a file that
+    *both* carries the real name and passes validation.
+    """
+    tmp_path = path + ".tmp"
+    entries = 0
+    keys: List[bytes] = []  # sparse anchors only
+    offsets: List[int] = []
+    bloom = _BloomBuilder(max(expected_keys, 1))
+    min_key: Optional[bytes] = None
+    max_key: Optional[bytes] = None
+    grow_bloom: List[bytes] = []
+    with open(tmp_path, "wb") as handle:
+        handle.write(_HEADER)
+        offset = len(_HEADER)
+        last_key: Optional[bytes] = None
+        for key, value in items:
+            if last_key is not None and key <= last_key:
+                raise SegmentError(
+                    f"segment items out of order: {key!r} after {last_key!r}"
+                )
+            last_key = key
+            if entries % sparse_every == 0:
+                keys.append(key)
+                offsets.append(offset)
+            if expected_keys:
+                bloom.add(key)
+            else:
+                grow_bloom.append(key)
+            val_len = _DELETE_LEN if value is None else len(value)
+            handle.write(_ENTRY.pack(len(key), val_len))
+            handle.write(key)
+            if value is not None:
+                handle.write(value)
+            offset += _ENTRY.size + len(key) + (0 if value is None else len(value))
+            if min_key is None:
+                min_key = key
+            max_key = key
+            entries += 1
+        if not expected_keys:
+            bloom = _BloomBuilder(max(entries, 1))
+            for key in grow_bloom:
+                bloom.add(key)
+        footer_offset = offset
+        footer_parts: List[bytes] = []
+        ns = namespace.encode("utf-8")
+        footer_parts.append(_U16.pack(len(ns)) + ns)
+        footer_parts.append(_U64.pack(entries))
+        footer_parts.append(_U32.pack(len(min_key or b"")) + (min_key or b""))
+        footer_parts.append(_U32.pack(len(max_key or b"")) + (max_key or b""))
+        footer_parts.append(_U32.pack(len(keys)))
+        for anchor, anchor_offset in zip(keys, offsets):
+            footer_parts.append(_U32.pack(len(anchor)) + anchor)
+            footer_parts.append(_U64.pack(anchor_offset))
+        footer_parts.append(_U32.pack(bloom.nbits))
+        footer_parts.append(bytes([bloom.hashes]))
+        footer_parts.append(_U32.pack(len(bloom.bits)) + bytes(bloom.bits))
+        footer = b"".join(footer_parts)
+        handle.write(footer)
+        handle.write(
+            _TRAILER.pack(footer_offset, zlib.crc32(footer), _TRAILER_MAGIC)
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    return entries
+
+
+class Segment:
+    """A validated, opened segment file serving reads."""
+
+    def __init__(self, path: str):
+        self.path = path
+        try:
+            self._file = open(path, "rb")
+        except OSError as exc:
+            raise SegmentError(f"cannot open segment {path}: {exc}") from exc
+        try:
+            self._load_footer()
+        except SegmentError:
+            self._file.close()
+            raise
+        except Exception as exc:
+            self._file.close()
+            raise SegmentError(f"corrupt segment {path}: {exc}") from exc
+
+    def _load_footer(self) -> None:
+        handle = self._file
+        size = os.path.getsize(self.path)
+        if size < len(_HEADER) + _TRAILER.size:
+            raise SegmentError(f"segment {self.path} is truncated ({size} bytes)")
+        handle.seek(0)
+        if handle.read(len(_HEADER)) != _HEADER:
+            raise SegmentError(f"segment {self.path} has a bad header")
+        handle.seek(size - _TRAILER.size)
+        footer_offset, footer_crc, magic = _TRAILER.unpack(
+            handle.read(_TRAILER.size)
+        )
+        if magic != _TRAILER_MAGIC:
+            raise SegmentError(f"segment {self.path} has no trailer (torn write)")
+        footer_len = size - _TRAILER.size - footer_offset
+        if footer_len < 0:
+            raise SegmentError(f"segment {self.path} footer offset out of range")
+        handle.seek(footer_offset)
+        footer = handle.read(footer_len)
+        if zlib.crc32(footer) != footer_crc:
+            raise SegmentError(f"segment {self.path} footer fails its CRC")
+        view = memoryview(footer)
+        pos = 0
+        (ns_len,) = _U16.unpack_from(view, pos)
+        pos += _U16.size
+        self.namespace = bytes(view[pos : pos + ns_len]).decode("utf-8")
+        pos += ns_len
+        (self.entry_count,) = _U64.unpack_from(view, pos)
+        pos += _U64.size
+        (min_len,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        self.min_key = bytes(view[pos : pos + min_len])
+        pos += min_len
+        (max_len,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        self.max_key = bytes(view[pos : pos + max_len])
+        pos += max_len
+        (index_count,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        self._index_keys: List[bytes] = []
+        self._index_offsets: List[int] = []
+        for _ in range(index_count):
+            (key_len,) = _U32.unpack_from(view, pos)
+            pos += _U32.size
+            self._index_keys.append(bytes(view[pos : pos + key_len]))
+            pos += key_len
+            (anchor_offset,) = _U64.unpack_from(view, pos)
+            pos += _U64.size
+            self._index_offsets.append(anchor_offset)
+        (self._bloom_nbits,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        self._bloom_hashes = view[pos]
+        pos += 1
+        (bloom_len,) = _U32.unpack_from(view, pos)
+        pos += _U32.size
+        self._bloom_bits = bytes(view[pos : pos + bloom_len])
+        pos += bloom_len
+        if pos != footer_len:
+            raise SegmentError(f"segment {self.path} footer has trailing bytes")
+        self._data_end = footer_offset
+        self.size_bytes = size
+
+    # ------------------------------------------------------------------
+    # Filters / index
+    # ------------------------------------------------------------------
+    def maybe_contains(self, key: bytes) -> bool:
+        """False means definitely absent; True means "check the file"."""
+        if self.entry_count == 0:
+            return False
+        if key < self.min_key or key > self.max_key:
+            return False
+        bits = self._bloom_bits
+        for probe in _bloom_probes(key, self._bloom_nbits, self._bloom_hashes):
+            if not bits[probe >> 3] & (1 << (probe & 7)):
+                return False
+        return True
+
+    def _block_for(self, key: bytes) -> int:
+        """Index of the sparse block that could hold ``key`` (-1 if before)."""
+        import bisect
+
+        return bisect.bisect_right(self._index_keys, key) - 1
+
+    def _block_bounds(self, block: int) -> Tuple[int, int]:
+        start = self._index_offsets[block]
+        end = (
+            self._index_offsets[block + 1]
+            if block + 1 < len(self._index_offsets)
+            else self._data_end
+        )
+        return start, end
+
+    def _read_block(self, block: int) -> List[Tuple[bytes, Optional[bytes]]]:
+        start, end = self._block_bounds(block)
+        self._file.seek(start)
+        data = self._file.read(end - start)
+        entries: List[Tuple[bytes, Optional[bytes]]] = []
+        pos = 0
+        while pos < len(data):
+            key_len, val_len = _ENTRY.unpack_from(data, pos)
+            pos += _ENTRY.size
+            key = data[pos : pos + key_len]
+            pos += key_len
+            if val_len == _DELETE_LEN:
+                entries.append((key, None))
+            else:
+                entries.append((key, data[pos : pos + val_len]))
+                pos += val_len
+        return entries
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """``(found, value)``; a found delete marker is ``(True, None)``."""
+        if not self.maybe_contains(key):
+            return False, None
+        block = self._block_for(key)
+        if block < 0:
+            return False, None
+        for entry_key, value in self._read_block(block):
+            if entry_key == key:
+                return True, value
+            if entry_key > key:
+                break
+        return False, None
+
+    def iter_range(
+        self,
+        start: Optional[bytes] = None,
+        end: Optional[bytes] = None,
+        ascending: bool = True,
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Yield ``(key, value_or_None)`` with ``start <= key < end``.
+
+        Delete markers are yielded (value ``None``) — the LSM merge layer
+        needs them to shadow older segments.
+        """
+        if self.entry_count == 0:
+            return
+        blocks = len(self._index_keys)
+        if ascending:
+            first = 0 if start is None else max(0, self._block_for(start))
+            for block in range(first, blocks):
+                block_start = self._index_keys[block]
+                if end is not None and block_start >= end:
+                    break
+                for key, value in self._read_block(block):
+                    if start is not None and key < start:
+                        continue
+                    if end is not None and key >= end:
+                        return
+                    yield key, value
+        else:
+            if end is None:
+                last = blocks - 1
+            else:
+                last = self._block_for(end)
+                if last < 0:
+                    return
+            for block in range(last, -1, -1):
+                entries = self._read_block(block)
+                if start is not None and entries and entries[-1][0] < start:
+                    return
+                for key, value in reversed(entries):
+                    if end is not None and key >= end:
+                        continue
+                    if start is not None and key < start:
+                        return
+                    yield key, value
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment({os.path.basename(self.path)}, ns={self.namespace!r}, "
+            f"entries={self.entry_count}, bytes={self.size_bytes})"
+        )

@@ -1,0 +1,187 @@
+"""Write-ahead log with torn-tail detection.
+
+Every mutation the LSM engine accepts is appended here *before* it touches
+the memtable, so an acknowledged write survives a crash that loses all
+in-memory state.  The log is a single append-only file of CRC-framed
+records::
+
+    record = crc32(payload) (4 bytes BE) | len(payload) (4 bytes BE) | payload
+    payload = op (1 byte) | ns_len (2) | ns | key_len (4) | key [| val_len (4) | val]
+
+Ops: ``1`` put, ``2`` delete (an engine-level physical removal, e.g.
+anti-entropy pruning — *replication tombstones* are ordinary puts whose
+value encodes the tombstone flag), ``3`` drop-namespace.
+
+Replay reads records until the file ends or a frame fails its length or
+CRC check.  A bad frame is a **torn tail** — the crash interrupted the last
+append — so everything from that offset on is dropped and the file is
+truncated back to the last good record.  Any record before the tear was
+fully written before its writer was acknowledged, so acknowledged writes
+are never lost; the torn record itself was never acknowledged.
+
+The log is reset (truncated to empty) only after a memtable flush has
+durably written its segment files, so at every instant ``segments + WAL``
+covers the full acknowledged history.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+_FRAME = struct.Struct(">II")
+_NS_LEN = struct.Struct(">H")
+_KEY_LEN = struct.Struct(">I")
+
+OP_PUT = 1
+OP_DELETE = 2
+OP_DROP_NAMESPACE = 3
+
+#: One replayed operation: ``(op, namespace, key, value)``; ``key``/``value``
+#: are empty for ops that do not carry them.
+WalOp = Tuple[int, str, bytes, bytes]
+
+
+@dataclass
+class WalReplay:
+    """Outcome of replaying one log file."""
+
+    ops: List[WalOp] = field(default_factory=list)
+    #: File offset just past the last intact record.
+    good_offset: int = 0
+    #: Bytes dropped from a torn tail (0 on a clean log).
+    torn_bytes: int = 0
+
+
+def _encode(op: int, namespace: str, key: bytes, value: Optional[bytes]) -> bytes:
+    ns = namespace.encode("utf-8")
+    parts = [bytes([op]), _NS_LEN.pack(len(ns)), ns]
+    parts.append(_KEY_LEN.pack(len(key)))
+    parts.append(key)
+    if op == OP_PUT:
+        assert value is not None
+        parts.append(_KEY_LEN.pack(len(value)))
+        parts.append(value)
+    return b"".join(parts)
+
+
+def _decode(payload: bytes) -> Optional[WalOp]:
+    try:
+        op = payload[0]
+        offset = 1
+        (ns_len,) = _NS_LEN.unpack_from(payload, offset)
+        offset += _NS_LEN.size
+        namespace = payload[offset : offset + ns_len].decode("utf-8")
+        offset += ns_len
+        (key_len,) = _KEY_LEN.unpack_from(payload, offset)
+        offset += _KEY_LEN.size
+        key = payload[offset : offset + key_len]
+        offset += key_len
+        value = b""
+        if op == OP_PUT:
+            (val_len,) = _KEY_LEN.unpack_from(payload, offset)
+            offset += _KEY_LEN.size
+            value = payload[offset : offset + val_len]
+            if len(value) != val_len:
+                return None
+            offset += val_len
+        if len(key) != key_len or offset != len(payload):
+            return None
+        if op not in (OP_PUT, OP_DELETE, OP_DROP_NAMESPACE):
+            return None
+        return op, namespace, key, value
+    except (IndexError, struct.error, UnicodeDecodeError):
+        return None
+
+
+class WriteAheadLog:
+    """Append-only CRC-framed log backing one engine's memtables."""
+
+    def __init__(self, path: str, sync: bool = False):
+        self.path = path
+        self.sync = sync
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self._file = open(path, "ab")
+        #: Appends since the last reset (mirrors what replay would return).
+        self.records_appended = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append(self, payload: bytes) -> None:
+        frame = _FRAME.pack(zlib.crc32(payload), len(payload)) + payload
+        self._file.write(frame)
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.records_appended += 1
+
+    def append_put(self, namespace: str, key: bytes, value: bytes) -> None:
+        self._append(_encode(OP_PUT, namespace, key, value))
+
+    def append_delete(self, namespace: str, key: bytes) -> None:
+        self._append(_encode(OP_DELETE, namespace, key, None))
+
+    def append_drop_namespace(self, namespace: str) -> None:
+        self._append(_encode(OP_DROP_NAMESPACE, namespace, b"", None))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def reset(self) -> None:
+        """Truncate the log to empty (call only after a durable flush)."""
+        self._file.truncate(0)
+        self._file.seek(0)
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.records_appended = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(path: str, truncate_torn_tail: bool = True) -> WalReplay:
+        """Read every intact record; optionally truncate a torn tail."""
+        replay = WalReplay()
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return replay
+        with open(path, "rb") as handle:
+            offset = 0
+            while True:
+                header = handle.read(_FRAME.size)
+                if len(header) < _FRAME.size:
+                    break
+                crc, length = _FRAME.unpack(header)
+                payload = handle.read(length)
+                if len(payload) < length or zlib.crc32(payload) != crc:
+                    break
+                op = _decode(payload)
+                if op is None:
+                    break
+                replay.ops.append(op)
+                offset += _FRAME.size + length
+        replay.good_offset = offset
+        replay.torn_bytes = max(0, size - offset)
+        if replay.torn_bytes and truncate_torn_tail:
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+        return replay
+
+    def iter_ops(self) -> Iterator[WalOp]:  # pragma: no cover - debugging aid
+        yield from self.replay(self.path, truncate_torn_tail=False).ops

@@ -2,7 +2,9 @@
 
 One screenful answering the operator questions in order of urgency: is the
 SLO burning (burn-rate gauges, alert timeline), is the fleet healthy
-(per-node table: up/down, utilisation, queue backlog, hint backlog), is the
+(per-node table: up/down, utilisation, queue backlog, hint backlog), are
+durable storage engines keeping up (memtable/WAL/segment/compaction table,
+shown only when a node runs one), is the
 prediction model still honest (drift table), and what has traffic been
 doing (sparkline history of throughput-ish counters).  Everything renders
 from the :class:`~repro.obs.telemetry.FleetTelemetry` bundle alone, so the
@@ -135,6 +137,44 @@ def render_dashboard(telemetry: FleetTelemetry, width: int = 72) -> str:
                         f"{util:.2f}",
                         f"{backlog * 1000.0:6.1f}ms",
                         f"{int(hints)}",
+                        spark,
+                    ),
+                    widths,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Storage engines (only present when nodes run a durable engine)
+    # ------------------------------------------------------------------
+    engine_labels = store.label_sets("engine.memtable_bytes")
+    if engine_labels:
+        lines.append("")
+        lines.append("STORAGE ENGINE")
+        header = ("node", "memtable", "wal", "segs", "seg bytes", "compact", "memtable history")
+        widths = (4, 9, 9, 5, 10, 8, 24)
+        lines.append("  " + _format_row(header, widths))
+        for labels in engine_labels:
+            label_dict = dict(labels)
+            node_id = label_dict.get("node", "?")
+            mem_points = store.points("engine.memtable_bytes", label_dict)
+            memtable = mem_points[-1].last if mem_points else 0.0
+            wal = store.latest_value("engine.wal_bytes", label_dict)
+            segments = store.latest_value("engine.segment_count", label_dict)
+            seg_bytes = store.latest_value("engine.segment_bytes", label_dict)
+            compactions = store.latest_value("engine.compactions", label_dict)
+            backlog = store.latest_value("engine.compaction_backlog", label_dict)
+            spark = sparkline([p.mean for p in mem_points], width=24)
+            lines.append(
+                "  "
+                + _format_row(
+                    (
+                        node_id,
+                        f"{int(memtable)}B",
+                        f"{int(wal)}B",
+                        f"{int(segments)}",
+                        f"{int(seg_bytes)}B",
+                        f"{int(compactions)}"
+                        + (f"+{int(backlog)}" if backlog else ""),
                         spark,
                     ),
                     widths,

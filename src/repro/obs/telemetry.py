@@ -10,6 +10,9 @@ runs on the serving event kernel and, every scrape interval, snapshots
 * per-node signals — up/down, utilisation, request-queue backlog, measured
   arrival rate and busy fraction, hint backlog destined for the node, and
   the node's own counters,
+* per-node storage-engine gauges (``engine.memtable_bytes``,
+  ``engine.segment_count``, ``engine.compaction_backlog``, ...) for nodes
+  running a durable engine,
 * fleet roll-ups of the application-server registries (``serving.*``
   traffic counters, ``views.deltas.*`` maintenance rates),
 * SLO totals from the monitor and the admission controller's decisions
@@ -119,6 +122,15 @@ class TelemetryCollector:
                     )
                 for name, value in node.stats.metrics.counters().items():
                     record(name, value, now, labels)
+            engines = getattr(cluster, "engines", None)
+            if engines:
+                for node_id, engine in engines.items():
+                    gauges = engine.gauges()
+                    if not gauges:
+                        continue
+                    labels = {"node": node_id}
+                    for name, value in gauges.items():
+                        record(f"engine.{name}", float(value), now, labels)
         if self.registries_fn is not None:
             rollup: Dict[str, float] = {}
             for registry in self.registries_fn():

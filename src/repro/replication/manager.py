@@ -25,6 +25,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from ..kvstore.engine.base import StorageEngine
 from .ring import HashRing, placement_token
 from .store import (
     MISSING_SEQ,
@@ -32,6 +33,17 @@ from .store import (
     decode_record,
     record_seq,
 )
+
+#: Keys resolved per pass by the chunked offline scans (anti-entropy and
+#: :meth:`ReplicationManager.iter_live`).  Bounds resident memory: a pass
+#: materialises at most this many resolved keys before its replica
+#: iterators are abandoned and mutations (or the consumer) run.
+SCAN_CHUNK_KEYS = 1024
+
+
+def _key_after(key: bytes) -> bytes:
+    """The smallest byte string strictly greater than ``key``."""
+    return key + b"\x00"
 
 
 @dataclass
@@ -106,9 +118,15 @@ class ReplicationManager:
     # ------------------------------------------------------------------
     # Membership
     # ------------------------------------------------------------------
-    def attach_node(self, node_id: int) -> ReplicaStore:
-        """Register a node: empty replica store + ring membership."""
-        store = ReplicaStore()
+    def attach_node(
+        self, node_id: int, engine: Optional[StorageEngine] = None
+    ) -> ReplicaStore:
+        """Register a node: empty replica store + ring membership.
+
+        ``engine`` selects the node's physical storage (default: the
+        in-memory dict engine).
+        """
+        store = ReplicaStore(engine)
         self.stores[node_id] = store
         self._hints.setdefault(node_id, {})
         self.ring.add_node(node_id)
@@ -265,14 +283,35 @@ class ReplicationManager:
 
     def live_key_count(self, namespace: str, node_ids: Sequence[int]) -> int:
         """Number of distinct live (non-tombstone) keys across replicas."""
-        return len(self.merged_range(namespace, node_ids, None, None))
+        return sum(1 for _ in self.iter_live(namespace, node_ids))
 
     def iter_live(
-        self, namespace: str, node_ids: Sequence[int]
+        self,
+        namespace: str,
+        node_ids: Sequence[int],
+        chunk_keys: int = SCAN_CHUNK_KEYS,
     ) -> Iterator[Tuple[bytes, bytes]]:
-        """Iterate the logical content of a namespace in key order."""
-        for key, value, _ in self.merged_range(namespace, node_ids, None, None):
-            yield key, value
+        """Iterate the logical content of a namespace in key order.
+
+        Resolved in chunks of ``chunk_keys``: each chunk is merged with
+        fresh replica iterators starting after the previous chunk's last
+        key, then yielded with no iterator left open.  Resident memory is
+        bounded by the chunk size rather than the namespace size, and —
+        since no replica iterator is live while the consumer runs — the
+        consumer may write back into the cluster between chunks (view
+        backfill does) without invalidating the scan, even on engines whose
+        flushes restructure storage.
+        """
+        start: Optional[bytes] = None
+        while True:
+            triples = self.merged_range(
+                namespace, node_ids, start, None, limit=chunk_keys
+            )
+            for key, value, _ in triples:
+                yield key, value
+            if len(triples) < chunk_keys:
+                return
+            start = _key_after(triples[-1][0])
 
     # ------------------------------------------------------------------
     # Anti-entropy repair
@@ -297,31 +336,96 @@ class ReplicationManager:
         targets = (
             set(self.stores) if target_ids is None else target_ids & set(self.stores)
         )
+        # The pass is an external merge in chunks of SCAN_CHUNK_KEYS keys:
+        # each chunk streams fresh per-replica iterators from a cursor,
+        # resolves newest-wins, *then* applies its copies and discards with
+        # no iterator left open (mutating a store under iteration — or
+        # triggering an engine flush — would invalidate them).  Resident
+        # memory is bounded by the chunk size, never the namespace size.
+        extra_holders = [nid for nid in sorted(targets) if nid not in set(source_ids)]
         for namespace in sorted(namespaces):
-            newest: Dict[bytes, bytes] = {}
-            holders: Dict[bytes, Set[int]] = {}
-            for node_id in source_ids:
-                for key, record in self.stores[node_id].iter_records(namespace):
-                    holders.setdefault(key, set()).add(node_id)
-                    current = newest.get(key)
-                    if current is None or record_seq(record) > record_seq(current):
-                        newest[key] = record
-            for node_id in targets:
-                for key, _ in list(self.stores[node_id].iter_records(namespace)):
-                    holders.setdefault(key, set()).add(node_id)
-            for key, record in newest.items():
-                report.keys_examined += 1
-                owners = self.preference_list(namespace, key)
-                for node_id in owners:
-                    if node_id not in targets:
-                        continue
-                    if self.stores[node_id].apply_record(namespace, key, record):
-                        report._count_copy(node_id, len(record))
-                for node_id in holders.get(key, ()):
-                    if node_id in targets and node_id not in owners:
-                        if self.stores[node_id].discard(namespace, key):
-                            report.keys_removed += 1
+            cursor: Optional[bytes] = None
+            while True:
+                chunk = self._resolve_chunk(
+                    namespace, source_ids, extra_holders, cursor,
+                    SCAN_CHUNK_KEYS,
+                )
+                for key, record, holders in chunk:
+                    report.keys_examined += 1
+                    owners = self.preference_list(namespace, key)
+                    for node_id in owners:
+                        if node_id not in targets:
+                            continue
+                        if self.stores[node_id].apply_record(
+                            namespace, key, record
+                        ):
+                            report._count_copy(node_id, len(record))
+                    for node_id in holders:
+                        if node_id in targets and node_id not in owners:
+                            if self.stores[node_id].discard(namespace, key):
+                                report.keys_removed += 1
+                if len(chunk) < SCAN_CHUNK_KEYS:
+                    break
+                cursor = chunk[-1][0]
         return report
+
+    def _resolve_chunk(
+        self,
+        namespace: str,
+        source_ids: Sequence[int],
+        extra_holders: Sequence[int],
+        cursor: Optional[bytes],
+        chunk_keys: int,
+    ) -> List[Tuple[bytes, bytes, List[int]]]:
+        """Resolve up to ``chunk_keys`` keys after ``cursor`` for repair.
+
+        Returns ``(key, newest source record, holder node ids)`` per key
+        that at least one *source* holds (keys present only on
+        ``extra_holders`` are skipped — repair never trusts them as input);
+        holders span sources and extras.  All replica iterators are
+        exhausted or dropped before returning, so the caller may freely
+        mutate the stores afterwards.
+        """
+        start = None if cursor is None else _key_after(cursor)
+        trusted = set(source_ids)
+
+        def tagged(node_id: int):
+            # Binds node_id eagerly — a genexp here would close over the
+            # loop variable and tag every stream with the last node.
+            return (
+                (key, record, node_id)
+                for key, record in self.stores[node_id].iter_range_records(
+                    namespace, start, None
+                )
+            )
+
+        streams = [
+            tagged(node_id)
+            for node_id in list(source_ids) + list(extra_holders)
+        ]
+        merged = heapq.merge(*streams, key=lambda entry: entry[0])
+        chunk: List[Tuple[bytes, bytes, List[int]]] = []
+        current_key: Optional[bytes] = None
+        best: Optional[bytes] = None
+        holders: List[int] = []
+
+        def flush() -> None:
+            if current_key is not None and best is not None:
+                chunk.append((current_key, best, holders))
+
+        for key, record, node_id in merged:
+            if key != current_key:
+                flush()
+                if len(chunk) >= chunk_keys:
+                    return chunk
+                current_key, best, holders = key, None, []
+            holders.append(node_id)
+            if node_id in trusted and (
+                best is None or record_seq(record) > record_seq(best)
+            ):
+                best = record
+        flush()
+        return chunk
 
     def replay_hints(self, node_id: int) -> RepairReport:
         """Apply (and drain) the hint buffer for a recovered node."""

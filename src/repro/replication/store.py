@@ -1,9 +1,9 @@
 """Per-node versioned replica storage.
 
 Each :class:`~repro.kvstore.node.StorageNode` now physically owns the data
-it is a replica for — one :class:`~repro.kvstore.memory.OrderedKVMap` per
-namespace, holding **versioned records**.  A record is the stored value
-prefixed with an 8-byte write sequence number and a flag byte::
+it is a replica for — one ordered map per namespace, holding **versioned
+records**.  A record is the stored value prefixed with an 8-byte write
+sequence number and a flag byte::
 
     record = seq (8 bytes, big endian) | flags (1 byte) | payload
 
@@ -15,16 +15,23 @@ are tombstones (flag bit set, empty payload) rather than physical removals,
 so a delete can propagate to replicas that missed it exactly like any other
 write.
 
-Reusing :class:`OrderedKVMap` for each replica keeps per-node range scans
-byte-ordered, which the scatter-gather range path merges across replicas.
+The *physical* side — how those per-namespace ordered maps are actually
+held — is delegated to a pluggable
+:class:`~repro.kvstore.engine.base.StorageEngine` (the in-memory dict
+engine by default, or the persistent LSM engine).  Everything logical
+(record encoding, newest-wins conflict resolution) lives here and is
+engine-independent, which is what keeps query results and operation counts
+bit-identical across engines.  Per-node range scans stay byte-ordered
+either way, which the scatter-gather range path merges across replicas.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
-from ..kvstore.memory import OrderedKVMap
+from ..kvstore.engine import DictEngine
+from ..kvstore.engine.base import StorageEngine
 
 _HEADER = struct.Struct(">QB")
 _TOMBSTONE = 0x01
@@ -57,27 +64,27 @@ def record_seq(record: Optional[bytes]) -> int:
 class ReplicaStore:
     """One storage node's replica of every namespace it participates in."""
 
-    def __init__(self) -> None:
-        self._maps: Dict[str, OrderedKVMap] = {}
+    def __init__(self, engine: Optional[StorageEngine] = None) -> None:
+        self.engine: StorageEngine = engine if engine is not None else DictEngine()
 
     # ------------------------------------------------------------------
     # Namespaces
     # ------------------------------------------------------------------
-    def map(self, namespace: str) -> OrderedKVMap:
+    def map(self, namespace: str):
         """The (created-on-demand) ordered map backing one namespace."""
-        return self._maps.setdefault(namespace, OrderedKVMap())
+        return self.engine.map(namespace)
 
     def namespaces(self) -> List[str]:
-        return sorted(self._maps)
+        return self.engine.namespaces()
 
     def drop_namespace(self, namespace: str) -> None:
-        self._maps.pop(namespace, None)
+        self.engine.drop_namespace(namespace)
 
     # ------------------------------------------------------------------
     # Records
     # ------------------------------------------------------------------
     def get_record(self, namespace: str, key: bytes) -> Optional[bytes]:
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         return existing.get(key) if existing is not None else None
 
     def seq_of(self, namespace: str, key: bytes) -> int:
@@ -97,7 +104,7 @@ class ReplicaStore:
 
     def discard(self, namespace: str, key: bytes) -> bool:
         """Physically remove a key (the node is no longer a replica for it)."""
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         return existing.delete(key) if existing is not None else False
 
     def range_records(
@@ -113,7 +120,7 @@ class ReplicaStore:
         Tombstones are *included* — the merge layer needs them to suppress
         deleted keys that another replica still carries live.
         """
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         if existing is None:
             return []
         return existing.range(start, end, limit, ascending)
@@ -127,18 +134,18 @@ class ReplicaStore:
     ) -> Iterator[Tuple[bytes, bytes]]:
         """Lazily iterate this replica's records in a key range (tombstones
         included), so limit-honouring merges can stop early."""
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         if existing is None:
             return iter(())
         return existing.iter_range(start, end, ascending)
 
     def iter_records(self, namespace: str) -> Iterator[Tuple[bytes, bytes]]:
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         if existing is None:
             return iter(())
         return existing.iter_items()
 
     def key_count(self, namespace: str) -> int:
         """Number of stored records (tombstones included) in a namespace."""
-        existing = self._maps.get(namespace)
+        existing = self.engine.peek(namespace)
         return len(existing) if existing is not None else 0

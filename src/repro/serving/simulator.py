@@ -55,6 +55,11 @@ class ServingConfig:
         )
     )
     control_interval_seconds: float = 0.5
+    #: How often the event kernel runs background storage-engine
+    #: maintenance (LSM compaction).  Only scheduled when the cluster has
+    #: at least one durable engine; the in-memory dict engine never needs
+    #: it and pays nothing.
+    engine_maintenance_interval_seconds: float = 0.25
     monitor_window_seconds: float = 5.0
     rate_smoothing_seconds: float = 2.0
     admission_enabled: bool = False
@@ -99,6 +104,8 @@ class ServingConfig:
             raise ValueError("duration must be positive")
         if self.control_interval_seconds <= 0:
             raise ValueError("control interval must be positive")
+        if self.engine_maintenance_interval_seconds <= 0:
+            raise ValueError("engine maintenance interval must be positive")
         if self.telemetry_interval_seconds <= 0:
             raise ValueError("telemetry interval must be positive")
 
@@ -261,6 +268,15 @@ class ServingSimulation:
         if next_tick <= self.config.duration_seconds:
             sim.schedule_at(next_tick, self._control_tick, name="control-tick")
 
+    def _engine_maintenance_tick(self, sim: Simulation) -> None:
+        self.db.cluster.run_engine_maintenance()
+        next_tick = sim.now + self.config.engine_maintenance_interval_seconds
+        if next_tick <= self.config.duration_seconds:
+            sim.schedule_at(
+                next_tick, self._engine_maintenance_tick,
+                name="engine-maintenance",
+            )
+
     # ------------------------------------------------------------------
     # Running
     # ------------------------------------------------------------------
@@ -288,6 +304,15 @@ class ServingSimulation:
                 self.config.control_interval_seconds, self._control_tick,
                 name="control-tick",
             )
+            if any(
+                engine.durable
+                for engine in self.db.cluster.engines.values()
+            ):
+                self.sim.schedule_at(
+                    self.config.engine_maintenance_interval_seconds,
+                    self._engine_maintenance_tick,
+                    name="engine-maintenance",
+                )
             if self.telemetry is not None:
                 self.telemetry.collector.schedule(
                     self.sim,

@@ -172,7 +172,11 @@ class TestCli:
         with open("benchmarks/baselines/BENCH_summary.json", encoding="utf-8") as handle:
             baseline = json.load(handle)
         assert baseline["schema"] == SCHEMA
-        assert set(baseline["benches"]) == {"quick_query", "quick_serving"}
+        assert set(baseline["benches"]) == {
+            "quick_query",
+            "quick_serving",
+            "quick_storage",
+        }
         # Self-diff of the committed baseline is trivially clean.
         assert compare_summaries(baseline, baseline) == []
 

@@ -1,0 +1,345 @@
+"""Tests for the LSM-lite storage engine: oracle parity, durability, recovery.
+
+Every test runs in a pytest tmp directory; nothing is written inside the
+repository.  The in-memory :class:`OrderedKVMap` is the behavioural oracle —
+an LSM tree must be observationally identical through the whole map surface
+no matter how its state is split between memtable, WAL, and segments.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.kvstore.engine import create_engine
+from repro.kvstore.engine.lsm import LsmEngine
+from repro.kvstore.engine.segment import write_segment
+from repro.kvstore.memory import OrderedKVMap
+
+
+@pytest.fixture
+def engine(tmp_path):
+    engine = LsmEngine(str(tmp_path / "node-0"), memtable_budget_bytes=2048)
+    yield engine
+    engine.close()
+
+
+def _fill(target, count: int, prefix: str = "k") -> None:
+    for index in range(count):
+        target.put(f"{prefix}{index:04d}".encode(), f"v{index}".encode())
+
+
+class TestFactory:
+    def test_create_engine_places_lsm_under_data_dir(self, tmp_path):
+        engine = create_engine("lsm", 3, data_dir=str(tmp_path))
+        try:
+            assert engine.data_dir == str(tmp_path / "node-3")
+            assert engine.durable
+        finally:
+            engine.close()
+
+    def test_dict_engine_is_the_default(self):
+        engine = create_engine("dict", 0)
+        assert not engine.durable
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            create_engine("rocksdb", 0)
+
+
+class TestOracleParity:
+    def test_randomized_ops_match_ordered_map(self, engine):
+        """Mixed workload with flushes and compactions interleaved."""
+        oracle = OrderedKVMap()
+        tree = engine.map("data")
+        rng = random.Random(42)
+        keys = [f"k{i:03d}".encode() for i in range(120)]
+        for step in range(3000):
+            key = rng.choice(keys)
+            action = rng.random()
+            if action < 0.55:
+                value = f"v{step}".encode()
+                tree.put(key, value)
+                oracle.put(key, value)
+            elif action < 0.75:
+                assert tree.delete(key) == oracle.delete(key)
+            elif action < 0.85:
+                assert tree.get(key) == oracle.get(key)
+                assert (key in tree) == (key in oracle)
+            else:
+                lo, hi = sorted(rng.sample(range(len(keys)), 2))
+                start, end = keys[lo], keys[hi]
+                limit = rng.choice([None, 1, 5])
+                ascending = rng.random() < 0.5
+                assert tree.range(start, end, limit, ascending) == oracle.range(
+                    start, end, limit, ascending
+                )
+                assert tree.count_range(start, end) == oracle.count_range(start, end)
+            if step % 500 == 250:
+                engine.run_maintenance()
+        assert list(tree.iter_items()) == list(oracle.iter_items())
+        assert len(tree) == len(oracle)
+
+    def test_type_errors_match_ordered_map(self, engine):
+        tree = engine.map("data")
+        with pytest.raises(TypeError):
+            tree.put("str-key", b"v")
+        with pytest.raises(TypeError):
+            tree.put(b"k", 42)
+        with pytest.raises(ValueError):
+            tree.range(limit=-1)
+
+    def test_test_and_set_semantics(self, engine):
+        tree = engine.map("data")
+        assert tree.test_and_set(b"k", None, b"v1")
+        assert not tree.test_and_set(b"k", None, b"v2")
+        assert tree.test_and_set(b"k", b"v1", b"v2")
+        assert tree.get(b"k") == b"v2"
+
+
+class TestFlushAndCompaction:
+    def test_budget_bounds_memtable_bytes(self, engine):
+        _fill(engine.map("data"), 500)
+        # Every mutation that pushes past the budget triggers a flush, so
+        # resident memtable bytes never stay above the configured budget.
+        assert engine.memtable_bytes() <= engine.memtable_budget_bytes
+        assert engine.flushes > 0
+        assert engine.wal.records_appended < 500  # reset on every flush
+
+    def test_flush_resets_wal_and_preserves_reads(self, engine):
+        tree = engine.map("data")
+        _fill(tree, 40)
+        engine.flush()
+        assert engine.wal.size_bytes() == 0
+        assert engine.memtable_bytes() == 0
+        assert tree.get(b"k0000") == b"v0"
+        assert len(tree) == 40
+
+    def test_delete_of_flushed_key_needs_a_marker(self, engine):
+        tree = engine.map("data")
+        tree.put(b"k", b"v")
+        engine.flush()
+        assert tree.delete(b"k")
+        assert tree.get(b"k") is None
+        assert b"k" not in tree
+        engine.flush()  # the marker must survive its own flush
+        assert tree.get(b"k") is None
+        assert list(tree.iter_items()) == []
+
+    def test_maintenance_compacts_segment_runs(self, engine):
+        tree = engine.map("data")
+        # Rounds small enough to stay under the memtable budget, so each
+        # explicit flush writes one same-sized (same-tier) segment.
+        for round_index in range(6):
+            _fill(tree, 20, prefix=f"r{round_index}-")
+            engine.flush()
+        assert len(tree.segments) >= engine.fanout
+        assert engine.maintenance_backlog() > 0
+        before = len(tree.segments)
+        ran = engine.run_maintenance()
+        assert ran > 0
+        assert len(tree.segments) < before
+        assert len(tree) == 120
+
+    def test_hard_cap_backstops_segment_growth(self, tmp_path):
+        engine = LsmEngine(
+            str(tmp_path / "node"), memtable_budget_bytes=256, fanout=2
+        )
+        try:
+            tree = engine.map("data")
+            rng = random.Random(5)
+            for step in range(2000):
+                key = f"k{rng.randrange(200):03d}".encode()
+                tree.put(key, f"v{step}".encode())
+            # Without a kernel draining the backlog the inline backstop
+            # keeps the per-tree segment count bounded.
+            assert len(tree.segments) <= engine.hard_segment_cap
+            assert engine.compactions > 0
+        finally:
+            engine.close()
+
+    def test_compaction_is_invisible_to_readers(self, engine):
+        oracle = OrderedKVMap()
+        tree = engine.map("data")
+        rng = random.Random(9)
+        for step in range(800):
+            key = f"k{rng.randrange(80):03d}".encode()
+            if rng.random() < 0.3 and oracle.get(key) is not None:
+                tree.delete(key)
+                oracle.delete(key)
+            else:
+                tree.put(key, f"v{step}".encode())
+                oracle.put(key, f"v{step}".encode())
+            if step % 100 == 99:
+                engine.flush()
+        while engine.run_maintenance():
+            pass
+        assert list(tree.iter_items()) == list(oracle.iter_items())
+
+
+class TestCrashRecovery:
+    def test_acked_writes_survive_crash(self, engine):
+        tree = engine.map("data")
+        _fill(tree, 120)  # crosses several flushes
+        tree.delete(b"k0005")
+        expected = [
+            (f"k{i:04d}".encode(), f"v{i}".encode()) for i in range(120) if i != 5
+        ]
+        engine.crash()
+        with pytest.raises(RuntimeError):
+            engine.map("data")
+        info = engine.recover()
+        assert info.segments_loaded + (1 if info.wal_records_replayed else 0) > 0
+        assert list(engine.map("data").iter_items()) == expected
+
+    def test_fresh_engine_restores_from_directory(self, tmp_path):
+        path = str(tmp_path / "node")
+        engine = LsmEngine(path, memtable_budget_bytes=2048)
+        _fill(engine.map("data"), 100)
+        engine.map("idx").put(b"i1", b"x")
+        engine.close()  # clean shutdown flushes everything
+
+        reborn = LsmEngine(path, memtable_budget_bytes=2048)
+        try:
+            assert reborn.last_recovery.segments_loaded > 0
+            assert reborn.last_recovery.wal_records_replayed == 0
+            assert sorted(reborn.namespaces()) == ["data", "idx"]
+            assert len(reborn.map("data")) == 100
+            assert reborn.map("idx").get(b"i1") == b"x"
+        finally:
+            reborn.close()
+
+    def test_torn_wal_tail_is_truncated_on_recovery(self, engine):
+        tree = engine.map("data")
+        tree.put(b"k1", b"v1")
+        tree.put(b"k2", b"v2")
+        engine.crash()
+        with open(os.path.join(engine.data_dir, "wal.log"), "ab") as handle:
+            handle.write(b"\x13\x37torn")
+        info = engine.recover()
+        assert info.wal_records_replayed == 2
+        assert info.torn_tail_bytes_dropped == 6
+        assert engine.map("data").get(b"k2") == b"v2"
+
+    def test_partial_segment_is_discarded_and_covered_by_wal(self, engine):
+        tree = engine.map("data")
+        _fill(tree, 10)
+        engine.crash()
+        # A crash mid-flush leaves a file without a valid trailer.
+        with open(os.path.join(engine.data_dir, "seg-00000099.seg"), "wb") as handle:
+            handle.write(b"SEG1partial garbage")
+        info = engine.recover()
+        assert info.partial_segments_discarded == 1
+        assert not os.path.exists(
+            os.path.join(engine.data_dir, "seg-00000099.seg")
+        )
+        assert len(engine.map("data")) == 10
+
+    def test_foreign_segment_namespace_is_recovered(self, tmp_path):
+        # A valid segment present on disk (e.g. from a bulk load) is adopted
+        # even when the WAL never mentions its namespace.
+        path = str(tmp_path / "node")
+        engine = LsmEngine(path)
+        engine.close()
+        write_segment(
+            os.path.join(path, "seg-00000000.seg"), "loaded", [(b"a", b"1")]
+        )
+        reborn = LsmEngine(path)
+        try:
+            assert reborn.namespaces() == ["loaded"]
+            assert reborn.map("loaded").get(b"a") == b"1"
+        finally:
+            reborn.close()
+
+    def test_drop_namespace_survives_crash_replay(self, engine):
+        tree = engine.map("data")
+        tree.put(b"k", b"v")
+        tree.clear()
+        tree.put(b"after", b"1")
+        engine.crash()
+        engine.recover()
+        assert list(engine.map("data").iter_items()) == [(b"after", b"1")]
+
+    def test_recovered_engine_keeps_generation_monotonic(self, engine):
+        _fill(engine.map("data"), 60)
+        engine.flush()
+        gens_before = sorted(
+            name for name in os.listdir(engine.data_dir) if name.endswith(".seg")
+        )
+        engine.crash()
+        engine.recover()
+        _fill(engine.map("data"), 60, prefix="x")
+        engine.flush()
+        gens_after = sorted(
+            name for name in os.listdir(engine.data_dir) if name.endswith(".seg")
+        )
+        # New segments never reuse an existing generation number.
+        assert set(gens_before) <= set(gens_after)
+        assert len(gens_after) > len(gens_before)
+
+
+class TestBulkLoad:
+    def test_budgeted_bulk_load_spills_and_dedupes(self, engine):
+        rng = random.Random(21)
+        pairs = []
+        for i in range(2000):
+            pairs.append((f"k{rng.randrange(500):04d}".encode(), f"v{i}".encode()))
+        stored = engine.bulk_load("data", pairs, memory_budget_bytes=1024)
+        expected = dict(pairs)
+        assert stored == len(expected)
+        assert engine.bulk_spill_count > 0
+        assert engine.bulk_loads == 1
+        tree = engine.map("data")
+        assert list(tree.iter_items()) == sorted(expected.items())
+        # Scratch runs are cleaned up.
+        spill_dir = os.path.join(engine.data_dir, "spill")
+        assert not os.path.isdir(spill_dir) or not os.listdir(spill_dir)
+
+    def test_bulk_load_is_durable_without_wal_traffic(self, tmp_path):
+        path = str(tmp_path / "node")
+        engine = LsmEngine(path)
+        engine.bulk_load("data", [(b"a", b"1"), (b"b", b"2")])
+        assert engine.wal.records_appended == 0
+        engine.crash()
+        engine.recover()
+        assert list(engine.map("data").iter_items()) == [(b"a", b"1"), (b"b", b"2")]
+        engine.close()
+
+    def test_bulk_load_lands_newest(self, engine):
+        tree = engine.map("data")
+        tree.put(b"k", b"old")
+        engine.bulk_load("data", [(b"k", b"new")])
+        assert tree.get(b"k") == b"new"
+        # ...but later point writes still win over the loaded segment.
+        tree.put(b"k", b"newer")
+        assert tree.get(b"k") == b"newer"
+
+
+class TestObservability:
+    def test_gauges_cover_the_engine_lifecycle(self, engine):
+        _fill(engine.map("data"), 200)
+        gauges = engine.gauges()
+        for name in (
+            "memtable_bytes",
+            "wal_bytes",
+            "segment_count",
+            "segment_bytes",
+            "compaction_backlog",
+            "flushes",
+            "compactions",
+            "recoveries",
+            "wal_records_replayed",
+            "torn_tail_bytes_dropped",
+            "partial_segments_discarded",
+        ):
+            assert name in gauges
+        assert gauges["segment_count"] > 0
+        assert gauges["segment_bytes"] > 0
+        assert gauges["flushes"] == engine.flushes
+
+    def test_destroy_removes_the_directory(self, tmp_path):
+        path = str(tmp_path / "node")
+        engine = LsmEngine(path)
+        engine.map("data").put(b"k", b"v")
+        engine.destroy()
+        assert not os.path.exists(path)

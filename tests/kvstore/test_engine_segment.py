@@ -1,0 +1,131 @@
+"""Unit tests for sorted segment files (format, filters, range scans)."""
+
+import os
+
+import pytest
+
+from repro.kvstore.engine.segment import Segment, SegmentError, write_segment
+
+
+def _items(count: int):
+    return [(f"k{index:04d}".encode(), f"v{index}".encode()) for index in range(count)]
+
+
+@pytest.fixture
+def segment(tmp_path):
+    path = str(tmp_path / "seg-00000000.seg")
+    write_segment(path, "data", _items(200), sparse_every=8)
+    seg = Segment(path)
+    yield seg
+    seg.close()
+
+
+class TestRoundTrip:
+    def test_metadata(self, segment):
+        assert segment.namespace == "data"
+        assert segment.entry_count == 200
+        assert segment.min_key == b"k0000"
+        assert segment.max_key == b"k0199"
+        assert segment.size_bytes == os.path.getsize(segment.path)
+
+    def test_point_lookups(self, segment):
+        for index in (0, 1, 7, 8, 99, 198, 199):
+            found, value = segment.get(f"k{index:04d}".encode())
+            assert found and value == f"v{index}".encode()
+        assert segment.get(b"k0200") == (False, None)
+        assert segment.get(b"a") == (False, None)
+        assert segment.get(b"z") == (False, None)
+        # A key inside the range but absent from the file.
+        assert segment.get(b"k0005x") == (False, None)
+
+    def test_bloom_rejects_out_of_range(self, segment):
+        assert not segment.maybe_contains(b"zzz")
+        assert not segment.maybe_contains(b"")
+        assert segment.maybe_contains(b"k0042")
+
+    def test_full_scan_ascending_and_descending(self, segment):
+        expected = _items(200)
+        assert list(segment.iter_range()) == expected
+        assert list(segment.iter_range(ascending=False)) == expected[::-1]
+
+    def test_bounded_scans(self, segment):
+        rows = list(segment.iter_range(b"k0010", b"k0015"))
+        assert [key for key, _ in rows] == [
+            f"k{index:04d}".encode() for index in range(10, 15)
+        ]
+        rows = list(segment.iter_range(b"k0010", b"k0015", ascending=False))
+        assert [key for key, _ in rows] == [
+            f"k{index:04d}".encode() for index in range(14, 9, -1)
+        ]
+        # Bounds falling between keys behave as half-open intervals.
+        assert [k for k, _ in segment.iter_range(b"k0197x", None)] == [b"k0198", b"k0199"]
+        assert list(segment.iter_range(b"x", b"z")) == []
+
+    def test_delete_markers_roundtrip(self, tmp_path):
+        path = str(tmp_path / "seg-00000001.seg")
+        write_segment(path, "data", [(b"a", b"1"), (b"b", None), (b"c", b"3")])
+        seg = Segment(path)
+        try:
+            assert seg.get(b"b") == (True, None)
+            assert list(seg.iter_range()) == [(b"a", b"1"), (b"b", None), (b"c", b"3")]
+        finally:
+            seg.close()
+
+    def test_empty_segment(self, tmp_path):
+        path = str(tmp_path / "seg-00000002.seg")
+        assert write_segment(path, "data", []) == 0
+        seg = Segment(path)
+        try:
+            assert seg.entry_count == 0
+            assert seg.get(b"k") == (False, None)
+            assert list(seg.iter_range()) == []
+        finally:
+            seg.close()
+
+
+class TestValidation:
+    def test_out_of_order_items_raise(self, tmp_path):
+        path = str(tmp_path / "bad.seg")
+        with pytest.raises(SegmentError):
+            write_segment(path, "data", [(b"b", b"1"), (b"a", b"2")])
+        with pytest.raises(SegmentError):
+            write_segment(path, "data", [(b"a", b"1"), (b"a", b"2")])
+
+    def test_partial_write_leaves_no_segment(self, tmp_path):
+        # write_segment goes through a temporary name, so a failed write
+        # never leaves a file under the real name.
+        path = str(tmp_path / "seg-00000003.seg")
+        with pytest.raises(SegmentError):
+            write_segment(path, "data", [(b"b", b"1"), (b"a", b"2")])
+        assert not os.path.exists(path)
+
+    def test_truncated_file_fails_validation(self, tmp_path):
+        path = str(tmp_path / "seg-00000004.seg")
+        write_segment(path, "data", _items(50))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        with pytest.raises(SegmentError):
+            Segment(path)
+
+    def test_corrupt_footer_fails_validation(self, tmp_path):
+        path = str(tmp_path / "seg-00000005.seg")
+        write_segment(path, "data", _items(50))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 30)
+            handle.write(b"\xff")
+        with pytest.raises(SegmentError):
+            Segment(path)
+
+    def test_missing_file_fails_validation(self, tmp_path):
+        with pytest.raises(SegmentError):
+            Segment(str(tmp_path / "absent.seg"))
+
+    def test_bad_header_fails_validation(self, tmp_path):
+        path = str(tmp_path / "seg-00000006.seg")
+        write_segment(path, "data", _items(10))
+        with open(path, "r+b") as handle:
+            handle.write(b"NOPE")
+        with pytest.raises(SegmentError):
+            Segment(path)

@@ -1,0 +1,248 @@
+"""Cluster-level storage-engine tests: dict/LSM parity and crash recovery.
+
+The acceptance bar of the storage-engine PR:
+
+* the dict and LSM engines are observationally identical through the
+  cluster surface — values, charged latencies, serving node ids, keys
+  touched, and every non-engine metric match operation for operation;
+* acknowledged writes are never lost across a durable crash+recover, and
+  the repair traffic (hint replay, anti-entropy copies) matches the
+  in-memory arm exactly, because disk recovery restores records at their
+  pre-crash sequence numbers and re-pushing them is a newest-wins no-op.
+"""
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.kvstore import ClusterConfig, KeyValueCluster
+
+
+def _make_cluster(engine: str, tmp_path, **engine_options) -> KeyValueCluster:
+    options = dict(engine_options)
+    if engine == "lsm":
+        options.setdefault("data_dir", str(tmp_path / "lsm"))
+        options.setdefault("memtable_budget_bytes", 4096)
+    return KeyValueCluster(
+        ClusterConfig(
+            storage_nodes=5,
+            replication=3,
+            read_quorum=2,
+            write_quorum=2,
+            seed=11,
+            storage_engine=engine,
+            engine_options=options or None,
+        )
+    )
+
+
+def _mirrored_run(cluster: KeyValueCluster, crash_at: int, recover_at: int):
+    """One deterministic mixed workload with a mid-run crash+recover."""
+    cluster.create_namespace("data")
+    rng = random.Random(77)
+    observations: List[Tuple] = []
+    for step in range(700):
+        if step == crash_at:
+            cluster.crash_node(1)
+        if step == recover_at:
+            report = cluster.recover_node(1)
+            observations.append(
+                ("repair", report.hints_replayed, report.keys_copied)
+            )
+        key = f"k{rng.randrange(150):03d}".encode()
+        action = rng.random()
+        if action < 0.5:
+            result = cluster.put("data", key, f"v{step}".encode())
+        elif action < 0.7:
+            result = cluster.get("data", key)
+        elif action < 0.8:
+            result = cluster.delete("data", key)
+        else:
+            end = key + b"\xff"
+            result = cluster.get_range("data", key, end, limit=10)
+        observations.append(
+            (
+                result.value,
+                round(result.latency_seconds, 12),
+                result.node_id,
+                result.keys_touched,
+                result.hinted,
+            )
+        )
+    final = {
+        key: value for key, value in cluster.iter_namespace("data")
+    }
+    metrics = {
+        name: value
+        for name, value in cluster.metrics.counters().items()
+        if not name.startswith("engine.")
+    }
+    return observations, final, metrics
+
+
+class TestDictLsmParity:
+    def test_mirrored_workload_is_bit_identical(self, tmp_path):
+        dict_cluster = _make_cluster("dict", tmp_path)
+        lsm_cluster = _make_cluster("lsm", tmp_path)
+        try:
+            dict_run = _mirrored_run(dict_cluster, crash_at=250, recover_at=400)
+            lsm_run = _mirrored_run(lsm_cluster, crash_at=250, recover_at=400)
+            assert dict_run[0] == lsm_run[0]  # values/latencies/nodes/ops
+            assert dict_run[1] == lsm_run[1]  # final contents
+            assert dict_run[2] == lsm_run[2]  # non-engine metrics
+        finally:
+            lsm_cluster.close()
+
+    def test_lsm_recovery_actually_restored_from_disk(self, tmp_path):
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            _mirrored_run(cluster, crash_at=250, recover_at=400)
+            info = cluster.last_engine_recovery
+            assert info is not None
+            assert info.segments_loaded + info.wal_records_replayed > 0
+            counters = cluster.metrics.counters()
+            assert counters["engine.recoveries"] == 1
+        finally:
+            cluster.close()
+
+
+class TestAckedWritesNeverLost:
+    def test_every_acknowledged_write_survives_crash_recover(self, tmp_path):
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            cluster.create_namespace("data")
+            acked: Dict[bytes, bytes] = {}
+            for index in range(200):
+                key = f"k{index:03d}".encode()
+                value = f"v{index}".encode()
+                cluster.put("data", key, value)
+                acked[key] = value
+            cluster.crash_node(2)
+            # Writes continue while the node is down: its replicas get hints.
+            for index in range(200, 320):
+                key = f"k{index:03d}".encode()
+                value = f"v{index}".encode()
+                cluster.put("data", key, value)
+                acked[key] = value
+            cluster.recover_node(2)
+            # Disk recovery + hint replay + anti-entropy together must
+            # reproduce the full acknowledged history.
+            assert dict(cluster.iter_namespace("data")) == acked
+            for key, value in acked.items():
+                assert cluster.get("data", key).value == value
+        finally:
+            cluster.close()
+
+    def test_hint_replay_oracle_matches_engine_arm(self, tmp_path):
+        """Hints replayed on recovery are identical dict-vs-lsm (same delta)."""
+        results = {}
+        for engine in ("dict", "lsm"):
+            cluster = _make_cluster(engine, tmp_path)
+            try:
+                cluster.create_namespace("data")
+                for index in range(100):
+                    cluster.put("data", f"k{index:03d}".encode(), b"v")
+                cluster.crash_node(0)
+                for index in range(40):
+                    cluster.put("data", f"x{index:03d}".encode(), b"w")
+                report = cluster.recover_node(0)
+                results[engine] = (
+                    report.hints_replayed,
+                    report.keys_copied,
+                    report.keys_examined,
+                    cluster.metrics.counters().get(
+                        "replication.hints_replayed", 0
+                    ),
+                )
+            finally:
+                cluster.close()
+        assert results["dict"] == results["lsm"]
+
+    def test_double_crash_recover_cycles(self, tmp_path):
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            cluster.create_namespace("data")
+            expected = {}
+            for cycle in range(3):
+                for index in range(60):
+                    key = f"c{cycle}-k{index:02d}".encode()
+                    cluster.put("data", key, f"v{cycle}".encode())
+                    expected[key] = f"v{cycle}".encode()
+                cluster.crash_node(cycle % 5)
+                cluster.recover_node(cycle % 5)
+            assert dict(cluster.iter_namespace("data")) == expected
+            assert cluster.metrics.counters()["engine.recoveries"] == 3
+        finally:
+            cluster.close()
+
+
+class TestTopologyWithEngines:
+    def test_add_node_gets_its_own_engine(self, tmp_path):
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            cluster.create_namespace("data")
+            for index in range(80):
+                cluster.put("data", f"k{index:03d}".encode(), b"v")
+            node = cluster.add_node()
+            assert cluster.engine(node.node_id).durable
+            assert dict(cluster.iter_namespace("data")) == {
+                f"k{index:03d}".encode(): b"v" for index in range(80)
+            }
+        finally:
+            cluster.close()
+
+    def test_remove_node_destroys_its_disk_state(self, tmp_path):
+        import os
+
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            cluster.create_namespace("data")
+            for index in range(80):
+                cluster.put("data", f"k{index:03d}".encode(), b"v")
+            cluster.flush_storage()
+            departing = cluster.nodes[-1].node_id
+            data_dir = cluster.engine(departing).data_dir
+            cluster.remove_node()
+            assert not os.path.exists(data_dir)
+            assert departing not in cluster.engines
+        finally:
+            cluster.close()
+
+
+class TestBudgetedBulkLoad:
+    def test_bulk_load_matches_per_record_load(self, tmp_path):
+        rng = random.Random(13)
+        rows = [
+            (f"k{rng.randrange(400):04d}".encode(), f"v{i}".encode())
+            for i in range(1500)
+        ]
+        reference = _make_cluster("dict", tmp_path)
+        reference.create_namespace("data")
+        for key, value in rows:
+            reference.load("data", key, value)
+
+        loaded = _make_cluster("lsm", tmp_path)
+        try:
+            loaded.create_namespace("data")
+            loaded.bulk_load_namespace(
+                "data", iter(rows), memory_budget_bytes=4096
+            )
+            assert dict(loaded.iter_namespace("data")) == dict(
+                reference.iter_namespace("data")
+            )
+        finally:
+            loaded.close()
+
+    def test_bulk_load_hints_down_nodes(self, tmp_path):
+        cluster = _make_cluster("lsm", tmp_path)
+        try:
+            cluster.create_namespace("data")
+            cluster.crash_node(3)
+            rows = [(f"k{i:03d}".encode(), b"v") for i in range(120)]
+            cluster.bulk_load_namespace("data", iter(rows))
+            assert cluster.metrics.counters()["replication.hints_added"] > 0
+            cluster.recover_node(3)
+            assert dict(cluster.iter_namespace("data")) == dict(rows)
+        finally:
+            cluster.close()
