@@ -13,6 +13,7 @@ from .engine.query import PreparedQuery
 from .engine.session import QueryFuture, ResultCursor, Session
 from .errors import (
     CardinalityViolationError,
+    CircuitOpenError,
     ConstraintViolationError,
     CursorError,
     ExecutionError,
@@ -22,6 +23,8 @@ from .errors import (
     PlanningError,
     PredictionError,
     QuorumNotMetError,
+    RetryBudgetExhaustedError,
+    RpcTimeoutError,
     SchemaError,
     UnavailableError,
     UniquenessViolationError,
@@ -29,12 +32,14 @@ from .errors import (
 from .execution.context import ExecutionStrategy, QueryResult
 from .kvstore.cluster import ClusterConfig, KeyValueCluster
 from .kvstore.latency import LatencyParameters
+from .resilience.policy import ResilienceConfig, ResiliencePolicy
 from .views.definition import MaterializedView
 
 __version__ = "0.1.0"
 
 __all__ = [
     "CardinalityViolationError",
+    "CircuitOpenError",
     "ClusterConfig",
     "ConstraintViolationError",
     "CursorError",
@@ -53,7 +58,11 @@ __all__ = [
     "QueryFuture",
     "QueryResult",
     "QuorumNotMetError",
+    "ResilienceConfig",
+    "ResiliencePolicy",
     "ResultCursor",
+    "RetryBudgetExhaustedError",
+    "RpcTimeoutError",
     "SchemaError",
     "Session",
     "UnavailableError",

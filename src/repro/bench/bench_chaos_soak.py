@@ -1,0 +1,104 @@
+"""CLI for the deterministic chaos soak (see :mod:`repro.bench.chaos`).
+
+Runs the paired naive/resilient soak across several seeds, prints the
+invariant verdicts and the partition-window dominance comparison, writes
+``results/chaos_soak.json``, and exits non-zero if any invariant fails on
+any seed — CI runs this with ``--quick`` as a smoke job.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.bench_chaos_soak [--quick]
+        [--seeds 11,23,47]
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional
+
+from .chaos import ChaosSoakConfig, ChaosSoakExperiment, ChaosSoakResult
+from .reporting import format_table, save_results
+
+DEFAULT_SEEDS = (11, 23, 47)
+
+
+def run_seeds(
+    base: ChaosSoakConfig, seeds: List[int]
+) -> Dict[int, ChaosSoakResult]:
+    from dataclasses import replace
+
+    results: Dict[int, ChaosSoakResult] = {}
+    for seed in seeds:
+        results[seed] = ChaosSoakExperiment(replace(base, seed=seed)).run()
+    return results
+
+
+def print_results(results: Dict[int, ChaosSoakResult]) -> None:
+    first = next(iter(results.values())).config
+    print(
+        f"Chaos soak: {first.storage_nodes} nodes "
+        f"(N={first.replication}, R={first.read_quorum}, "
+        f"W={first.write_quorum}), {first.clients} closed-loop clients, "
+        f"{first.duration_seconds:.0f}s per arm "
+        f"({first.warmup_seconds:.0f}s warmup + "
+        f"{first.fault_seconds:.0f}s faults + "
+        f"{first.settle_seconds:.0f}s settle)\n"
+    )
+    rows = []
+    for seed, result in results.items():
+        naive = result.arms["naive"]
+        resilient = result.arms["resilient"]
+        rows.append(
+            (
+                seed,
+                "PASS" if result.holds else "FAIL",
+                f"{resilient.report.availability:.3f}",
+                f"{naive.report.availability:.3f}",
+                resilient.window_failures,
+                naive.window_failures,
+                resilient.audit["lost"],
+                resilient.post_heal_divergence,
+            )
+        )
+    print(
+        format_table(
+            [
+                "seed", "invariants", "avail (res)", "avail (naive)",
+                "window fails (res)", "window fails (naive)", "lost", "diverged",
+            ],
+            rows,
+        )
+    )
+    for seed, result in results.items():
+        failing = [
+            name for name, ok in result.invariants().items() if not ok
+        ]
+        if failing:
+            print(f"\nseed {seed} FAILED: {', '.join(failing)}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    config = ChaosSoakConfig()
+    if "--quick" in args:
+        config = config.quick()
+    seeds = list(DEFAULT_SEEDS)
+    for index, arg in enumerate(args):
+        if arg == "--seeds" and index + 1 < len(args):
+            seeds = [int(part) for part in args[index + 1].split(",")]
+        elif arg.startswith("--seeds="):
+            seeds = [int(part) for part in arg.split("=", 1)[1].split(",")]
+    results = run_seeds(config, seeds)
+    print_results(results)
+    payload = {
+        "quick": "--quick" in args,
+        "seeds": {str(seed): result.payload() for seed, result in results.items()},
+        "all_invariants_hold": all(r.holds for r in results.values()),
+    }
+    target = save_results("chaos_soak", payload)
+    print(f"\nresults written to {target}")
+    return 0 if payload["all_invariants_hold"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

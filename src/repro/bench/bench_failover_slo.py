@@ -34,7 +34,11 @@ from ..engine.database import PiqlDatabase
 from ..errors import UnavailableError
 from ..kvstore.cluster import ClusterConfig, KeyValueCluster
 from ..prediction.slo import ServiceLevelObjective
-from ..replication.faults import FaultSpec, crash_recover_timeline
+from ..replication.faults import (
+    FaultSpec,
+    crash_recover_timeline,
+    fault_event_payload,
+)
 from ..serving.simulator import ServingConfig, ServingReport, ServingSimulation
 from ..workloads.base import WorkloadScale
 from ..workloads.tpcw.workload import TpcwWorkload
@@ -212,12 +216,7 @@ class FailoverSloResult:
             "recovery_ratio": self.recovery_ratio(),
             "availability": failover.availability,
             "faults": [
-                {
-                    "time": event.time,
-                    "kind": event.kind,
-                    "node_id": event.node_id,
-                    "detail": event.detail,
-                }
+                fault_event_payload(event)
                 for event in failover.fault_events
             ],
             "repair": failover.repair.summary() if failover.repair else None,

@@ -1,0 +1,493 @@
+"""Deterministic chaos soak: a seeded fault schedule under live traffic.
+
+The failover benchmark measures one crash; this harness soaks the whole
+fault plane.  A fixed-shape, seed-parameterised schedule walks the cluster
+through four segments — crash/recover, an asymmetric minority partition,
+a flaky + slow + delayed stretch, and a second partition — under
+closed-loop TPC-W traffic, then heals everything and lets the system
+settle.  The same schedule runs twice with identical seeds: once with the
+**naive** immediate-retry client (the legacy loop) and once with the full
+resilience policy (derived timeouts, jittered backoff under a retry
+budget, circuit breakers).
+
+Five invariants must hold on every run, whatever the seed:
+
+1. **No acknowledged write is ever lost** — a metronome of audited quorum
+   writes is read back after the run (the R+W>N guarantee, measured).
+2. **No static-bound violation** — scale-independence does not bend under
+   faults.
+3. **Read-your-writes** — an acknowledged probe write is immediately read
+   back through the read quorum; a successful read must see it.
+4. **Post-heal convergence** — after healing, recovery, and one
+   anti-entropy pass, no replica of any key disagrees: the divergence
+   scan returns zero.
+5. **Availability floor** — the resilient arm completes at least the
+   configured fraction of attempted interactions despite the schedule.
+
+The paired arms add the headline comparison: during the partition
+windows the resilient client must fail **strictly fewer** interactions
+than the naive client, while both arms complete identical work on the
+fault-free warmup prefix (the pairing is honest).
+
+Everything is deterministic: the schedule shape is fixed, and the seed
+drives traffic, latency draws, backoff jitter, and per-link drop draws.
+
+Run via ``PYTHONPATH=src python -m repro.bench.bench_chaos_soak``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..engine.database import PiqlDatabase
+from ..errors import UnavailableError
+from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..prediction.slo import ServiceLevelObjective
+from ..replication.faults import FaultSpec
+from ..replication.store import record_seq
+from ..resilience.policy import ResilienceConfig
+from ..serving.simulator import ServingConfig, ServingReport, ServingSimulation
+from ..workloads.base import WorkloadScale
+from ..workloads.tpcw.workload import TpcwWorkload
+from .bench_failover_slo import WriteAudit
+
+
+@dataclass(frozen=True)
+class ChaosSoakConfig:
+    """Cluster, traffic, schedule shape, and invariant thresholds."""
+
+    storage_nodes: int = 5
+    replication: int = 3
+    read_quorum: int = 2
+    write_quorum: int = 2
+    node_capacity_ops_per_second: float = 400.0
+    users_per_node: int = 20
+    items_total: int = 80
+    clients: int = 16
+    think_time_seconds: float = 0.3
+    #: Fault-free prefix used for the paired-arm identity check.
+    warmup_seconds: float = 6.0
+    #: Length of the fault window; every fault heals before it ends.
+    fault_seconds: float = 18.0
+    #: Quiet tail after the last heal (drain + convergence headroom).
+    settle_seconds: float = 6.0
+    audit_interval_seconds: float = 0.25
+    probe_interval_seconds: float = 0.5
+    #: Minimum fraction of attempted interactions the resilient arm must
+    #: complete across the whole run, faults included.
+    availability_floor: float = 0.5
+    slo: ServiceLevelObjective = field(
+        default_factory=lambda: ServiceLevelObjective(
+            quantile=0.99, latency_seconds=0.5, interval_seconds=5.0
+        )
+    )
+    seed: int = 11
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.warmup_seconds + self.fault_seconds + self.settle_seconds
+
+    def faults(self) -> List[FaultSpec]:
+        """The four-segment schedule, scaled into the fault window.
+
+        Offsets are expressed against the canonical 18-second window and
+        scaled by ``fault_seconds / 18`` so ``--quick`` compresses the
+        same shape instead of dropping segments.  The final heal lands at
+        15.8 units — strictly inside the window — so the settle tail
+        always starts healthy.
+        """
+        w = self.warmup_seconds
+        unit = self.fault_seconds / 18.0
+
+        def at(offset: float) -> float:
+            return w + offset * unit
+
+        return [
+            # Segment A: the classic crash/recover pair.
+            FaultSpec(time=at(0.5), kind="crash", node_id=1),
+            FaultSpec(time=at(3.5), kind="recover", node_id=1),
+            # Segment B: minority partition — nodes 2,3 cut off from the
+            # client and the rest of the cluster (~30% of keys lose their
+            # read/write quorum at N=3, R=W=2 over 5 nodes).
+            FaultSpec(time=at(5.0), kind="partition", groups=((2, 3),)),
+            FaultSpec(time=at(6.8), kind="heal"),
+            # Segment C: cloud weather — a flaky link, a straggler, and a
+            # delay that exceeds the client's static RPC deadline.
+            FaultSpec(time=at(8.0), kind="flaky", node_id=4, probability=0.12),
+            FaultSpec(time=at(8.5), kind="slow", node_id=0, factor=4.0),
+            FaultSpec(time=at(9.0), kind="delay", node_id=2, delay_seconds=0.6),
+            FaultSpec(time=at(12.0), kind="flaky", node_id=4, probability=0.0),
+            FaultSpec(time=at(12.5), kind="restore", node_id=0),
+            FaultSpec(time=at(13.0), kind="delay", node_id=2, delay_seconds=0.0),
+            # Segment D: a second partition, different minority.
+            FaultSpec(time=at(14.0), kind="partition", groups=((0, 1),)),
+            FaultSpec(time=at(15.8), kind="heal"),
+        ]
+
+    def partition_windows(self) -> List[Tuple[float, float]]:
+        """(start, end) of the quorum-loss windows the dominance check uses."""
+        w = self.warmup_seconds
+        unit = self.fault_seconds / 18.0
+        return [
+            (w + 5.0 * unit, w + 6.8 * unit),
+            (w + 14.0 * unit, w + 15.8 * unit),
+        ]
+
+    def resilient_policy(self) -> ResilienceConfig:
+        """The full-featured client the soak is meant to vindicate."""
+        return ResilienceConfig(
+            max_attempts=10,
+            backoff_base_seconds=0.08,
+            backoff_max_seconds=2.0,
+            budget_capacity=40.0,
+            budget_refill_per_second=8.0,
+            derive_timeouts=True,
+            breakers_enabled=True,
+            seed=self.seed,
+        )
+
+    def naive_policy(self) -> ResilienceConfig:
+        """The legacy immediate-retry loop, attempt-count matched."""
+        return ResilienceConfig(max_attempts=10, naive=True, seed=self.seed)
+
+    def quick(self) -> "ChaosSoakConfig":
+        """CI-smoke sizing: same schedule shape, compressed."""
+        return replace(
+            self,
+            users_per_node=10,
+            items_total=50,
+            clients=8,
+            warmup_seconds=3.0,
+            fault_seconds=9.0,
+            settle_seconds=4.0,
+            audit_interval_seconds=0.4,
+            probe_interval_seconds=0.8,
+        )
+
+
+class ReadYourWritesProbe:
+    """Put-then-get probes asserting session monotonicity through faults.
+
+    Each tick writes a fresh key through the write quorum and — when the
+    write was acknowledged — immediately reads it back through the read
+    quorum.  With R+W>N the quorums intersect, so a successful read MUST
+    return the just-written value; returning anything else is a
+    consistency violation, not a latency problem.  Reads the network
+    refuses (quorum loss, dropped messages) are skipped, not counted:
+    unavailability is the availability invariant's business.
+    """
+
+    def __init__(self, cluster: KeyValueCluster, namespace: str = "chaos_ryw"):
+        self.cluster = cluster
+        self.namespace = namespace
+        cluster.create_namespace(namespace)
+        self.acknowledged: List[Tuple[bytes, bytes]] = []
+        self.rejected = 0
+        self.skipped_reads = 0
+        self.violations = 0
+        self._counter = 0
+
+    def schedule(self, sim, interval_seconds: float, until: float) -> None:
+        def tick(s) -> None:
+            self._probe(s.now)
+            if s.now + interval_seconds <= until:
+                s.schedule_at(s.now + interval_seconds, tick, name="ryw-probe")
+
+        sim.schedule_at(interval_seconds, tick, name="ryw-probe")
+
+    def _probe(self, now: float) -> None:
+        self._counter += 1
+        key = f"probe{self._counter:08d}".encode()
+        value = f"probe-at-{now:.3f}".encode()
+        try:
+            self.cluster.put(self.namespace, key, value, sim_time=now)
+        except UnavailableError:
+            self.rejected += 1
+            return
+        self.acknowledged.append((key, value))
+        try:
+            result = self.cluster.get(self.namespace, key, sim_time=now)
+        except UnavailableError:
+            self.skipped_reads += 1
+            return
+        if result.value != value:
+            self.violations += 1
+
+    def final_verify(self) -> int:
+        """Re-read every acknowledged probe after the run has healed."""
+        for key, expected in self.acknowledged:
+            result = self.cluster.get(self.namespace, key)
+            if result.value != expected:
+                self.violations += 1
+        return self.violations
+
+
+def replica_divergence(cluster: KeyValueCluster) -> int:
+    """Count keys whose preference-list replicas disagree.
+
+    For every key in every namespace, every node on the key's current
+    preference list must hold a record with the newest sequence number
+    any replica holds.  After heal + recovery + one anti-entropy pass
+    this must be zero — anything else means convergence silently failed.
+    """
+    replication = cluster.replication
+    divergent = 0
+    namespaces: set = set()
+    for store in replication.stores.values():
+        namespaces.update(store.namespaces())
+    node_ids = sorted(replication.stores)
+    for namespace in sorted(namespaces):
+        def tagged(node_id: int):
+            return (
+                (key, record, node_id)
+                for key, record in replication.stores[
+                    node_id
+                ].iter_range_records(namespace, None, None)
+            )
+
+        merged = heapq.merge(
+            *(tagged(node_id) for node_id in node_ids),
+            key=lambda entry: entry[0],
+        )
+        current: Optional[bytes] = None
+        copies: Dict[int, int] = {}
+
+        def judge() -> int:
+            if current is None:
+                return 0
+            owners = replication.preference_list(namespace, current)
+            newest = max(copies.values())
+            for owner in owners:
+                if copies.get(owner) != newest:
+                    return 1
+            return 0
+
+        for key, record, node_id in merged:
+            if key != current:
+                divergent += judge()
+                current, copies = key, {}
+            copies[node_id] = record_seq(record)
+        divergent += judge()
+    return divergent
+
+
+@dataclass
+class ChaosArmResult:
+    """One arm's run plus its post-run verification evidence."""
+
+    name: str
+    report: ServingReport
+    audit: Dict[str, int]
+    ryw_violations: int
+    ryw_acknowledged: int
+    ryw_skipped_reads: int
+    post_heal_divergence: int
+    #: Interactions completed with arrival inside the fault-free warmup.
+    prefix_completed: int
+    #: Failed interactions whose arrival fell inside a partition window.
+    window_failures: int
+    #: Fleet totals of the client-side resilience counters.
+    resilience_counters: Dict[str, float]
+
+
+@dataclass
+class ChaosSoakResult:
+    """Both arms of one seed plus the judged invariants."""
+
+    config: ChaosSoakConfig
+    arms: Dict[str, ChaosArmResult]
+
+    def invariants(self) -> Dict[str, bool]:
+        resilient = self.arms["resilient"]
+        naive = self.arms["naive"]
+        checks = {
+            "no_lost_writes": all(
+                arm.audit["lost"] == 0 for arm in self.arms.values()
+            ),
+            "no_bound_violations": all(
+                arm.report.bound_violations == 0 for arm in self.arms.values()
+            ),
+            "read_your_writes": all(
+                arm.ryw_violations == 0 for arm in self.arms.values()
+            ),
+            "post_heal_convergence": all(
+                arm.post_heal_divergence == 0 for arm in self.arms.values()
+            ),
+            "availability_floor": (
+                resilient.report.availability
+                >= self.config.availability_floor
+            ),
+        }
+        checks["paired_prefix_identical"] = (
+            resilient.prefix_completed == naive.prefix_completed
+            and resilient.prefix_completed > 0
+        )
+        checks["resilient_dominates"] = (
+            resilient.window_failures < naive.window_failures
+        )
+        return checks
+
+    @property
+    def holds(self) -> bool:
+        return all(self.invariants().values())
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "config": {
+                "storage_nodes": self.config.storage_nodes,
+                "replication": self.config.replication,
+                "read_quorum": self.config.read_quorum,
+                "write_quorum": self.config.write_quorum,
+                "clients": self.config.clients,
+                "duration_seconds": self.config.duration_seconds,
+                "availability_floor": self.config.availability_floor,
+                "seed": self.config.seed,
+            },
+            "invariants": self.invariants(),
+            "arms": {
+                name: {
+                    "availability": arm.report.availability,
+                    "completed": arm.report.completed,
+                    "failed": arm.report.failed,
+                    "bound_violations": arm.report.bound_violations,
+                    "write_audit": arm.audit,
+                    "ryw_violations": arm.ryw_violations,
+                    "ryw_acknowledged": arm.ryw_acknowledged,
+                    "ryw_skipped_reads": arm.ryw_skipped_reads,
+                    "post_heal_divergence": arm.post_heal_divergence,
+                    "prefix_completed": arm.prefix_completed,
+                    "window_failures": arm.window_failures,
+                    "resilience": arm.resilience_counters,
+                }
+                for name, arm in self.arms.items()
+            },
+        }
+
+
+#: Client-side counters totalled per arm for reports and regression.
+_RESILIENCE_COUNTERS = (
+    "resilience.retries",
+    "resilience.failures",
+    "resilience.timeouts",
+    "resilience.backoff_seconds",
+    "resilience.budget_exhausted",
+    "resilience.breaker_fast_fails",
+    "resilience.hedged_reads",
+    "client.rpc_timeouts",
+)
+
+
+class ChaosSoakExperiment:
+    """Run the paired naive / resilient arms of one seeded soak."""
+
+    def __init__(self, config: Optional[ChaosSoakConfig] = None):
+        self.config = config or ChaosSoakConfig()
+
+    def _fresh_database(self, policy: ResilienceConfig) -> Tuple[PiqlDatabase, TpcwWorkload]:
+        config = self.config
+        db = PiqlDatabase.simulated(
+            ClusterConfig(
+                storage_nodes=config.storage_nodes,
+                replication=config.replication,
+                read_quorum=config.read_quorum,
+                write_quorum=config.write_quorum,
+                node_capacity_ops_per_second=config.node_capacity_ops_per_second,
+                seed=config.seed,
+            ),
+            resilience=policy,
+        )
+        workload = TpcwWorkload()
+        workload.setup(
+            db,
+            WorkloadScale(
+                storage_nodes=max(2, config.storage_nodes // 2),
+                users_per_node=config.users_per_node,
+                items_total=config.items_total,
+                seed=7,
+            ),
+        )
+        # Both arms must draw identical latency samples on the fault-free
+        # prefix; setup consumes a workload-dependent number of draws, so
+        # re-anchor the models before traffic starts.
+        db.cluster.reseed_latency_models(config.seed)
+        return db, workload
+
+    def run_arm(self, name: str, policy: ResilienceConfig) -> ChaosArmResult:
+        config = self.config
+        db, workload = self._fresh_database(policy)
+        serving_config = ServingConfig(
+            mode="closed",
+            clients=config.clients,
+            think_time_seconds=config.think_time_seconds,
+            duration_seconds=config.duration_seconds,
+            slo=config.slo,
+            faults=config.faults(),
+            seed=config.seed,
+        )
+        simulation = ServingSimulation(db, workload, serving_config)
+        audit = WriteAudit(db.cluster, namespace="chaos_audit")
+        audit.schedule(
+            simulation.sim, config.audit_interval_seconds, config.duration_seconds
+        )
+        probe = ReadYourWritesProbe(db.cluster)
+        probe.schedule(
+            simulation.sim, config.probe_interval_seconds, config.duration_seconds
+        )
+        report = simulation.run()
+
+        # Post-run convergence: the schedule healed everything, but make
+        # the precondition explicit (idempotent), run one fleet-wide
+        # anti-entropy pass, then scan for any disagreeing replica.
+        cluster = db.cluster
+        cluster.network.heal()
+        for node in cluster.nodes:
+            if not node.up:
+                cluster.recover_node(node.node_id)
+        cluster.replication.rebalance(cluster.up_node_ids())
+        divergence = replica_divergence(cluster)
+
+        audit_result = audit.verify()
+        ryw_violations = probe.final_verify()
+        prefix_completed = sum(
+            1
+            for record in report.log.records
+            if record.arrival_seconds < config.warmup_seconds
+        )
+        windows = config.partition_windows()
+        window_failures = sum(
+            1
+            for arrival, _ in report.log.failures
+            if any(start <= arrival < end for start, end in windows)
+        )
+        counters: Dict[str, float] = {key: 0.0 for key in _RESILIENCE_COUNTERS}
+        for server in simulation.driver.servers:
+            registry = server.db.client.stats.metrics
+            for key in _RESILIENCE_COUNTERS:
+                counters[key] += registry.value(key)
+        return ChaosArmResult(
+            name=name,
+            report=report,
+            audit=audit_result,
+            ryw_violations=ryw_violations,
+            ryw_acknowledged=len(probe.acknowledged),
+            ryw_skipped_reads=probe.skipped_reads,
+            post_heal_divergence=divergence,
+            prefix_completed=prefix_completed,
+            window_failures=window_failures,
+            resilience_counters=counters,
+        )
+
+    def run(self) -> ChaosSoakResult:
+        config = self.config
+        arms = {
+            "naive": self.run_arm("naive", config.naive_policy()),
+            "resilient": self.run_arm("resilient", config.resilient_policy()),
+        }
+        return ChaosSoakResult(config=config, arms=arms)
+
+
+def run_chaos_soak(config: Optional[ChaosSoakConfig] = None) -> ChaosSoakResult:
+    """Convenience wrapper: one seeded soak, both arms."""
+    return ChaosSoakExperiment(config).run()

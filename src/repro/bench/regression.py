@@ -215,6 +215,12 @@ def run_quick_suite(telemetry_path: Optional[str] = None) -> Dict[str, object]:
     ``quick_storage``: the storage-engine experiment's CI configuration —
     dict/LSM parity, per-query latency across the cardinality sweep,
     acked-write recovery, and budgeted bulk-load spills.
+    ``quick_chaos``: the chaos soak's CI configuration at one fixed seed —
+    the five hard invariants (as 0/1 gauges and raw counts) plus the
+    paired naive-vs-resilient partition-window failure counts.  Only
+    ``availability`` is tolerance-judged; the invariant counts are
+    informational here because the chaos CLI itself exits nonzero when
+    any invariant fails.
     """
     from ..engine.database import PiqlDatabase
     from ..kvstore.cluster import ClusterConfig
@@ -307,11 +313,31 @@ def run_quick_suite(telemetry_path: Optional[str] = None) -> Dict[str, object]:
         "recovery_oracle_match": 1.0 if storage.recovery_oracle_match else 0.0,
         "bulk_spill_count": float(storage.bulk_spill_count),
     }
+    # --- quick_chaos: one seeded soak, both arms ------------------------
+    from .chaos import ChaosSoakConfig, run_chaos_soak
+
+    chaos = run_chaos_soak(ChaosSoakConfig().quick())
+    resilient = chaos.arms["resilient"]
+    naive = chaos.arms["naive"]
+    quick_chaos = {
+        "invariants_hold": 1.0 if chaos.holds else 0.0,
+        "acknowledged": float(resilient.audit["acknowledged"]),
+        "lost": float(resilient.audit["lost"]),
+        "bound_violations": float(resilient.report.bound_violations),
+        "ryw_violations": float(resilient.ryw_violations),
+        "post_heal_divergence": float(resilient.post_heal_divergence),
+        "availability": resilient.report.availability,
+        "naive_window_failures": float(naive.window_failures),
+        "resilient_window_failures": float(resilient.window_failures),
+        "retries": resilient.resilience_counters["resilience.retries"],
+        "timeouts": resilient.resilience_counters["resilience.timeouts"],
+    }
     return make_summary(
         {
             "quick_query": quick_query,
             "quick_serving": quick_serving,
             "quick_storage": quick_storage,
+            "quick_chaos": quick_chaos,
         }
     )
 

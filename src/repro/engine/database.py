@@ -38,6 +38,7 @@ from ..schema.catalog import Catalog
 from ..schema.ddl import IndexColumn, IndexDefinition, Table
 from ..sql import ast
 from ..sql.parser import parse
+from ..resilience.policy import ResilienceConfig, ResiliencePolicy
 from ..storage.record_manager import RecordManager
 from ..storage.rows import index_entries, index_namespace, record_key, serialize_row
 from ..views.definition import MaterializedView, analyze_view
@@ -49,14 +50,15 @@ from .session import Session
 class PiqlDatabase:
     """A PIQL database engine instance backed by a simulated key/value store."""
 
-    #: How many times :meth:`execute` retries a query that failed with a
-    #: typed :class:`~repro.errors.UnavailableError` (a replica quorum could
-    #: not be met).  This models client-library retry behaviour: during an
-    #: outage the extra attempts re-charge work to the surviving replicas
-    #: (the familiar retry-storm amplification) and only succeed once the
-    #: cluster actually heals between attempts — in the discrete-event
-    #: simulation liveness changes between kernel events, so synchronous
-    #: retries mostly document cost, not recovery.  Set to 0 to disable.
+    #: How many times a query that failed with a typed
+    #: :class:`~repro.errors.UnavailableError` (a replica quorum could not
+    #: be met, or an RPC timed out) is retried.  With a resilience policy
+    #: attached (the default) the retries are paced — exponential backoff
+    #: with full jitter under a token-bucket budget, applied at the query
+    #: funnel every execution path traverses; with ``resilience=False``
+    #: the legacy immediate-retry loop in :meth:`execute` applies instead
+    #: (retry-storm amplification: extra attempts re-charge the surviving
+    #: replicas with no pacing).  Set to 0 to disable retries entirely.
     unavailable_retries: int = 2
 
     def __init__(
@@ -64,6 +66,7 @@ class PiqlDatabase:
         cluster: Optional[KeyValueCluster] = None,
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
         fused: bool = True,
+        resilience: Union[None, bool, ResilienceConfig] = None,
     ):
         self.cluster = cluster or KeyValueCluster(ClusterConfig())
         self.catalog = Catalog()
@@ -83,6 +86,29 @@ class PiqlDatabase:
         self.telemetry = None
         self._prepared_cache: Dict[str, Tuple[int, PreparedQuery]] = {}
         self._default_session: Optional[Session] = None
+        #: The view's resilience policy, or ``None`` for the legacy
+        #: immediate-retry behaviour.  ``resilience=None``/``True`` attach
+        #: the conservative default policy (backoff-paced retries only —
+        #: healthy-path behaviour is byte-identical); pass a
+        #: :class:`~repro.resilience.policy.ResilienceConfig` to opt into
+        #: derived timeouts, hedging, and circuit breakers; ``False``
+        #: disables the policy.
+        self.resilience: Optional[ResiliencePolicy] = self._build_resilience(
+            resilience
+        )
+
+    def _build_resilience(
+        self, resilience: Union[None, bool, ResilienceConfig]
+    ) -> Optional[ResiliencePolicy]:
+        if resilience is False:
+            return None
+        if resilience is None or resilience is True:
+            policy = ResiliencePolicy(self)
+        else:
+            policy = ResiliencePolicy(self, resilience)
+        if policy.board is not None:
+            self.client.breakers = policy.board
+        return policy
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -93,17 +119,20 @@ class PiqlDatabase:
         config: Optional[ClusterConfig] = None,
         strategy: ExecutionStrategy = ExecutionStrategy.PARALLEL,
         fused: bool = True,
+        resilience: Union[None, bool, "ResilienceConfig"] = None,
     ) -> "PiqlDatabase":
         """Create a database on a fresh simulated cluster.
 
         ``fused=False`` turns off batch-at-a-time round fusion (the paired
         baseline of the operator-fusion benchmark); results and operation
-        counts are identical either way.
+        counts are identical either way.  ``resilience`` configures the
+        client resilience policy (see :class:`PiqlDatabase`).
         """
         return cls(
             cluster=KeyValueCluster(config or ClusterConfig()),
             strategy=strategy,
             fused=fused,
+            resilience=resilience,
         )
 
     def new_client(
@@ -146,6 +175,13 @@ class PiqlDatabase:
         clone._prepared_cache = {}
         clone._default_session = None
         clone.unavailable_retries = self.unavailable_retries
+        # Each view gets its own policy instance (per-client budget,
+        # breakers, and jitter stream) sharing the parent's configuration.
+        clone.resilience = (
+            clone._build_resilience(self.resilience.config)
+            if self.resilience is not None
+            else None
+        )
         return clone
 
     def session(self) -> Session:
@@ -342,6 +378,12 @@ class PiqlDatabase:
         distinguish "the store is degraded" from a query bug.
         """
         prepared = self.prepare(sql)
+        if self.resilience is not None:
+            # The policy retries at the per-page funnel every execution
+            # path traverses (Session._execute_page), with the same
+            # attempt count this loop would have used — retrying here too
+            # would square it.
+            return prepared.execute(parameters, **kwargs)
         attempts = max(0, self.unavailable_retries) + 1
         for attempt in range(attempts):
             try:

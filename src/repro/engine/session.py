@@ -377,6 +377,13 @@ class Session:
         cursor: Optional[object],
         strategy: Optional[ExecutionStrategy],
     ) -> QueryResult:
+        # Single funnel for every query path (sync shims, pipelined
+        # submits, cursor page fetches): the view's resilience policy —
+        # retries, per-query deadlines, hedging — applies here or not at
+        # all, so the sync and async APIs can never diverge.
+        policy = getattr(self.db, "resilience", None)
+        if policy is not None:
+            return policy.execute_page(optimized, parameters, cursor, strategy)
         return self.db.executor.execute(
             optimized, parameters=parameters, cursor=cursor, strategy=strategy
         )

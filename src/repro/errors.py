@@ -157,6 +157,71 @@ class UnavailableError(ExecutionError):
     """
 
 
+class RpcTimeoutError(UnavailableError):
+    """Raised when an RPC's reply did not arrive within the client's timeout.
+
+    The message-level fault plane turns a dropped message into this error
+    (a drop is indistinguishable from an arbitrarily slow reply), and the
+    resilience layer raises it when a reply is slower than the per-query
+    timeout derived from the prediction model's p99 envelope.  It subclasses
+    :class:`UnavailableError` so every existing retry/failure-accounting
+    path treats it as a transient store failure.
+    """
+
+    def __init__(
+        self,
+        operation: str,
+        namespace: str,
+        node_id: int = -1,
+        timeout_seconds: Optional[float] = None,
+    ):
+        self.operation = operation
+        self.namespace = namespace
+        self.node_id = node_id
+        self.timeout_seconds = timeout_seconds
+        where = f" (node {node_id})" if node_id >= 0 else ""
+        budget = (
+            f" after {timeout_seconds * 1000.0:.0f} ms"
+            if timeout_seconds is not None
+            else ""
+        )
+        super().__init__(
+            f"{operation} on namespace {namespace!r} timed out{budget}{where}"
+        )
+
+
+class RetryBudgetExhaustedError(UnavailableError):
+    """Raised when the client's token-bucket retry budget is empty.
+
+    Refusing to retry is what stops a retry storm: once the budget is
+    drained the failure surfaces immediately instead of re-charging the
+    surviving replicas.
+    """
+
+    def __init__(self, operation: str, attempts: int):
+        self.operation = operation
+        self.attempts = attempts
+        super().__init__(
+            f"retry budget exhausted for {operation!r} after "
+            f"{attempts} attempt(s)"
+        )
+
+
+class CircuitOpenError(UnavailableError):
+    """Raised when every candidate replica's circuit breaker is open.
+
+    A client whose breakers all report a failing store fails fast — no RPC
+    is issued and no retry budget is spent — until a half-open probe
+    succeeds somewhere.
+    """
+
+    def __init__(self, open_nodes: Sequence[int]):
+        self.open_nodes = list(open_nodes)
+        super().__init__(
+            f"circuit breakers open for all candidate nodes {self.open_nodes}"
+        )
+
+
 class QuorumNotMetError(UnavailableError):
     """Raised when fewer replicas answered than the R/W quorum requires."""
 

@@ -27,8 +27,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..errors import RpcTimeoutError
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import Span, Tracer
 from ..stats import nearest_rank_percentile
@@ -193,6 +194,22 @@ class StorageClient:
     #: Span-tree recorder; ``None`` (the default) disables tracing and costs
     #: one identity check per operation.
     tracer: Optional[Tracer] = field(default=None, repr=False, compare=False)
+    #: Per-RPC deadline, installed per query by the resilience policy
+    #: (``None`` — the default — disables the check entirely).  A reply
+    #: slower than this is charged only the deadline and surfaces as
+    #: :class:`~repro.errors.RpcTimeoutError`.
+    rpc_timeout_seconds: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Hedge delay for point reads, installed per query by the resilience
+    #: policy; ``None`` disables hedging.
+    hedge_delay_seconds: Optional[float] = field(
+        default=None, repr=False, compare=False
+    )
+    #: This client's circuit-breaker board
+    #: (:class:`~repro.resilience.breaker.BreakerBoard`), attached by the
+    #: resilience policy when breakers are enabled; ``None`` otherwise.
+    breakers: Optional[object] = field(default=None, repr=False, compare=False)
     #: Coalescing buffer of point reads completed during an open gather
     #: window: ``(namespace, key) -> (value, ready_at_seconds)``.  ``None``
     #: outside a window.
@@ -231,6 +248,10 @@ class StorageClient:
             metrics.add("client.read_repairs", result.repaired)
         metrics.add("client.total_latency_seconds", latency)
         self.stats.record_latency(latency)
+        if self.breakers is not None and result.node_id >= 0:
+            self.breakers.record_success(  # type: ignore[attr-defined]
+                result.node_id, self.clock.now
+            )
         if self.tracer is not None:
             span = self.tracer.record(
                 op, "rpc", started, self.clock.now,
@@ -249,8 +270,83 @@ class StorageClient:
                 attributes["hinted"] = result.hinted
             if result.repaired:
                 attributes["repaired"] = result.repaired
+            if result.hedged:
+                attributes["hedged"] = True
             return span
         return None
+
+    # ------------------------------------------------------------------
+    # Resilience hooks
+    # ------------------------------------------------------------------
+    def _suspects(self) -> Optional[Set[int]]:
+        """Breaker-open nodes right now (``None`` without a board)."""
+        if self.breakers is None:
+            return None
+        return self.breakers.suspects(self.clock.now)  # type: ignore[attr-defined]
+
+    def _deadline(self, result: OpResult, op: str, namespace: str) -> OpResult:
+        """Enforce the per-RPC deadline on a completed cluster call.
+
+        A reply slower than the deadline is indistinguishable (to the
+        waiting client) from a lost one: the client gives up at the
+        deadline — charging exactly the deadline, not the full reply
+        latency — counts the timeout, penalises the serving node's
+        breaker, and raises :class:`~repro.errors.RpcTimeoutError`.  The
+        store-side work still happened; only the acknowledgement is lost,
+        which is why writes stay convergent (hinted handoff / newest-wins
+        covers the unacked copy).
+        """
+        timeout = self.rpc_timeout_seconds
+        if timeout is None or result.latency_seconds <= timeout:
+            return result
+        started = self.clock.now
+        self.clock.advance(timeout)
+        metrics = self.stats.metrics
+        metrics.add("client.rpcs", 1)
+        metrics.add("client.rpc_timeouts", 1)
+        metrics.add("resilience.timeouts", 1)
+        metrics.add("client.total_latency_seconds", timeout)
+        self.stats.record_latency(timeout)
+        if self.breakers is not None and result.node_id >= 0:
+            self.breakers.record_failure(  # type: ignore[attr-defined]
+                result.node_id, self.clock.now
+            )
+        if self.tracer is not None:
+            self.tracer.record(
+                op, "rpc-timeout", started, self.clock.now,
+                namespace=namespace, node_id=result.node_id,
+                timeout_seconds=timeout,
+            )
+        raise RpcTimeoutError(op, namespace, result.node_id, timeout)
+
+    def _note_rpc_failure(
+        self, exc: RpcTimeoutError, op: str, namespace: str
+    ) -> None:
+        """Account a cluster-raised RPC timeout (a dropped message).
+
+        The client discovers the drop only when its own deadline fires, so
+        with a deadline configured the wait is charged to the clock; with
+        none (legacy callers) the error still counts but costs no time.
+        """
+        started = self.clock.now
+        timeout = self.rpc_timeout_seconds
+        if timeout is not None:
+            self.clock.advance(timeout)
+            self.stats.metrics.add("client.total_latency_seconds", timeout)
+            self.stats.record_latency(timeout)
+        metrics = self.stats.metrics
+        metrics.add("client.rpcs", 1)
+        metrics.add("client.rpc_timeouts", 1)
+        metrics.add("resilience.timeouts", 1)
+        if self.breakers is not None and exc.node_id >= 0:
+            self.breakers.record_failure(  # type: ignore[attr-defined]
+                exc.node_id, self.clock.now
+            )
+        if self.tracer is not None:
+            self.tracer.record(
+                op, "rpc-timeout", started, self.clock.now,
+                namespace=namespace, node_id=exc.node_id,
+            )
 
     @property
     def now(self) -> float:
@@ -370,8 +466,24 @@ class StorageClient:
                 if self.tracer is not None:
                     self._trace_coalesced("get", namespace, key, started)
                 return value
-        result = self.cluster.get(namespace, key, sim_time=self.clock.now)
+        try:
+            result = self.cluster.get(
+                namespace, key, sim_time=self.clock.now,
+                suspects=self._suspects(),
+                hedge_delay_seconds=self.hedge_delay_seconds,
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "get", namespace)
+            raise
+        result = self._deadline(result, "get", namespace)
         span = self._record(result, operations=1, op="get", namespace=namespace)
+        if result.hedged:
+            # The losing twin of the hedge is cancelled: its logical read
+            # was already counted, so only the saved physical fetch and
+            # the hedge itself are recorded.
+            metrics = self.stats.metrics
+            metrics.add("resilience.hedged_reads", 1)
+            metrics.add("client.saved_reads", 1)
         if cache is not None:
             cache[(namespace, key)] = (result.value, self.clock.now)  # type: ignore[arg-type]
             if span is not None and self._gather_spans is not None:
@@ -381,13 +493,29 @@ class StorageClient:
 
     def put(self, namespace: str, key: bytes, value: bytes) -> None:
         """Write a single value (one key/value store operation)."""
-        result = self.cluster.put(namespace, key, value, sim_time=self.clock.now)
+        try:
+            result = self.cluster.put(
+                namespace, key, value, sim_time=self.clock.now,
+                suspects=self._suspects(),
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "put", namespace)
+            raise
+        result = self._deadline(result, "put", namespace)
         self._record(result, operations=1, op="put", namespace=namespace)
         self._invalidate(namespace, key)
 
     def delete(self, namespace: str, key: bytes) -> bool:
         """Delete a key; returns whether it existed."""
-        result = self.cluster.delete(namespace, key, sim_time=self.clock.now)
+        try:
+            result = self.cluster.delete(
+                namespace, key, sim_time=self.clock.now,
+                suspects=self._suspects(),
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "delete", namespace)
+            raise
+        result = self._deadline(result, "delete", namespace)
         self._record(result, operations=1, op="delete", namespace=namespace)
         self._invalidate(namespace, key)
         return bool(result.value)
@@ -396,9 +524,15 @@ class StorageClient:
         self, namespace: str, key: bytes, expected: Optional[bytes], new_value: bytes
     ) -> bool:
         """Conditionally write a key; returns whether the swap succeeded."""
-        result = self.cluster.test_and_set(
-            namespace, key, expected, new_value, sim_time=self.clock.now
-        )
+        try:
+            result = self.cluster.test_and_set(
+                namespace, key, expected, new_value, sim_time=self.clock.now,
+                suspects=self._suspects(),
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "test_and_set", namespace)
+            raise
+        result = self._deadline(result, "test_and_set", namespace)
         self._record(result, operations=1, op="test_and_set", namespace=namespace)
         self._invalidate(namespace, key)
         return bool(result.value)
@@ -447,9 +581,15 @@ class StorageClient:
         cache = self._gather_cache
         metrics = self.stats.metrics
         if cache is None or not parallel:
-            result = self.cluster.multi_get(
-                namespace, keys, parallel=parallel, sim_time=self.clock.now
-            )
+            try:
+                result = self.cluster.multi_get(
+                    namespace, keys, parallel=parallel,
+                    sim_time=self.clock.now, suspects=self._suspects(),
+                )
+            except RpcTimeoutError as exc:
+                self._note_rpc_failure(exc, "multi_get", namespace)
+                raise
+            result = self._deadline(result, "multi_get", namespace)
             self._record(
                 result, operations=logical, rpcs=1 if parallel else len(keys),
                 op="multi_get", namespace=namespace,
@@ -473,9 +613,15 @@ class StorageClient:
                 ready_at = max(ready_at, hit[1])
                 hits.append(key)
         if miss_keys:
-            result = self.cluster.multi_get(
-                namespace, miss_keys, parallel=True, sim_time=self.clock.now
-            )
+            try:
+                result = self.cluster.multi_get(
+                    namespace, miss_keys, parallel=True,
+                    sim_time=self.clock.now, suspects=self._suspects(),
+                )
+            except RpcTimeoutError as exc:
+                self._note_rpc_failure(exc, "multi_get", namespace)
+                raise
+            result = self._deadline(result, "multi_get", namespace)
             fetched: List[Optional[bytes]] = result.value  # type: ignore[assignment]
             done_at = self.clock.now + result.latency_seconds
             rpc_span: Optional[Span] = None
@@ -527,10 +673,15 @@ class StorageClient:
         many replicas are down (counted in ``stats.partial_results``)
         instead of raising :class:`~repro.errors.UnavailableError`.
         """
-        result = self.cluster.get_range(
-            namespace, start, end, limit, ascending, sim_time=self.clock.now,
-            allow_partial=allow_partial,
-        )
+        try:
+            result = self.cluster.get_range(
+                namespace, start, end, limit, ascending,
+                sim_time=self.clock.now, allow_partial=allow_partial,
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "get_range", namespace)
+            raise
+        result = self._deadline(result, "get_range", namespace)
         self._record(result, operations=1, op="get_range", namespace=namespace)
         return result.value  # type: ignore[return-value]
 
@@ -551,10 +702,15 @@ class StorageClient:
         section of the index a bounded scan covers, only how much of it is
         shipped back and deserialised.
         """
-        result = self.cluster.get_range(
-            namespace, start, end, limit, ascending, sim_time=self.clock.now,
-            record_filter=record_filter,
-        )
+        try:
+            result = self.cluster.get_range(
+                namespace, start, end, limit, ascending,
+                sim_time=self.clock.now, record_filter=record_filter,
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "filtered_range", namespace)
+            raise
+        result = self._deadline(result, "filtered_range", namespace)
         self._record(result, operations=1, op="filtered_range", namespace=namespace)
         return (
             result.value,  # type: ignore[return-value]
@@ -566,9 +722,14 @@ class StorageClient:
         self, namespace: str, ranges: Sequence[RangeSpec], parallel: bool = True
     ) -> List[List[KeyValue]]:
         """Issue several range requests; counts ``len(ranges)`` operations."""
-        result = self.cluster.multi_get_range(
-            namespace, ranges, parallel=parallel, sim_time=self.clock.now
-        )
+        try:
+            result = self.cluster.multi_get_range(
+                namespace, ranges, parallel=parallel, sim_time=self.clock.now
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "multi_get_range", namespace)
+            raise
+        result = self._deadline(result, "multi_get_range", namespace)
         self._record(
             result, operations=len(ranges), rpcs=1 if parallel else len(ranges),
             op="multi_get_range", namespace=namespace,
@@ -579,8 +740,13 @@ class StorageClient:
         self, namespace: str, start: Optional[bytes], end: Optional[bytes]
     ) -> int:
         """Count keys in a range (one operation)."""
-        result = self.cluster.count_range(
-            namespace, start, end, sim_time=self.clock.now
-        )
+        try:
+            result = self.cluster.count_range(
+                namespace, start, end, sim_time=self.clock.now
+            )
+        except RpcTimeoutError as exc:
+            self._note_rpc_failure(exc, "count_range", namespace)
+            raise
+        result = self._deadline(result, "count_range", namespace)
         self._record(result, operations=1, op="count_range", namespace=namespace)
         return int(result.value)  # type: ignore[arg-type]

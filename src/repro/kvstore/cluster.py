@@ -48,7 +48,12 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..errors import ExecutionError, QuorumNotMetError, UnavailableError
+from ..errors import (
+    ExecutionError,
+    QuorumNotMetError,
+    RpcTimeoutError,
+    UnavailableError,
+)
 from ..obs.metrics import MetricsRegistry
 from ..replication.manager import RepairReport, ReplicationManager
 from ..replication.store import (
@@ -61,6 +66,7 @@ from .engine import create_engine
 from .engine.base import EngineRecovery, StorageEngine
 from .engine.external import SpillPool
 from .latency import LatencyParameters
+from .network import CLIENT, NetworkModel
 from .node import StorageNode
 
 KeyValue = Tuple[bytes, bytes]
@@ -181,6 +187,9 @@ class OpResult:
         Stale replicas read-repaired in the background of this request.
     payload_bytes:
         Bytes shipped back to the client (0 for writes and counts).
+    hedged:
+        True when a hedge request was issued for this read (the effective
+        latency is the faster of the primary and the hedge).
     """
 
     value: object
@@ -192,6 +201,7 @@ class OpResult:
     hinted: int = 0
     repaired: int = 0
     payload_bytes: int = 0
+    hedged: bool = False
 
 
 class KeyValueCluster:
@@ -228,6 +238,10 @@ class KeyValueCluster:
         #: Cluster-wide counters (``replication.*``): hinted handoff and
         #: read-repair traffic that no single client's stats can own.
         self.metrics = MetricsRegistry()
+        #: Message-level fault plane: every serving RPC (client→node and
+        #: node→node) consults it for reachability, drops, and added delay.
+        #: Inert by default — a healthy run never touches its RNG.
+        self.network = NetworkModel(seed=self.config.seed)
 
     # ------------------------------------------------------------------
     # Storage engines
@@ -298,6 +312,28 @@ class KeyValueCluster:
     def up_node_ids(self) -> List[int]:
         return [node.node_id for node in self.nodes if node.up]
 
+    def _available(self, node_id: int) -> bool:
+        """Up *and* reachable from the client — what serving paths require.
+
+        A partitioned-away node is indistinguishable from a crashed one to
+        the coordinator, so both are treated the same on the request path;
+        they differ only in recovery (a partitioned node needs no hint
+        replay for writes it already applied).
+        """
+        return self.nodes[node_id].up and self.network.reachable(
+            CLIENT, node_id
+        )
+
+    def _serving_ids(self) -> List[int]:
+        """Node ids that can serve client traffic right now."""
+        if not self.network.active:
+            return self.up_node_ids()
+        return [
+            node.node_id
+            for node in self.nodes
+            if node.up and self.network.reachable(CLIENT, node.node_id)
+        ]
+
     def crash_node(self, node_id: int) -> StorageNode:
         """Take a node down; its replicas stop serving until recovery.
 
@@ -349,7 +385,15 @@ class KeyValueCluster:
                 info.partial_segments_discarded,
             )
         node.mark_up()
-        report = self.replication.sync_node(node_id, self.up_node_ids())
+        # Anti-entropy can only pull from peers the recovering node can
+        # actually talk to: a partition that isolates it defers repair to
+        # the next sync after heal.
+        sources = [
+            nid
+            for nid in self.up_node_ids()
+            if nid == node_id or self.network.reachable(node_id, nid)
+        ]
+        report = self.replication.sync_node(node_id, sources)
         self.last_repair = report
         self.metrics.add("replication.hints_replayed", report.hints_replayed)
         self.metrics.add("replication.repair_keys_copied", report.keys_copied)
@@ -437,18 +481,29 @@ class KeyValueCluster:
         offset = zlib.crc32(key, digest ^ seed) % len(prefs)
         return prefs[offset:] + prefs[:offset]
 
-    def _read_replicas(self, namespace: str, key: bytes) -> List[int]:
-        """The ``R`` up replicas that serve a read of ``key``.
+    def _read_replicas(
+        self,
+        namespace: str,
+        key: bytes,
+        suspects: Optional[Set[int]] = None,
+    ) -> List[int]:
+        """The ``R`` available replicas that serve a read of ``key``.
 
         Raises :class:`QuorumNotMetError` when fewer than ``R`` replicas of
-        the key are up.
+        the key are up and reachable.  ``suspects`` (nodes whose circuit
+        breaker is open at the calling client) are deprioritised: they are
+        only chosen when the quorum cannot be met from healthy replicas.
         """
         needed = self.config.effective_read_quorum
         chosen = [
             node_id
             for node_id in self._rotated_preference(namespace, key)
-            if self.nodes[node_id].up
+            if self._available(node_id)
         ]
+        if suspects and len(chosen) > needed:
+            healthy = [nid for nid in chosen if nid not in suspects]
+            if len(healthy) >= needed:
+                chosen = healthy + [nid for nid in chosen if nid in suspects]
         if len(chosen) < needed:
             raise QuorumNotMetError("read", namespace, needed, len(chosen))
         return chosen[:needed]
@@ -456,7 +511,7 @@ class KeyValueCluster:
     def route(self, namespace: str, key: bytes) -> StorageNode:
         """The node that serves a (single-replica) read for ``key``."""
         for node_id in self._rotated_preference(namespace, key):
-            if self.nodes[node_id].up:
+            if self._available(node_id):
                 return self.nodes[node_id]
         raise QuorumNotMetError("read", namespace, 1, 0)
 
@@ -751,36 +806,67 @@ class KeyValueCluster:
         value: Optional[bytes],
         sim_time: float,
         operation: str,
+        suspects: Optional[Set[int]] = None,
     ) -> Tuple[float, int, int]:
         """Write a record (or tombstone) to a key's replicas.
 
-        Sends to every up replica (down replicas get hints), charges each
-        destination, and returns ``(ack latency, primary node id, hints)``
-        where the ack latency is the ``W``-th fastest replica's — the
-        coordinator answers the client as soon as the write quorum is met —
-        and ``hints`` counts down replicas whose copy was deferred.
+        Sends to every available replica (down or unreachable replicas get
+        hints), charges each destination, and returns ``(ack latency,
+        primary node id, hints)`` where the ack latency is the ``W``-th
+        fastest replica's — the coordinator answers the client as soon as
+        the write quorum is met — and ``hints`` counts replicas whose copy
+        was deferred.
+
+        Flaky links can drop individual replica messages; a dropped copy is
+        hinted (the coordinator's timeout fires and it falls back to the
+        hint queue) and does **not** count toward the quorum.  When drops
+        leave fewer than ``W`` acknowledged copies the write surfaces as an
+        :class:`~repro.errors.RpcTimeoutError` — the replicas that did
+        apply it are ahead, which is safe: the write was never acknowledged
+        and newest-wins convergence handles the remainder.
+
+        ``suspects`` (breaker-open nodes at the calling client) are hinted
+        early *when the quorum is already met without them* — converting a
+        probably-doomed RPC into deferred replay instead of a timeout.
         """
         prefs = self._preference_list(namespace, key)
         needed = self.config.effective_write_quorum
-        up_prefs = [nid for nid in prefs if self.nodes[nid].up]
-        if len(up_prefs) < needed:
-            raise QuorumNotMetError(operation, namespace, needed, len(up_prefs))
+        available = [nid for nid in prefs if self._available(nid)]
+        if len(available) < needed:
+            raise QuorumNotMetError(operation, namespace, needed, len(available))
+        skip: Set[int] = set()
+        if suspects:
+            healthy = [nid for nid in available if nid not in suspects]
+            if len(healthy) >= needed:
+                skip = {nid for nid in available if nid in suspects}
         record = encode_record(self.replication.next_seq(), value)
         nbytes = len(value) if value is not None else 0
         latencies: List[float] = []
         hints = 0
+        network = self.network
         for node_id in prefs:
-            if self.nodes[node_id].up:
-                self.replication.stores[node_id].apply_record(
-                    namespace, key, record
-                )
-                latencies.append(
-                    self.nodes[node_id].charge_write(1, nbytes, sim_time)
-                )
-            else:
+            if not self._available(node_id) or node_id in skip:
                 self.replication.add_hint(node_id, namespace, key, record)
                 self.metrics.add("replication.hints_added", 1)
                 hints += 1
+                continue
+            if network.active and not network.delivers(CLIENT, node_id):
+                # The message (or its ack) was lost: the coordinator's
+                # per-replica timeout converts it into a hint.
+                self.metrics.add("network.dropped", 1)
+                self.replication.add_hint(node_id, namespace, key, record)
+                self.metrics.add("replication.hints_added", 1)
+                hints += 1
+                continue
+            self.replication.stores[node_id].apply_record(
+                namespace, key, record
+            )
+            latency = self.nodes[node_id].charge_write(1, nbytes, sim_time)
+            if network.active:
+                latency += network.delay_seconds(CLIENT, node_id)
+            latencies.append(latency)
+        if len(latencies) < needed:
+            raise RpcTimeoutError(operation, namespace)
         latencies.sort()
         return latencies[needed - 1], prefs[0], hints
 
@@ -821,7 +907,11 @@ class KeyValueCluster:
         return len(value) if value is not None else 0
 
     def _read_one(
-        self, namespace: str, key: bytes, sim_time: float
+        self,
+        namespace: str,
+        key: bytes,
+        sim_time: float,
+        suspects: Optional[Set[int]] = None,
     ) -> Tuple[Optional[bytes], float, int, int]:
         """Quorum read of one key:
         ``(live value, latency, serving node, repairs)``.
@@ -831,19 +921,30 @@ class KeyValueCluster:
         newest-wins, and read-repairs any stale replica in the background
         (charged to the replica, not to the client); ``repairs`` counts the
         repairs applied so the triggering read's trace can attribute them.
+
+        On a flaky link any of the ``R`` messages may be dropped; the read
+        then raises :class:`~repro.errors.RpcTimeoutError` *before* any
+        charge or repair is applied — a lost reply means the coordinator
+        learned nothing.
         """
-        chosen = self._read_replicas(namespace, key)
+        chosen = self._read_replicas(namespace, key, suspects)
+        network = self.network
+        if network.active:
+            for node_id in chosen:
+                if not network.delivers(CLIENT, node_id):
+                    self.metrics.add("network.dropped", 1)
+                    raise RpcTimeoutError("get", namespace, node_id)
         best_record, stale, observed = self._resolve_newest(
             namespace, key, chosen
         )
         latency = 0.0
         for node_id, record in observed:
-            latency = max(
-                latency,
-                self.nodes[node_id].charge_read(
-                    1, self._payload_size(record), sim_time
-                ),
+            rpc = self.nodes[node_id].charge_read(
+                1, self._payload_size(record), sim_time
             )
+            if network.active:
+                rpc += network.delay_seconds(CLIENT, node_id)
+            latency = max(latency, rpc)
         repaired = 0
         if best_record is not None:
             for node_id in stale:
@@ -862,39 +963,90 @@ class KeyValueCluster:
     # ------------------------------------------------------------------
     # Point operations
     # ------------------------------------------------------------------
-    def get(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
-        """Read one key; ``value`` is the bytes stored or ``None``."""
+    def get(
+        self,
+        namespace: str,
+        key: bytes,
+        sim_time: float = 0.0,
+        suspects: Optional[Set[int]] = None,
+        hedge_delay_seconds: Optional[float] = None,
+    ) -> OpResult:
+        """Read one key; ``value`` is the bytes stored or ``None``.
+
+        With ``hedge_delay_seconds`` set, a hedge request is issued when
+        the primary quorum read is slower than the delay: the same quorum
+        read is re-issued (fresh service-time draws — on a straggling
+        replica the retry usually lands on its fast path) and the first
+        response wins, so the effective latency is
+        ``min(primary, delay + hedge)``.  The loser's work is still done
+        by the nodes; the client layer accounts it as a saved read.
+        """
         self._require(namespace)
         value, latency, node_id, repaired = self._read_one(
-            namespace, key, sim_time
+            namespace, key, sim_time, suspects
         )
+        hedged = False
+        if (
+            hedge_delay_seconds is not None
+            and latency > hedge_delay_seconds
+        ):
+            hedged = True
+            try:
+                h_value, h_latency, h_node, h_repaired = self._read_one(
+                    namespace, key, sim_time, suspects
+                )
+            except UnavailableError:
+                # The hedge itself hit a drop — keep the primary response.
+                pass
+            else:
+                repaired += h_repaired
+                effective = hedge_delay_seconds + h_latency
+                if effective < latency:
+                    latency = effective
+                    node_id = h_node
+                    value = h_value
         return OpResult(
             value, latency, node_id, keys_touched=1, repaired=repaired,
             payload_bytes=len(value) if value is not None else 0,
+            hedged=hedged,
         )
 
     def put(
-        self, namespace: str, key: bytes, value: bytes, sim_time: float = 0.0
+        self,
+        namespace: str,
+        key: bytes,
+        value: bytes,
+        sim_time: float = 0.0,
+        suspects: Optional[Set[int]] = None,
     ) -> OpResult:
         """Write one key to its replica set; acks at the write quorum."""
         self._require(namespace)
         latency, primary, hints = self._quorum_write(
-            namespace, key, value, sim_time, operation="put"
+            namespace, key, value, sim_time, operation="put", suspects=suspects
         )
         return OpResult(True, latency, primary, keys_touched=1, hinted=hints)
 
-    def delete(self, namespace: str, key: bytes, sim_time: float = 0.0) -> OpResult:
+    def delete(
+        self,
+        namespace: str,
+        key: bytes,
+        sim_time: float = 0.0,
+        suspects: Optional[Set[int]] = None,
+    ) -> OpResult:
         """Delete one key (a replicated tombstone); ``value`` is whether it existed."""
         self._require(namespace)
-        up_prefs = [
+        available_prefs = [
             nid
             for nid in self._preference_list(namespace, key)
-            if self.nodes[nid].up
+            if self._available(nid)
         ]
-        _, newest = self.replication.newest_record(namespace, key, up_prefs)
+        _, newest = self.replication.newest_record(
+            namespace, key, available_prefs
+        )
         existed = newest is not None and decode_record(newest)[1] is not None
         latency, primary, hints = self._quorum_write(
-            namespace, key, None, sim_time, operation="delete"
+            namespace, key, None, sim_time, operation="delete",
+            suspects=suspects,
         )
         return OpResult(existed, latency, primary, keys_touched=1, hinted=hints)
 
@@ -905,6 +1057,7 @@ class KeyValueCluster:
         expected: Optional[bytes],
         new_value: bytes,
         sim_time: float = 0.0,
+        suspects: Optional[Set[int]] = None,
     ) -> OpResult:
         """Compare-and-swap; ``value`` is ``True`` iff the swap happened.
 
@@ -914,14 +1067,15 @@ class KeyValueCluster:
         """
         self._require(namespace)
         current, read_latency, node_id, repaired = self._read_one(
-            namespace, key, sim_time
+            namespace, key, sim_time, suspects
         )
         if current != expected:
             return OpResult(
                 False, read_latency, node_id, keys_touched=1, repaired=repaired
             )
         write_latency, primary, hints = self._quorum_write(
-            namespace, key, new_value, sim_time, operation="test_and_set"
+            namespace, key, new_value, sim_time, operation="test_and_set",
+            suspects=suspects,
         )
         return OpResult(
             True, read_latency + write_latency, primary, keys_touched=1,
@@ -937,6 +1091,7 @@ class KeyValueCluster:
         keys: Sequence[bytes],
         parallel: bool = True,
         sim_time: float = 0.0,
+        suspects: Optional[Set[int]] = None,
     ) -> OpResult:
         """Read many keys in one logical request.
 
@@ -955,7 +1110,7 @@ class KeyValueCluster:
             repaired = 0
             for key in keys:
                 value, key_latency, _, key_repairs = self._read_one(
-                    namespace, key, sim_time
+                    namespace, key, sim_time, suspects
                 )
                 values.append(value)
                 latency += key_latency
@@ -969,12 +1124,26 @@ class KeyValueCluster:
         # pass over its replicas; the per-node RPC charges are sized from
         # the records observed during that pass.
         stores = self.replication.stores
+        network = self.network
         values: List[Optional[bytes]] = []
         group_keys: Dict[int, int] = {}
         group_bytes: Dict[int, int] = {}
         repairs: Dict[int, List[Tuple[bytes, bytes]]] = {}
+        dropped_nodes: Set[int] = set()
         for key in keys:
-            chosen = self._read_replicas(namespace, key)
+            chosen = self._read_replicas(namespace, key, suspects)
+            if network.active:
+                # One batched RPC per node: draw each node's delivery once.
+                for node_id in chosen:
+                    if node_id in group_keys or node_id in dropped_nodes:
+                        continue
+                    if not network.delivers(CLIENT, node_id):
+                        dropped_nodes.add(node_id)
+                if any(node_id in dropped_nodes for node_id in chosen):
+                    self.metrics.add("network.dropped", 1)
+                    raise RpcTimeoutError(
+                        "multi_get", namespace, next(iter(dropped_nodes))
+                    )
             best_record, stale, observed = self._resolve_newest(
                 namespace, key, chosen
             )
@@ -991,12 +1160,12 @@ class KeyValueCluster:
             )
         latency = 0.0
         for node_id, count in group_keys.items():
-            latency = max(
-                latency,
-                self.nodes[node_id].charge_read(
-                    count, group_bytes.get(node_id, 0), sim_time
-                ),
+            rpc = self.nodes[node_id].charge_read(
+                count, group_bytes.get(node_id, 0), sim_time
             )
+            if network.active:
+                rpc += network.delay_seconds(CLIENT, node_id)
+            latency = max(latency, rpc)
         repaired = 0
         for node_id, stale_records in repairs.items():
             applied = 0
@@ -1018,7 +1187,9 @@ class KeyValueCluster:
     # ------------------------------------------------------------------
     # Range operations
     # ------------------------------------------------------------------
-    def _range_may_be_partial(self, allow_partial: bool) -> bool:
+    def _range_may_be_partial(
+        self, allow_partial: bool, available: Optional[int] = None
+    ) -> bool:
         """Whether a range merge over the up nodes could be missing keys.
 
         Every key lives on ``replication`` replicas, so as long as fewer
@@ -1027,8 +1198,14 @@ class KeyValueCluster:
         nodes down the result may silently miss keys: raise unless the
         caller opted in, in which case return ``True`` so the result can be
         flagged partial.
+
+        ``available`` overrides the count of usable nodes — serving paths
+        pass the client-reachable set so a partitioned-away node counts as
+        down; tooling paths (bulk load, backfill, diagnostics) run beside
+        the store and keep the up-only rule.
         """
-        down = len(self.nodes) - len(self.up_nodes())
+        usable = len(self.up_nodes()) if available is None else available
+        down = len(self.nodes) - usable
         if down < self.config.replication:
             return False
         if not allow_partial:
@@ -1068,8 +1245,10 @@ class KeyValueCluster:
         bounded work as fetching the range and filtering client-side.
         """
         self._require(namespace)
-        partial = self._range_may_be_partial(allow_partial)
-        up_ids = self.up_node_ids()
+        up_ids = self._serving_ids()
+        partial = self._range_may_be_partial(
+            allow_partial, available=len(up_ids)
+        )
         triples = self.replication.merged_range(
             namespace, up_ids, start, end, limit, ascending
         )
@@ -1085,17 +1264,31 @@ class KeyValueCluster:
             count, nbytes = served.get(node_id, (0, 0))
             served[node_id] = (count + 1, nbytes + len(value))
 
+        network = self.network
+
         def charge(node_id: int) -> float:
             count, nbytes = served.get(node_id, (0, 0))
             if record_filter is None:
-                return self.nodes[node_id].charge_range(count, nbytes, sim_time)
-            return self.nodes[node_id].charge_filtered_range(
-                examined.get(node_id, 0), count, nbytes, sim_time
-            )
+                rpc = self.nodes[node_id].charge_range(count, nbytes, sim_time)
+            else:
+                rpc = self.nodes[node_id].charge_filtered_range(
+                    examined.get(node_id, 0), count, nbytes, sim_time
+                )
+            if network.active:
+                rpc += network.delay_seconds(CLIENT, node_id)
+            return rpc
 
         keys_touched = sum(examined.values()) if record_filter is not None else len(pairs)
         shipped_bytes = sum(nbytes for _, nbytes in served.values())
         charged_ids = set(served) | set(examined)
+        if network.active:
+            # One range RPC per charged node; any dropped slice voids the
+            # whole merged result (nothing has been charged or repaired
+            # yet, so raising here leaves no partial state behind).
+            for node_id in sorted(charged_ids):
+                if not network.delivers(CLIENT, node_id):
+                    self.metrics.add("network.dropped", 1)
+                    raise RpcTimeoutError("get_range", namespace, node_id)
         bounded = start is not None and end is not None
         if bounded:
             if not charged_ids:
@@ -1181,13 +1374,19 @@ class KeyValueCluster:
         paper's constant-cost cardinality check.
         """
         self._require(namespace)
-        self._range_may_be_partial(allow_partial=False)
+        serving = self._serving_ids()
+        self._range_may_be_partial(allow_partial=False, available=len(serving))
         count = len(
-            self.replication.merged_range(
-                namespace, self.up_node_ids(), start, end
-            )
+            self.replication.merged_range(namespace, serving, start, end)
         )
         anchor = start if start is not None else b""
         node = self.route(namespace, anchor)
+        if self.network.active and not self.network.delivers(
+            CLIENT, node.node_id
+        ):
+            self.metrics.add("network.dropped", 1)
+            raise RpcTimeoutError("count_range", namespace, node.node_id)
         latency = node.charge_range(1, 8, sim_time)
+        if self.network.active:
+            latency += self.network.delay_seconds(CLIENT, node.node_id)
         return OpResult(count, latency, node.node_id, keys_touched=1)

@@ -144,6 +144,34 @@ def render_dashboard(telemetry: FleetTelemetry, width: int = 72) -> str:
             )
 
     # ------------------------------------------------------------------
+    # Circuit breakers (only present when clients run resilience breakers)
+    # ------------------------------------------------------------------
+    breaker_labels = store.label_sets("resilience.breaker.open_clients")
+    if breaker_labels:
+        lines.append("")
+        boards = store.latest_value("resilience.breaker.boards")
+        lines.append(f"BREAKERS ({int(boards)} client boards)")
+        header = ("node", "open now", "peak", "open history")
+        widths = (4, 9, 5, 34)
+        lines.append("  " + _format_row(header, widths))
+        for labels in breaker_labels:
+            label_dict = dict(labels)
+            node_id = label_dict.get("node", "?")
+            points = store.points(
+                "resilience.breaker.open_clients", label_dict
+            )
+            open_now = points[-1].last if points else 0.0
+            peak = max((p.max for p in points), default=0.0)
+            spark = sparkline([p.mean for p in points], width=32)
+            lines.append(
+                "  "
+                + _format_row(
+                    (node_id, f"{int(open_now)}", f"{int(peak)}", spark),
+                    widths,
+                )
+            )
+
+    # ------------------------------------------------------------------
     # Storage engines (only present when nodes run a durable engine)
     # ------------------------------------------------------------------
     engine_labels = store.label_sets("engine.memtable_bytes")

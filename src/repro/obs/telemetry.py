@@ -65,6 +65,14 @@ class TelemetryCollector:
     alerter:
         Optional burn-rate alerter; :meth:`scrape` calls its ``evaluate``
         after recording, so alerts see the freshest counters.
+    breakers_fn:
+        Callable returning the live per-client
+        :class:`~repro.resilience.breaker.BreakerBoard` objects (one per
+        app server with breakers enabled).  Each scrape records, per
+        storage node, how many clients currently hold that node's breaker
+        open (``resilience.breaker.open_clients``) plus the board count
+        (``resilience.breaker.boards``) — the fleet-wide suspicion view
+        the dashboard's BREAKERS section renders.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class TelemetryCollector:
         admission: Optional[object] = None,
         registries_fn: Optional[Callable[[], Iterable[MetricsRegistry]]] = None,
         alerter: Optional[object] = None,
+        breakers_fn: Optional[Callable[[], Iterable[object]]] = None,
     ):
         self.store = store
         self.cluster = cluster
@@ -82,6 +91,7 @@ class TelemetryCollector:
         self.admission = admission
         self.registries_fn = registries_fn
         self.alerter = alerter
+        self.breakers_fn = breakers_fn
         #: Completed scrape ticks.
         self.scrapes = 0
         #: Simulated times of each scrape (bounded implicitly by run length).
@@ -131,6 +141,23 @@ class TelemetryCollector:
                     labels = {"node": node_id}
                     for name, value in gauges.items():
                         record(f"engine.{name}", float(value), now, labels)
+        if self.breakers_fn is not None and cluster is not None:
+            boards = list(self.breakers_fn())
+            open_clients: Dict[int, int] = {
+                node.node_id: 0 for node in cluster.nodes
+            }
+            for board in boards:
+                for node_id in board.suspects(now):
+                    if node_id in open_clients:
+                        open_clients[node_id] += 1
+            record("resilience.breaker.boards", float(len(boards)), now)
+            for node_id, count in open_clients.items():
+                record(
+                    "resilience.breaker.open_clients",
+                    float(count),
+                    now,
+                    {"node": node_id},
+                )
         if self.registries_fn is not None:
             rollup: Dict[str, float] = {}
             for registry in self.registries_fn():

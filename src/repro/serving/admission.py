@@ -56,6 +56,11 @@ class AdmissionConfig:
     #: Dispatch backlog (seconds of queued work) beyond which requests are
     #: shed outright instead of queued.
     queue_limit_seconds: float = 2.0
+    #: How strongly fleet-wide circuit-breaker pressure pre-arms shedding:
+    #: the shed probability floor becomes ``gain * open_fraction`` where
+    #: ``open_fraction`` is the fraction of (client, node) breaker pairs
+    #: currently open.  Zero (the default) ignores breakers entirely.
+    breaker_pressure_gain: float = 0.0
     seed: int = 17
 
 
@@ -136,6 +141,21 @@ class AdmissionController:
             max(self.shed_probability, probability),
         )
         return self.shed_probability
+
+    def note_breaker_pressure(self, open_fraction: float) -> float:
+        """Pre-arm shedding from fleet-wide circuit-breaker state.
+
+        ``open_fraction`` is the fraction of (client, node) breaker pairs
+        currently open — clients collectively refusing to talk to storage
+        nodes is an earlier overload/fault signal than the SLO quantile,
+        which only moves once slow requests *complete*.  Scaled by
+        ``breaker_pressure_gain`` and fed through :meth:`pre_arm`, so the
+        proportional controller still owns recovery.
+        """
+        gain = self.config.breaker_pressure_gain
+        if gain <= 0.0 or open_fraction <= 0.0:
+            return self.shed_probability
+        return self.pre_arm(min(1.0, open_fraction) * gain)
 
     # ------------------------------------------------------------------
     # Per-request decisions

@@ -214,6 +214,7 @@ class ServingSimulation:
                 admission=self.admission,
                 registries_fn=self._server_registries,
                 alerter=alerter,
+                breakers_fn=self._breaker_boards,
             )
             self.telemetry = FleetTelemetry(store, collector, alerter, drift)
         self.log = TrafficLog()
@@ -257,10 +258,38 @@ class ServingSimulation:
         )
         return registries
 
+    def _breaker_boards(self):
+        """Every app server's live circuit-breaker board (if any).
+
+        Resolved through the drivers each call so autoscaled fleets stay
+        covered; empty when resilience breakers are not enabled.
+        """
+        boards = []
+        for server in self.driver.servers:
+            board = getattr(server.db.client, "breakers", None)
+            if board is not None:
+                boards.append(board)
+        return boards
+
+    def _breaker_open_fraction(self, now: float) -> float:
+        """Fraction of (client, node) breaker pairs currently open."""
+        boards = self._breaker_boards()
+        nodes = len(self.db.cluster.nodes)
+        if not boards or nodes == 0:
+            return 0.0
+        open_pairs = sum(board.open_count(now) for board in boards)
+        return open_pairs / (len(boards) * nodes)
+
     def _control_tick(self, sim: Simulation) -> None:
         now = sim.now
         refresh_utilization(self.db.cluster, now)
         if self.admission is not None:
+            # Breaker pressure first: clients fencing off storage nodes is
+            # an earlier fault signal than the SLO quantile the update
+            # step reads, so the pre-armed floor is visible to it.
+            self.admission.note_breaker_pressure(
+                self._breaker_open_fraction(now)
+            )
             self.admission.update(now)
         if self.autoscaler is not None:
             self.autoscaler.evaluate(now)

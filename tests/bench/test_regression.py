@@ -176,6 +176,7 @@ class TestCli:
             "quick_query",
             "quick_serving",
             "quick_storage",
+            "quick_chaos",
         }
         # Self-diff of the committed baseline is trivially clean.
         assert compare_summaries(baseline, baseline) == []

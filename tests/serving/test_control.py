@@ -98,6 +98,35 @@ class TestAdmissionController:
         )
         assert controller.shed_probability == pytest.approx(0.5)
 
+    def test_breaker_pressure_disabled_by_default(self):
+        controller = AdmissionController(healthy_monitor())
+        assert controller.note_breaker_pressure(0.5) == 0.0
+        assert controller.shed_probability == 0.0
+
+    def test_breaker_pressure_pre_arms_shedding(self):
+        controller = AdmissionController(
+            healthy_monitor(),
+            config=AdmissionConfig(breaker_pressure_gain=0.8),
+        )
+        assert controller.note_breaker_pressure(0.5) == pytest.approx(0.4)
+        assert controller.shed_probability == pytest.approx(0.4)
+
+    def test_breaker_pressure_never_lowers_shed_probability(self):
+        controller = AdmissionController(
+            healthy_monitor(),
+            config=AdmissionConfig(breaker_pressure_gain=1.0),
+        )
+        controller.shed_probability = 0.7
+        assert controller.note_breaker_pressure(0.1) == pytest.approx(0.7)
+        assert controller.shed_probability == pytest.approx(0.7)
+
+    def test_breaker_pressure_fraction_clamped_to_one(self):
+        controller = AdmissionController(
+            healthy_monitor(),
+            config=AdmissionConfig(breaker_pressure_gain=0.5),
+        )
+        assert controller.note_breaker_pressure(3.0) == pytest.approx(0.5)
+
 
 class TestAutoscaler:
     def make_cluster(self, nodes: int = 4) -> KeyValueCluster:

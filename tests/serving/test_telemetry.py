@@ -240,3 +240,66 @@ class TestRendering:
         text = prometheus_text(report.telemetry.store)
         assert 'node_up{node="1"}' in text
         assert "serving_slo_total" in text
+
+
+class TestBreakerTelemetry:
+    """The collector turns live breaker boards into per-node gauges."""
+
+    def make_stack(self):
+        from repro.kvstore import KeyValueCluster
+        from repro.obs import FleetTelemetry, TelemetryCollector, TimeSeriesStore
+        from repro.resilience.breaker import BreakerBoard
+
+        cluster = KeyValueCluster(ClusterConfig(storage_nodes=3, seed=2))
+        store = TimeSeriesStore(resolution_seconds=0.5)
+        boards = [
+            BreakerBoard(failure_threshold=1, open_seconds=10.0)
+            for _ in range(2)
+        ]
+        collector = TelemetryCollector(
+            store, cluster=cluster, breakers_fn=lambda: boards
+        )
+        telemetry = FleetTelemetry(store, collector)
+        return store, boards, collector, telemetry
+
+    def test_open_breakers_become_labelled_gauges(self):
+        store, boards, collector, _ = self.make_stack()
+        collector.scrape(0.0)
+        # Healthy: every node reports an explicit zero, not absence.
+        for node_id in range(3):
+            points = store.points(
+                "resilience.breaker.open_clients", {"node": node_id}
+            )
+            assert points and points[-1].last == 0.0
+        assert store.latest_value("resilience.breaker.boards") == 2.0
+
+        boards[0].record_failure(1, 1.0)  # client 0 fences node 1
+        boards[1].record_failure(1, 1.0)  # client 1 agrees
+        collector.scrape(1.0)
+        points = store.points(
+            "resilience.breaker.open_clients", {"node": 1}
+        )
+        assert points[-1].last == 2.0
+        points = store.points(
+            "resilience.breaker.open_clients", {"node": 0}
+        )
+        assert points[-1].last == 0.0
+
+    def test_dashboard_renders_breaker_section(self):
+        store, boards, collector, telemetry = self.make_stack()
+        collector.scrape(0.0)
+        boards[0].record_failure(2, 1.0)
+        collector.scrape(1.0)
+        text = telemetry.dashboard()
+        assert "BREAKERS (2 client boards)" in text
+        assert "open history" in text
+
+    def test_dashboard_omits_section_without_breaker_series(self):
+        from repro.kvstore import KeyValueCluster
+        from repro.obs import FleetTelemetry, TelemetryCollector, TimeSeriesStore
+
+        cluster = KeyValueCluster(ClusterConfig(storage_nodes=3, seed=2))
+        store = TimeSeriesStore()
+        collector = TelemetryCollector(store, cluster=cluster)
+        collector.scrape(0.0)
+        assert "BREAKERS" not in FleetTelemetry(store, collector).dashboard()
