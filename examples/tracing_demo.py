@@ -16,7 +16,11 @@ while tracing is enabled:
    operator's slice of the static bound, and observed latency per operator;
 4. ``write_chrome_trace`` exports recorded trees to the Chrome trace-event
    format — open chrome://tracing (or https://ui.perfetto.dev) and load the
-   file to see the interaction on a timeline.
+   file to see the interaction on a timeline;
+5. ``analyze_trace`` partitions a finished tree's latency into exclusive
+   segment classes (critical-path analysis), and a ``FlightRecorder``
+   attached to the bound auditor retains the traces worth explaining —
+   the latency-forensics layer the chaos soak's incident reports build on.
 
 Run with ``PYTHONPATH=src python examples/tracing_demo.py``.
 """
@@ -27,7 +31,14 @@ import random
 from pathlib import Path
 
 from repro import ClusterConfig, PiqlDatabase
-from repro.obs import render_span_tree, write_chrome_trace
+from repro.obs import (
+    CriticalPathAggregator,
+    FlightRecorder,
+    ForensicsConfig,
+    analyze_trace,
+    render_span_tree,
+    write_chrome_trace,
+)
 from repro.workloads import TpcwWorkload, WorkloadScale
 from repro.workloads.tpcw.queries import NEW_PRODUCTS_WI
 
@@ -75,6 +86,39 @@ def main() -> None:
         f"bound auditor: {db.auditor.audited} queries audited, "
         f"{db.auditor.violations} static-bound violations\n"
     )
+
+    # --- critical path: where did the interaction's time go? --------------
+    print("critical-path breakdown (exclusive segment classes):")
+    for root in tracer.roots:
+        print(f"  {analyze_trace(root).describe()}")
+    print()
+
+    # --- flight recorder: keep the traces worth explaining ----------------
+    # Attach a tail-based recorder to the shared bound auditor, replay a
+    # batch of interactions, and show what it decided to retain.  With no
+    # trained latency model the "slow" predicate is off, so retention here
+    # comes from the healthy-baseline reservoir — chaos runs add fault and
+    # breaker windows on top (see results/incident_report.json).
+    aggregator = CriticalPathAggregator()
+    recorder = FlightRecorder(
+        ForensicsConfig(reservoir_interval=20), aggregator=aggregator
+    )
+    db.auditor.recorder = recorder
+    for _ in range(60):
+        plan = workload.interaction_plan(db, rng)
+        workload.run_plan(db, plan, session=db.session())
+    db.auditor.recorder = None
+    print(recorder.describe())
+    for trace in recorder.traces[:3]:
+        reasons = ",".join(trace.reasons)
+        print(
+            f"  {trace.trace_id}  {trace.latency_seconds * 1000.0:7.2f} ms "
+            f"[{reasons}]  {trace.query_class[:60]}"
+        )
+    print("\nper-query-class profiles (time-weighted mean shares):")
+    for profile in aggregator.profiles()[:4]:
+        print(f"  {profile.describe()}")
+    print()
 
     # --- Chrome trace-event export ----------------------------------------
     out = Path("results")

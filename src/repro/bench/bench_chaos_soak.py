@@ -2,8 +2,10 @@
 
 Runs the paired naive/resilient soak across several seeds, prints the
 invariant verdicts and the partition-window dominance comparison, writes
-``results/chaos_soak.json``, and exits non-zero if any invariant fails on
-any seed — CI runs this with ``--quick`` as a smoke job.
+``results/chaos_soak.json`` plus the first seed's rendered
+``incident-report/v1`` artifact (``results/incident_report.json``), and
+exits non-zero if any invariant fails on any seed — CI runs this with
+``--quick`` as a smoke job.
 
 Usage::
 
@@ -97,6 +99,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     target = save_results("chaos_soak", payload)
     print(f"\nresults written to {target}")
+    # The first seed's resilient-arm incident report is the run's forensic
+    # artifact: the rendered timeline goes to stdout (a CI log is often the
+    # only thing anyone reads) and the machine-readable incident-report/v1
+    # JSON lands next to the soak results for upload.
+    first = next(iter(results.values()))
+    incident = first.arms["resilient"].incident
+    if incident is not None:
+        print()
+        print(incident.render())
+        report_path = target.parent / "incident_report.json"
+        incident.save(str(report_path))
+        print(f"\nincident report written to {report_path}")
     return 0 if payload["all_invariants_hold"] else 1
 
 

@@ -33,7 +33,10 @@ from typing import Dict, List, Optional, Tuple
 from ..engine.database import PiqlDatabase
 from ..errors import UnavailableError
 from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..obs.flightrec import ForensicsConfig
+from ..obs.incident import IncidentReport
 from ..prediction.slo import ServiceLevelObjective
+from ..resilience.policy import ResilienceConfig
 from ..replication.faults import (
     FaultSpec,
     crash_recover_timeline,
@@ -70,6 +73,12 @@ class FailoverSloConfig:
     drain_seconds: float = 4.0
     crash_node_id: int = 1
     audit_interval_seconds: float = 0.1
+    #: Run the failover variant with latency forensics (flight recorder +
+    #: breaker watch + telemetry) and attach an ``incident-report/v1``
+    #: correlating the crash window with retained traces and alerts.  The
+    #: baseline stays bare: forensics costs host wall clock only, never
+    #: simulated time, so the paired sim-time comparison is unaffected.
+    forensics_enabled: bool = True
     slo: ServiceLevelObjective = field(
         default_factory=lambda: ServiceLevelObjective(
             quantile=0.99, latency_seconds=0.1, interval_seconds=4.0
@@ -178,6 +187,8 @@ class FailoverSloResult:
     reports: Dict[str, ServingReport]
     phase_summaries: Dict[str, List[PhaseSummary]]
     audit: Dict[str, int]
+    #: Incident report of the failover run (``None`` when forensics is off).
+    incident: Optional[IncidentReport] = None
 
     def phase(self, run: str, name: str) -> PhaseSummary:
         for summary in self.phase_summaries[run]:
@@ -221,6 +232,9 @@ class FailoverSloResult:
             ],
             "repair": failover.repair.summary() if failover.repair else None,
             "write_audit": self.audit,
+            "incident": (
+                self.incident.payload() if self.incident is not None else None
+            ),
         }
 
 
@@ -240,7 +254,14 @@ class FailoverSloExperiment:
                 write_quorum=config.write_quorum,
                 node_capacity_ops_per_second=config.node_capacity_ops_per_second,
                 seed=7,
-            )
+            ),
+            # Breakers on *both* variants (the pairing must stay exact):
+            # each app server's board sees the dead replica through its own
+            # skipped-quorum sightings, which is the breaker evidence the
+            # failover incident report correlates with the crash window.
+            resilience=ResilienceConfig(
+                breakers_enabled=True, seed=config.seed
+            ),
         )
         workload = TpcwWorkload()
         workload.setup(
@@ -259,6 +280,7 @@ class FailoverSloExperiment:
     ) -> Tuple[ServingReport, Optional[Dict[str, int]]]:
         config = self.config
         db, workload = self._fresh_database()
+        forensics = inject_faults and config.forensics_enabled
         serving_config = ServingConfig(
             mode="open",
             clients=config.app_servers,
@@ -266,6 +288,8 @@ class FailoverSloExperiment:
             duration_seconds=config.duration_seconds,
             slo=config.slo,
             faults=config.faults() if inject_faults else (),
+            telemetry_enabled=forensics,
+            forensics=ForensicsConfig() if forensics else None,
             seed=config.seed,
         )
         simulation = ServingSimulation(db, workload, serving_config)
@@ -321,11 +345,17 @@ class FailoverSloExperiment:
             summaries[label] = self.summarise_phases(report)
             if audit_result is not None:
                 audit = audit_result
+        incident: Optional[IncidentReport] = None
+        if reports["failover"].forensics is not None:
+            incident = reports["failover"].incident_report(
+                title="failover timeline"
+            )
         return FailoverSloResult(
             config=self.config,
             reports=reports,
             phase_summaries=summaries,
             audit=audit,
+            incident=incident,
         )
 
 
@@ -374,6 +404,9 @@ def print_result(result: FailoverSloResult) -> None:
         f"{result.recovery_ratio():.2f}"
     )
     print(f"write audit: {result.audit}")
+    if result.incident is not None:
+        print()
+        print(result.incident.render())
 
 
 def main(argv: Optional[List[str]] = None) -> None:

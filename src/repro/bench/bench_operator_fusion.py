@@ -30,6 +30,11 @@ Three phases:
   recording a full span tree per interaction must stay within single-digit
   percent of the untraced wall clock, the budget the observability tier
   promises.
+* **forensics overhead** — the traced fused replay is repeated with the
+  latency-forensics hot path attached (flight recorder + critical-path
+  analysis on every finished query): the chunk-paired median ratio against
+  the tracing-only arm must stay <= 1.10x and the recorder's retained-trace
+  memory must stay inside its configured budget.
 
 Run with ``PYTHONPATH=src python -m repro.bench.bench_operator_fusion``
 (add ``--quick`` for the CI-sized configuration, which also acts as the
@@ -47,6 +52,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ..engine.database import PiqlDatabase
 from ..kvstore.cluster import ClusterConfig
+from ..obs.criticalpath import CriticalPathAggregator
+from ..obs.flightrec import FlightRecorder, ForensicsConfig
 from ..serving.simulator import ServingConfig, ServingSimulation
 from ..storage.rows import clear_row_caches
 from ..workloads.base import Workload, WorkloadScale
@@ -151,6 +158,7 @@ class OperatorFusionResult:
     micro: Dict[str, Dict[str, MicroRecord]]
     closed_loop: Dict[str, Dict[str, float]]
     tracing_overhead: Dict[str, float] = field(default_factory=dict)
+    forensics_overhead: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Replay-phase summaries
@@ -237,6 +245,7 @@ class OperatorFusionResult:
             },
             "closed_loop": self.closed_loop,
             "tracing_overhead": self.tracing_overhead,
+            "forensics_overhead": self.forensics_overhead,
         }
 
 
@@ -494,6 +503,82 @@ class OperatorFusionExperiment:
         }
 
     # ------------------------------------------------------------------
+    # Phase 5: forensics overhead
+    # ------------------------------------------------------------------
+    def run_forensics_overhead(self) -> Dict[str, float]:
+        """Paired tracing-only versus tracing-plus-forensics fused replay.
+
+        Both arms trace every interaction; the forensics arm additionally
+        attaches a :class:`~repro.obs.flightrec.FlightRecorder` (with its
+        critical-path aggregator) as the bound auditor's recorder hook, so
+        every finished query is critical-path-analysed and considered for
+        retention — the full latency-forensics hot path.  Chunk-paired
+        like the tracing phase; the reported ``overhead_ratio`` is the
+        median per-chunk forensics/traced ratio.
+        """
+        config = self.config
+        arms = ("traced", "forensics")
+        databases: Dict[str, Tuple[PiqlDatabase, TpcwWorkload]] = {}
+        rngs: Dict[str, random.Random] = {}
+        recorder: Optional[FlightRecorder] = None
+        for arm in arms:
+            db, workload = self._tpcw_database(fused=True)
+            db.reset_measurements()
+            db.enable_tracing()
+            if arm == "forensics":
+                recorder = FlightRecorder(
+                    ForensicsConfig(),
+                    aggregator=CriticalPathAggregator(),
+                )
+                db.auditor.recorder = recorder
+            databases[arm] = (db, workload)
+            rngs[arm] = random.Random(config.seed + 5)
+        walls: Dict[str, float] = {arm: 0.0 for arm in arms}
+        ratios: List[float] = []
+        chunk = 10
+        chunks, remainder = divmod(config.replay_interactions, chunk)
+        sizes = [chunk] * chunks + ([remainder] if remainder else [])
+        for _ in range(max(1, config.tracing_repetitions)):
+            for index, size in enumerate(sizes):
+                ordered = arms if index % 2 == 0 else arms[::-1]
+                elapsed = {}
+                for arm in ordered:
+                    db, workload = databases[arm]
+                    rng = rngs[arm]
+                    started = time.perf_counter()
+                    for _ in range(size):
+                        plan = workload.interaction_plan(db, rng)
+                        workload.run_plan(db, plan)
+                    elapsed[arm] = time.perf_counter() - started
+                    walls[arm] += elapsed[arm]
+                if elapsed["traced"] > 0:
+                    ratios.append(elapsed["forensics"] / elapsed["traced"])
+        ratios.sort()
+        median_ratio = ratios[len(ratios) // 2] if ratios else 1.0
+        operations = {
+            arm: databases[arm][0].client.stats.operations for arm in arms
+        }
+        assert recorder is not None
+        return {
+            "interactions": float(config.replay_interactions),
+            "repetitions": float(max(1, config.tracing_repetitions)),
+            "traced_wall_seconds": walls["traced"],
+            "forensics_wall_seconds": walls["forensics"],
+            "overhead_ratio": median_ratio,
+            "total_wall_ratio": (
+                walls["forensics"] / walls["traced"]
+                if walls["traced"] > 0 else 1.0
+            ),
+            "operations_identical": float(
+                operations["traced"] == operations["forensics"]
+            ),
+            "traces_seen": float(recorder.seen),
+            "retained_traces": float(len(recorder.traces)),
+            "memory_bytes": float(recorder.memory_bytes),
+            "memory_budget_bytes": float(recorder.config.memory_budget_bytes),
+        }
+
+    # ------------------------------------------------------------------
     # Whole experiment
     # ------------------------------------------------------------------
     def run(self) -> OperatorFusionResult:
@@ -508,6 +593,7 @@ class OperatorFusionExperiment:
         micro = {arm: self.run_micro(arm == "fused") for arm in ARMS}
         closed_loop = self.run_closed_loops()
         tracing_overhead = self.run_tracing_overhead()
+        forensics_overhead = self.run_forensics_overhead()
         return OperatorFusionResult(
             config=self.config,
             replay=replay,
@@ -516,6 +602,7 @@ class OperatorFusionExperiment:
             micro=micro,
             closed_loop=closed_loop,
             tracing_overhead=tracing_overhead,
+            forensics_overhead=forensics_overhead,
         )
 
 
@@ -570,6 +657,26 @@ def check_result(result: OperatorFusionResult, quick: bool = False) -> None:
         assert ratio <= budget, (
             f"tracing overhead was {ratio:.3f}x untraced wall clock "
             f"(budget {budget}x)"
+        )
+    # The latency-forensics hot path (critical-path analysis + retention
+    # decision per finished query) must stay within 10% of the tracing-only
+    # wall clock (the quick guard is slightly looser for the same
+    # sub-second-chunk noise reason as the tracing budget above), and the
+    # recorder's retained memory inside its budget.
+    if result.forensics_overhead:
+        overhead = result.forensics_overhead
+        assert overhead["operations_identical"] == 1.0, (
+            "the flight recorder changed the operation count of the replay"
+        )
+        ratio = overhead["overhead_ratio"]
+        budget = 1.15 if quick else 1.10
+        assert ratio <= budget, (
+            f"forensics overhead was {ratio:.3f}x the tracing-only wall "
+            f"clock (budget {budget}x)"
+        )
+        assert overhead["memory_bytes"] <= overhead["memory_budget_bytes"], (
+            f"flight recorder held {overhead['memory_bytes']:.0f} bytes, "
+            f"budget {overhead['memory_budget_bytes']:.0f}"
         )
 
 
@@ -664,6 +771,20 @@ def print_result(result: OperatorFusionResult) -> None:
             f"{(overhead['overhead_ratio'] - 1.0) * 100.0:+.1f}% wall clock "
             f"(chunk-median; total-wall ratio "
             f"{overhead['total_wall_ratio']:.3f}x)"
+        )
+    if result.forensics_overhead:
+        overhead = result.forensics_overhead
+        print()
+        print("== forensics overhead (traced versus traced+flight-recorder) ==")
+        print(
+            f"traced {overhead['traced_wall_seconds']:.3f}s, forensics "
+            f"{overhead['forensics_wall_seconds']:.3f}s: "
+            f"{(overhead['overhead_ratio'] - 1.0) * 100.0:+.1f}% wall clock "
+            f"(chunk-median; total-wall ratio "
+            f"{overhead['total_wall_ratio']:.3f}x); recorder retained "
+            f"{overhead['retained_traces']:.0f}/{overhead['traces_seen']:.0f} "
+            f"traces in {overhead['memory_bytes']:.0f}B "
+            f"(budget {overhead['memory_budget_bytes']:.0f}B)"
         )
 
 

@@ -44,6 +44,8 @@ from typing import Dict, List, Optional, Tuple
 from ..engine.database import PiqlDatabase
 from ..errors import UnavailableError
 from ..kvstore.cluster import ClusterConfig, KeyValueCluster
+from ..obs.flightrec import ForensicsConfig
+from ..obs.incident import IncidentReport
 from ..prediction.slo import ServiceLevelObjective
 from ..replication.faults import FaultSpec
 from ..replication.store import record_seq
@@ -83,6 +85,12 @@ class ChaosSoakConfig:
             quantile=0.99, latency_seconds=0.5, interval_seconds=5.0
         )
     )
+    #: Run the resilient arm with latency forensics (flight recorder +
+    #: critical-path analysis + breaker watch) and emit an incident
+    #: report reconstructing the injected schedule.  Pure observation:
+    #: tracing consumes no RNG, so the paired-prefix identity with the
+    #: naive arm is unaffected.
+    forensics_enabled: bool = True
     seed: int = 11
 
     @property
@@ -290,6 +298,8 @@ class ChaosArmResult:
     window_failures: int
     #: Fleet totals of the client-side resilience counters.
     resilience_counters: Dict[str, float]
+    #: Incident report (forensics-enabled arms only).
+    incident: Optional[IncidentReport] = None
 
 
 @dataclass
@@ -327,6 +337,21 @@ class ChaosSoakResult:
         checks["resilient_dominates"] = (
             resilient.window_failures < naive.window_failures
         )
+        if resilient.incident is not None:
+            # Forensics invariants: the incident report must reconstruct
+            # the injected schedule (every crash/partition window carries
+            # ≥1 retained trace and ≥1 correlated breaker transition or
+            # SLO alert), and every retained trace's critical-path shares
+            # must partition its latency exactly.
+            checks["incident_reconstructs_schedule"] = (
+                resilient.incident.reconstructs_schedule()
+            )
+            forensics = resilient.report.forensics
+            checks["segment_shares_sum_to_one"] = all(
+                abs(sum(trace.breakdown.shares.values()) - 1.0) <= 1e-6
+                for trace in forensics.recorder.traces
+                if trace.breakdown is not None
+            )
         return checks
 
     @property
@@ -363,6 +388,11 @@ class ChaosSoakResult:
                 }
                 for name, arm in self.arms.items()
             },
+            "incident": (
+                self.arms["resilient"].incident.payload()
+                if self.arms["resilient"].incident is not None
+                else None
+            ),
         }
 
 
@@ -414,7 +444,9 @@ class ChaosSoakExperiment:
         db.cluster.reseed_latency_models(config.seed)
         return db, workload
 
-    def run_arm(self, name: str, policy: ResilienceConfig) -> ChaosArmResult:
+    def run_arm(
+        self, name: str, policy: ResilienceConfig, forensics: bool = False
+    ) -> ChaosArmResult:
         config = self.config
         db, workload = self._fresh_database(policy)
         serving_config = ServingConfig(
@@ -424,6 +456,10 @@ class ChaosSoakExperiment:
             duration_seconds=config.duration_seconds,
             slo=config.slo,
             faults=config.faults(),
+            # Forensics needs telemetry for the SLO-alert correlation and
+            # the latency-breakdown scrape.
+            telemetry_enabled=forensics,
+            forensics=ForensicsConfig() if forensics else None,
             seed=config.seed,
         )
         simulation = ServingSimulation(db, workload, serving_config)
@@ -466,6 +502,11 @@ class ChaosSoakExperiment:
             registry = server.db.client.stats.metrics
             for key in _RESILIENCE_COUNTERS:
                 counters[key] += registry.value(key)
+        incident: Optional[IncidentReport] = None
+        if report.forensics is not None:
+            incident = report.incident_report(
+                title=f"chaos soak (seed {config.seed}, {name} arm)"
+            )
         return ChaosArmResult(
             name=name,
             report=report,
@@ -477,13 +518,18 @@ class ChaosSoakExperiment:
             prefix_completed=prefix_completed,
             window_failures=window_failures,
             resilience_counters=counters,
+            incident=incident,
         )
 
     def run(self) -> ChaosSoakResult:
         config = self.config
         arms = {
             "naive": self.run_arm("naive", config.naive_policy()),
-            "resilient": self.run_arm("resilient", config.resilient_policy()),
+            "resilient": self.run_arm(
+                "resilient",
+                config.resilient_policy(),
+                forensics=config.forensics_enabled,
+            ),
         }
         return ChaosSoakResult(config=config, arms=arms)
 

@@ -106,9 +106,29 @@ class QueryExecutor:
             )
         try:
             rows = execute_output(query.physical_plan, context)
-        finally:
+        except Exception as exc:
+            # Errored executions never reach the auditor, so the flight
+            # recorder would miss exactly the traces it exists to keep —
+            # close the root span, mark it, and offer it directly.  Each
+            # path ends the span exactly once: end_span on an already
+            # closed span drains the whole stack.
             if root_span is not None:
                 tracer.end_span(root_span)
+                root_span.attributes["error"] = type(exc).__name__
+                root_span.attributes["latency_seconds"] = (
+                    self.client.clock.now - time_before
+                )
+                auditor = self.config.auditor
+                recorder = (
+                    getattr(auditor, "recorder", None)
+                    if auditor is not None
+                    else None
+                )
+                if recorder is not None:
+                    recorder.observe_error(query, root_span)
+            raise
+        if root_span is not None:
+            tracer.end_span(root_span)
         stats_after = self.client.stats.snapshot()
         delta = stats_after.delta(stats_before)
         latency = self.client.clock.now - time_before

@@ -248,10 +248,19 @@ class StorageClient:
             metrics.add("client.read_repairs", result.repaired)
         metrics.add("client.total_latency_seconds", latency)
         self.stats.record_latency(latency)
-        if self.breakers is not None and result.node_id >= 0:
-            self.breakers.record_success(  # type: ignore[attr-defined]
-                result.node_id, self.clock.now
-            )
+        if self.breakers is not None:
+            if result.node_id >= 0:
+                self.breakers.record_success(  # type: ignore[attr-defined]
+                    result.node_id, self.clock.now
+                )
+            # Replicas the coordinator skipped as down/unreachable: each
+            # sighting is a per-node failure observed by this client's own
+            # traffic, which is what opens the breaker during a crash or
+            # partition window even though the quorum was still met.
+            for node_id in result.unavailable_nodes:
+                self.breakers.record_failure(  # type: ignore[attr-defined]
+                    node_id, self.clock.now
+                )
         if self.tracer is not None:
             span = self.tracer.record(
                 op, "rpc", started, self.clock.now,
@@ -272,6 +281,12 @@ class StorageClient:
                 attributes["repaired"] = result.repaired
             if result.hedged:
                 attributes["hedged"] = True
+                if self.hedge_delay_seconds is not None:
+                    attributes["hedge_delay_seconds"] = (
+                        self.hedge_delay_seconds
+                    )
+            if result.queue_wait_seconds:
+                attributes["queue_wait_seconds"] = result.queue_wait_seconds
             return span
         return None
 

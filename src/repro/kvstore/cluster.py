@@ -190,6 +190,18 @@ class OpResult:
     hedged:
         True when a hedge request was issued for this read (the effective
         latency is the faster of the primary and the hedge).
+    queue_wait_seconds:
+        Queue wait paid by the replica on the latency critical path of a
+        quorum point read (zero outside serving mode, and for writes and
+        ranges, whose critical-path attribution folds queueing into
+        service time).
+    unavailable_nodes:
+        Preference-list replicas the coordinator skipped because they were
+        down or unreachable.  The calling client feeds these into its
+        circuit-breaker board: its own traffic repeatedly observing a
+        replica unavailable is exactly the per-node failure signal
+        client-side breakers fence on, even when the quorum was still met
+        without it.
     """
 
     value: object
@@ -202,6 +214,8 @@ class OpResult:
     repaired: int = 0
     payload_bytes: int = 0
     hedged: bool = False
+    queue_wait_seconds: float = 0.0
+    unavailable_nodes: Tuple[int, ...] = ()
 
 
 class KeyValueCluster:
@@ -486,8 +500,13 @@ class KeyValueCluster:
         namespace: str,
         key: bytes,
         suspects: Optional[Set[int]] = None,
-    ) -> List[int]:
+    ) -> Tuple[List[int], Tuple[int, ...]]:
         """The ``R`` available replicas that serve a read of ``key``.
+
+        Returns ``(chosen, unavailable)``: the quorum actually used plus
+        the preference-list replicas skipped as down/unreachable — the
+        caller surfaces the latter so the client's breakers can fence
+        nodes its own traffic keeps observing unavailable.
 
         Raises :class:`QuorumNotMetError` when fewer than ``R`` replicas of
         the key are up and reachable.  ``suspects`` (nodes whose circuit
@@ -495,18 +514,20 @@ class KeyValueCluster:
         only chosen when the quorum cannot be met from healthy replicas.
         """
         needed = self.config.effective_read_quorum
-        chosen = [
-            node_id
-            for node_id in self._rotated_preference(namespace, key)
-            if self._available(node_id)
-        ]
+        chosen: List[int] = []
+        unavailable: List[int] = []
+        for node_id in self._rotated_preference(namespace, key):
+            if self._available(node_id):
+                chosen.append(node_id)
+            else:
+                unavailable.append(node_id)
         if suspects and len(chosen) > needed:
             healthy = [nid for nid in chosen if nid not in suspects]
             if len(healthy) >= needed:
                 chosen = healthy + [nid for nid in chosen if nid in suspects]
         if len(chosen) < needed:
             raise QuorumNotMetError("read", namespace, needed, len(chosen))
-        return chosen[:needed]
+        return chosen[:needed], tuple(unavailable)
 
     def route(self, namespace: str, key: bytes) -> StorageNode:
         """The node that serves a (single-replica) read for ``key``."""
@@ -807,15 +828,19 @@ class KeyValueCluster:
         sim_time: float,
         operation: str,
         suspects: Optional[Set[int]] = None,
-    ) -> Tuple[float, int, int]:
+    ) -> Tuple[float, int, int, Tuple[int, ...]]:
         """Write a record (or tombstone) to a key's replicas.
 
         Sends to every available replica (down or unreachable replicas get
         hints), charges each destination, and returns ``(ack latency,
-        primary node id, hints)`` where the ack latency is the ``W``-th
-        fastest replica's — the coordinator answers the client as soon as
-        the write quorum is met — and ``hints`` counts replicas whose copy
-        was deferred.
+        primary node id, hints, unavailable replicas observed)`` where the
+        ack latency is the ``W``-th fastest replica's — the coordinator
+        answers the client as soon as the write quorum is met — and
+        ``hints`` counts replicas whose copy was deferred.  The
+        unavailable list names only the replicas skipped as down or
+        unreachable (membership view) — suspect-skips and flaky drops are
+        excluded, so a client feeding it into its breaker board can never
+        keep a breaker open on its own suspicion.
 
         Flaky links can drop individual replica messages; a dropped copy is
         hinted (the coordinator's timeout fires and it falls back to the
@@ -843,9 +868,12 @@ class KeyValueCluster:
         nbytes = len(value) if value is not None else 0
         latencies: List[float] = []
         hints = 0
+        unavailable: List[int] = []
         network = self.network
         for node_id in prefs:
             if not self._available(node_id) or node_id in skip:
+                if node_id not in skip:
+                    unavailable.append(node_id)
                 self.replication.add_hint(node_id, namespace, key, record)
                 self.metrics.add("replication.hints_added", 1)
                 hints += 1
@@ -868,7 +896,7 @@ class KeyValueCluster:
         if len(latencies) < needed:
             raise RpcTimeoutError(operation, namespace)
         latencies.sort()
-        return latencies[needed - 1], prefs[0], hints
+        return latencies[needed - 1], prefs[0], hints, tuple(unavailable)
 
     def _resolve_newest(
         self, namespace: str, key: bytes, chosen: Sequence[int]
@@ -912,9 +940,9 @@ class KeyValueCluster:
         key: bytes,
         sim_time: float,
         suspects: Optional[Set[int]] = None,
-    ) -> Tuple[Optional[bytes], float, int, int]:
-        """Quorum read of one key:
-        ``(live value, latency, serving node, repairs)``.
+    ) -> Tuple[Optional[bytes], float, int, int, float, Tuple[int, ...]]:
+        """Quorum read of one key: ``(live value, latency, serving node,
+        repairs, critical queue wait, unavailable replicas observed)``.
 
         Charges each of the ``R`` chosen replicas one read RPC (the client
         waits for all of them, so the latency is their maximum), resolves
@@ -927,7 +955,7 @@ class KeyValueCluster:
         charge or repair is applied — a lost reply means the coordinator
         learned nothing.
         """
-        chosen = self._read_replicas(namespace, key, suspects)
+        chosen, unavailable = self._read_replicas(namespace, key, suspects)
         network = self.network
         if network.active:
             for node_id in chosen:
@@ -938,12 +966,18 @@ class KeyValueCluster:
             namespace, key, chosen
         )
         latency = 0.0
+        queue_wait = 0.0
         for node_id, record in observed:
-            rpc = self.nodes[node_id].charge_read(
+            node = self.nodes[node_id]
+            rpc = node.charge_read(
                 1, self._payload_size(record), sim_time
             )
             if network.active:
                 rpc += network.delay_seconds(CLIENT, node_id)
+            if rpc >= latency:
+                # This replica is (so far) the latency critical path; its
+                # queue wait is the read's attributable queueing delay.
+                queue_wait = node.last_queue_wait_seconds
             latency = max(latency, rpc)
         repaired = 0
         if best_record is not None:
@@ -958,7 +992,7 @@ class KeyValueCluster:
         if repaired:
             self.metrics.add("replication.read_repairs", repaired)
         value = decode_record(best_record)[1] if best_record is not None else None
-        return value, latency, chosen[0], repaired
+        return value, latency, chosen[0], repaired, queue_wait, unavailable
 
     # ------------------------------------------------------------------
     # Point operations
@@ -982,8 +1016,8 @@ class KeyValueCluster:
         by the nodes; the client layer accounts it as a saved read.
         """
         self._require(namespace)
-        value, latency, node_id, repaired = self._read_one(
-            namespace, key, sim_time, suspects
+        value, latency, node_id, repaired, queue_wait, unavailable = (
+            self._read_one(namespace, key, sim_time, suspects)
         )
         hedged = False
         if (
@@ -992,8 +1026,8 @@ class KeyValueCluster:
         ):
             hedged = True
             try:
-                h_value, h_latency, h_node, h_repaired = self._read_one(
-                    namespace, key, sim_time, suspects
+                h_value, h_latency, h_node, h_repaired, h_wait, _ = (
+                    self._read_one(namespace, key, sim_time, suspects)
                 )
             except UnavailableError:
                 # The hedge itself hit a drop — keep the primary response.
@@ -1005,10 +1039,12 @@ class KeyValueCluster:
                     latency = effective
                     node_id = h_node
                     value = h_value
+                    queue_wait = h_wait
         return OpResult(
             value, latency, node_id, keys_touched=1, repaired=repaired,
             payload_bytes=len(value) if value is not None else 0,
-            hedged=hedged,
+            hedged=hedged, queue_wait_seconds=queue_wait,
+            unavailable_nodes=unavailable,
         )
 
     def put(
@@ -1021,10 +1057,13 @@ class KeyValueCluster:
     ) -> OpResult:
         """Write one key to its replica set; acks at the write quorum."""
         self._require(namespace)
-        latency, primary, hints = self._quorum_write(
+        latency, primary, hints, unavailable = self._quorum_write(
             namespace, key, value, sim_time, operation="put", suspects=suspects
         )
-        return OpResult(True, latency, primary, keys_touched=1, hinted=hints)
+        return OpResult(
+            True, latency, primary, keys_touched=1, hinted=hints,
+            unavailable_nodes=unavailable,
+        )
 
     def delete(
         self,
@@ -1044,11 +1083,14 @@ class KeyValueCluster:
             namespace, key, available_prefs
         )
         existed = newest is not None and decode_record(newest)[1] is not None
-        latency, primary, hints = self._quorum_write(
+        latency, primary, hints, unavailable = self._quorum_write(
             namespace, key, None, sim_time, operation="delete",
             suspects=suspects,
         )
-        return OpResult(existed, latency, primary, keys_touched=1, hinted=hints)
+        return OpResult(
+            existed, latency, primary, keys_touched=1, hinted=hints,
+            unavailable_nodes=unavailable,
+        )
 
     def test_and_set(
         self,
@@ -1066,20 +1108,22 @@ class KeyValueCluster:
         so the charged latency is their sum.
         """
         self._require(namespace)
-        current, read_latency, node_id, repaired = self._read_one(
-            namespace, key, sim_time, suspects
+        current, read_latency, node_id, repaired, _, unavailable = (
+            self._read_one(namespace, key, sim_time, suspects)
         )
         if current != expected:
             return OpResult(
-                False, read_latency, node_id, keys_touched=1, repaired=repaired
+                False, read_latency, node_id, keys_touched=1,
+                repaired=repaired, unavailable_nodes=unavailable,
             )
-        write_latency, primary, hints = self._quorum_write(
+        write_latency, primary, hints, w_unavailable = self._quorum_write(
             namespace, key, new_value, sim_time, operation="test_and_set",
             suspects=suspects,
         )
         return OpResult(
             True, read_latency + write_latency, primary, keys_touched=1,
             hinted=hints, repaired=repaired,
+            unavailable_nodes=tuple(dict.fromkeys(unavailable + w_unavailable)),
         )
 
     # ------------------------------------------------------------------
@@ -1108,16 +1152,20 @@ class KeyValueCluster:
             values: List[Optional[bytes]] = []
             latency = 0.0
             repaired = 0
+            unavailable_seen: Dict[int, None] = {}
             for key in keys:
-                value, key_latency, _, key_repairs = self._read_one(
-                    namespace, key, sim_time, suspects
+                value, key_latency, _, key_repairs, _, key_unavail = (
+                    self._read_one(namespace, key, sim_time, suspects)
                 )
                 values.append(value)
                 latency += key_latency
                 repaired += key_repairs
+                for nid in key_unavail:
+                    unavailable_seen[nid] = None
             return OpResult(
                 values, latency, -1, keys_touched=len(keys), repaired=repaired,
                 payload_bytes=sum(len(v) for v in values if v is not None),
+                unavailable_nodes=tuple(unavailable_seen),
             )
         # Parallel: every key's R replica reads happen concurrently, one
         # batched RPC per involved node.  Each key is resolved in a single
@@ -1130,8 +1178,11 @@ class KeyValueCluster:
         group_bytes: Dict[int, int] = {}
         repairs: Dict[int, List[Tuple[bytes, bytes]]] = {}
         dropped_nodes: Set[int] = set()
+        unavailable_seen: Dict[int, None] = {}
         for key in keys:
-            chosen = self._read_replicas(namespace, key, suspects)
+            chosen, key_unavail = self._read_replicas(namespace, key, suspects)
+            for nid in key_unavail:
+                unavailable_seen[nid] = None
             if network.active:
                 # One batched RPC per node: draw each node's delivery once.
                 for node_id in chosen:
@@ -1159,12 +1210,16 @@ class KeyValueCluster:
                 decode_record(best_record)[1] if best_record is not None else None
             )
         latency = 0.0
+        queue_wait = 0.0
         for node_id, count in group_keys.items():
-            rpc = self.nodes[node_id].charge_read(
+            node = self.nodes[node_id]
+            rpc = node.charge_read(
                 count, group_bytes.get(node_id, 0), sim_time
             )
             if network.active:
                 rpc += network.delay_seconds(CLIENT, node_id)
+            if rpc >= latency:
+                queue_wait = node.last_queue_wait_seconds
             latency = max(latency, rpc)
         repaired = 0
         for node_id, stale_records in repairs.items():
@@ -1182,6 +1237,8 @@ class KeyValueCluster:
         return OpResult(
             values, latency, -1, keys_touched=len(keys), repaired=repaired,
             payload_bytes=sum(group_bytes.values()),
+            queue_wait_seconds=queue_wait,
+            unavailable_nodes=tuple(unavailable_seen),
         )
 
     # ------------------------------------------------------------------

@@ -107,6 +107,10 @@ class StorageNode:
     #: pays a first-come-first-served waiting time behind in-flight requests,
     #: so contention between concurrent clients shows up as queueing delay.
     request_queue: Optional[object] = None
+    #: Queue wait charged by the most recent RPC this node served; the
+    #: cluster reads it back to attribute critical-replica queueing on the
+    #: client's rpc spans (zero outside serving mode).
+    last_queue_wait_seconds: float = 0.0
 
     @classmethod
     def create(
@@ -158,8 +162,10 @@ class StorageNode:
     def _queue_wait(self, sim_time: float, service_seconds: float) -> float:
         """Waiting time behind in-flight requests (zero without a queue)."""
         if self.request_queue is None:
+            self.last_queue_wait_seconds = 0.0
             return 0.0
         wait = self.request_queue.on_request(sim_time, service_seconds)
+        self.last_queue_wait_seconds = wait
         self.stats.metrics.add("node.queue_wait_seconds", wait)
         return wait
 

@@ -26,10 +26,39 @@ compile-time guarantees into runtime observations:
 * :mod:`~repro.obs.dashboard` — the rendered ASCII fleet dashboard.
 * :mod:`~repro.obs.export` — JSON, Chrome-trace, Prometheus-text, and
   telemetry-artifact export.
+* :mod:`~repro.obs.criticalpath` — critical-path analysis: every
+  microsecond of a finished trace attributed to an exclusive segment
+  class, aggregated into per-query-class breakdown profiles.
+* :mod:`~repro.obs.flightrec` — the tail-based flight recorder: bounded
+  retention of slow / errored / bound-violating / fault-window traces
+  with metric exemplars, plus breaker-transition synthesis.
+* :mod:`~repro.obs.incident` — incident reports correlating fault
+  windows, breaker transitions, SLO alerts, drift, and retained traces.
 """
 
 from .audit import AuditEvent, BoundAuditor, LatencyResidual
+from .criticalpath import (
+    SEGMENT_CLASSES,
+    BreakdownProfile,
+    CriticalPathAggregator,
+    CriticalPathBreakdown,
+    analyze_trace,
+)
 from .explain import explain_analyze, render_span_tree
+from .flightrec import (
+    BreakerTransition,
+    BreakerWatch,
+    FlightRecorder,
+    ForensicsConfig,
+    RetainedTrace,
+)
+from .incident import (
+    FaultWindow,
+    IncidentReport,
+    LatencyForensics,
+    build_incident_report,
+    fault_windows,
+)
 from .export import (
     prometheus_text,
     span_to_dict,
@@ -51,21 +80,36 @@ __all__ = [
     "AuditEvent",
     "BoundAuditor",
     "BoundedHistogram",
+    "BreakdownProfile",
+    "BreakerTransition",
+    "BreakerWatch",
     "BurnRateAlerter",
     "BurnRateRule",
+    "CriticalPathAggregator",
+    "CriticalPathBreakdown",
     "DriftReport",
+    "FaultWindow",
     "FleetTelemetry",
+    "FlightRecorder",
+    "ForensicsConfig",
     "HistogramMergeError",
+    "IncidentReport",
+    "LatencyForensics",
     "LatencyResidual",
     "MetricsRegistry",
     "PredictionDriftDetector",
+    "RetainedTrace",
+    "SEGMENT_CLASSES",
     "SLOAlert",
     "Span",
     "TelemetryCollector",
     "TimeSeriesPoint",
     "TimeSeriesStore",
     "Tracer",
+    "analyze_trace",
+    "build_incident_report",
     "explain_analyze",
+    "fault_windows",
     "prometheus_text",
     "render_dashboard",
     "render_span_tree",

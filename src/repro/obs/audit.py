@@ -98,6 +98,12 @@ class BoundAuditor:
         #: residual distribution (set by ``db.enable_telemetry()`` or the
         #: serving simulator).
         self.drift = None
+        #: Optional :class:`~repro.obs.flightrec.FlightRecorder`; when
+        #: attached, every audited traced query is offered for tail-based
+        #: retention (with its audit event, so bound violations pin their
+        #: trace).  The auditor is shared by every ``new_client`` view, so
+        #: one recorder covers the whole app-server fleet.
+        self.recorder = None
         #: Queries checked since construction (or the last :meth:`reset`).
         self.audited = 0
         #: Violations observed, oldest first, capped at ``max_events``.
@@ -147,19 +153,25 @@ class BoundAuditor:
         if self.drift is not None:
             self.drift.observe(query, latency_seconds)
         bound = query.bound
-        if bound is None or observed_operations <= bound.max_operations:
-            return None
-        event = AuditEvent(
-            sql=query.sql,
-            observed_operations=observed_operations,
-            bound_operations=bound.max_operations,
-            latency_seconds=latency_seconds,
-        )
-        if len(self.events) < self.max_events:
-            self.events.append(event)
-        if self.sink is not None:
-            self.sink(event)
-        if enforce and self.mode == "strict":
+        event: Optional[AuditEvent] = None
+        if bound is not None and observed_operations > bound.max_operations:
+            event = AuditEvent(
+                sql=query.sql,
+                observed_operations=observed_operations,
+                bound_operations=bound.max_operations,
+                latency_seconds=latency_seconds,
+            )
+            if len(self.events) < self.max_events:
+                self.events.append(event)
+            if self.sink is not None:
+                self.sink(event)
+        # The flight recorder sees every traced query — violation or not —
+        # and must be fed before strict mode raises, so the offending trace
+        # is retained even when the query dies.
+        recorder = self.recorder
+        if recorder is not None and span is not None:
+            recorder.observe_query(query, span, latency_seconds, event=event)
+        if event is not None and enforce and self.mode == "strict":
             raise BoundViolationError(
                 observed_operations, bound.max_operations, query.sql
             )

@@ -264,5 +264,42 @@ def render_dashboard(telemetry: FleetTelemetry, width: int = 72) -> str:
                 f"  n={report.observations:<4d} {state}"
             )
 
+    # ------------------------------------------------------------------
+    # Latency breakdown (critical-path aggregates scraped by forensics)
+    # ------------------------------------------------------------------
+    share_labels = store.label_sets("forensics.segment_share")
+    if share_labels:
+        lines.append("")
+        lines.append("LATENCY BREAKDOWN (critical-path share)")
+        analyzed = store.latest_value("forensics.traces_analyzed")
+        dropped_roots = store.latest_value("obs.trace.dropped_roots")
+        summary = f"  traces analyzed: {int(analyzed)}"
+        if dropped_roots:
+            summary += f"   tracer dropped roots: {int(dropped_roots)}"
+        lines.append(summary)
+        by_class: dict = {}
+        for labels in share_labels:
+            label_dict = dict(labels)
+            query_class = label_dict.get("query_class", "?")
+            segment = label_dict.get("segment", "?")
+            by_class.setdefault(query_class, []).append((segment, label_dict))
+        for query_class in sorted(by_class):
+            name = query_class
+            if len(name) > width - 4:
+                name = name[: width - 7] + "..."
+            lines.append(f"  {name}")
+            rows = []
+            for segment, label_dict in by_class[query_class]:
+                points = store.points("forensics.segment_share", label_dict)
+                share = points[-1].last if points else 0.0
+                rows.append((share, segment, points))
+            for share, segment, points in sorted(rows, reverse=True):
+                if share <= 0.0:
+                    continue
+                spark = sparkline([p.mean for p in points], width=24)
+                lines.append(
+                    f"    {segment:<24} {share * 100.0:5.1f}%  {spark}"
+                )
+
     lines.append(rule)
     return "\n".join(lines)

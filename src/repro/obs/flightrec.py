@@ -1,0 +1,565 @@
+"""Tail-based flight recorder: keep exactly the traces worth explaining.
+
+The tracer's root deque keeps the *most recent* traces; under load the
+interesting ones — the p99 spike, the query that tripped its bound during
+a partition — are evicted thousands of interactions before anyone looks.
+The :class:`FlightRecorder` inverts that: every finished query is offered
+(via the :class:`~repro.obs.audit.BoundAuditor` hook), and a trace is
+**retained** when it is
+
+* ``slow`` — observed latency outside the latency model's stated per-class
+  envelope (the drift detector's cached ``p_high`` quantile, so the hot
+  path pays one dict hit),
+* ``error`` — the execution raised,
+* ``bound_violation`` — the runtime bound auditor flagged it (these pin
+  their trace against eviction),
+* ``fault_window`` / ``breaker_window`` — the trace overlapped an injected
+  fault window or a circuit-breaker-open window,
+* ``baseline`` — a small deterministic every-Nth reservoir, so there is
+  always a healthy trace to diff a pathological one against.
+
+Retention is **bounded twice**: a trace-count cap and a byte budget over
+estimated span-tree sizes.  Eviction prefers baseline-only traces, then
+the oldest unpinned trace; every eviction is counted (no silent caps).
+The first trace retained for each distinct window label is pinned so an
+incident report can always cite at least one trace per fault window.
+
+**Exemplars** link metrics to traces: every observation lands in a
+power-of-two latency band per query class, and each band remembers the id
+of the last *retained* trace that fell in it — the histogram bucket answers
+"how many", the exemplar answers "show me one".
+
+:class:`BreakerWatch` synthesises circuit-breaker *transitions* (the
+breaker state machine is derived from timestamps, so no transition events
+exist natively): polled each control tick, it diffs per-node states,
+records :class:`BreakerTransition` objects, and opens/closes recorder
+windows so traces overlapping an open breaker are retained.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .criticalpath import (
+    CriticalPathAggregator,
+    CriticalPathBreakdown,
+    analyze_trace,
+    query_class_of,
+)
+from .trace import Span
+
+#: Smallest / largest exemplar latency band upper edge, in milliseconds.
+_BAND_FLOOR_MS = 0.25
+_BAND_CEILING_MS = 16384.0
+
+
+def _band_upper_ms(latency_ms: float) -> float:
+    """The power-of-two band upper edge a latency falls under."""
+    upper = _BAND_FLOOR_MS
+    while upper < latency_ms and upper < _BAND_CEILING_MS:
+        upper *= 2.0
+    return upper
+
+
+@dataclass(frozen=True)
+class ForensicsConfig:
+    """Bounds and thresholds of one flight recorder."""
+
+    #: Hard cap on concurrently retained traces.
+    max_traces: int = 64
+    #: Every Nth otherwise-unretained trace is kept as a healthy baseline.
+    reservoir_interval: int = 97
+    #: Byte budget over estimated retained span-tree sizes.
+    memory_budget_bytes: int = 1_000_000
+    #: A trace is ``slow`` when latency exceeds envelope.p_high * factor.
+    slow_grace_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        if self.reservoir_interval <= 0:
+            raise ValueError("reservoir_interval must be positive")
+        if self.memory_budget_bytes <= 0:
+            raise ValueError("memory_budget_bytes must be positive")
+        if self.slow_grace_factor <= 0:
+            raise ValueError("slow_grace_factor must be positive")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One observed circuit-breaker state change on one client board."""
+
+    time: float
+    node_id: int
+    from_state: str
+    to_state: str
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:7.3f}s breaker[node {self.node_id}] "
+            f"{self.from_state} -> {self.to_state}"
+        )
+
+
+@dataclass
+class RetainedTrace:
+    """One trace the recorder decided to keep, plus why."""
+
+    trace_id: str
+    span: Span
+    query_class: str
+    latency_seconds: float
+    retained_at: float
+    reasons: Tuple[str, ...]
+    breakdown: Optional[CriticalPathBreakdown]
+    approx_bytes: int
+    #: Pinned traces (bound violations, first-per-window) resist eviction.
+    pinned: bool = False
+
+    def payload(self, include_spans: bool = False) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "trace_id": self.trace_id,
+            "query_class": self.query_class,
+            "root_name": self.span.name,
+            "start": self.span.start,
+            "end": self.span.end,
+            "latency_seconds": self.latency_seconds,
+            "retained_at": self.retained_at,
+            "reasons": list(self.reasons),
+            "pinned": self.pinned,
+            "approx_bytes": self.approx_bytes,
+            "span_count": sum(1 for _ in self.span.walk()),
+        }
+        if self.breakdown is not None:
+            payload["critical_path"] = self.breakdown.payload()
+        if include_spans:
+            from .export import span_to_dict
+
+            payload["spans"] = span_to_dict(self.span)
+        return payload
+
+
+def _estimate_bytes(span: Span) -> int:
+    """Rough retained-memory estimate of a span tree (budget accounting)."""
+    total = 0
+    for node in span.walk():
+        total += 120 + 48 * len(node.attributes)
+    return total
+
+
+class FlightRecorder:
+    """Bounded tail-based trace retention with exemplars.
+
+    Parameters
+    ----------
+    config:
+        Retention bounds; defaults to :class:`ForensicsConfig`.
+    drift:
+        Optional :class:`~repro.obs.drift.PredictionDriftDetector` (duck
+        typed: ``_predict_envelope(query)``); provides the per-class
+        latency envelope behind the ``slow`` predicate and shares its
+        plan-keyed cache, so the hot-path cost is a dict hit.
+    aggregator:
+        Optional :class:`~repro.obs.criticalpath.CriticalPathAggregator`;
+        when present every observed trace's breakdown feeds it (retained
+        or not), building the per-class profiles.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ForensicsConfig] = None,
+        drift: Optional[object] = None,
+        aggregator: Optional[CriticalPathAggregator] = None,
+    ):
+        self.config = config or ForensicsConfig()
+        self.drift = drift
+        self.aggregator = aggregator
+        #: Retained traces by id, oldest first.
+        self._retained: "OrderedDict[str, RetainedTrace]" = OrderedDict()
+        self._retained_bytes = 0
+        self._next_id = 0
+        #: Closed retention windows: (start, end, label).
+        self.windows: List[Tuple[float, float, str]] = []
+        #: Open-ended windows (breaker currently open): key -> (start, label).
+        self._open_windows: Dict[object, Tuple[float, str]] = {}
+        #: Window labels that already pinned their first trace.
+        self._pinned_windows: set = set()
+        # Counters — retention must never be silent.
+        self.seen = 0
+        self.retained_total = 0
+        self.dropped = 0
+        self.dropped_pinned = 0
+        self.reasons_count: Dict[str, int] = {}
+        #: Latency histogram: (query_class, band_upper_ms) -> observations.
+        self.histogram: Dict[Tuple[str, float], int] = {}
+        #: Exemplar per histogram band: the last retained trace id in it.
+        self.exemplars: Dict[Tuple[str, float], str] = {}
+
+    # ------------------------------------------------------------------
+    # Windows (fault plane, circuit breakers)
+    # ------------------------------------------------------------------
+    def note_window(self, start: float, end: float, label: str) -> None:
+        """Register a closed retention window (e.g. an injected fault)."""
+        if end < start:
+            raise ValueError("window end before start")
+        self.windows.append((start, end, label))
+
+    def begin_window(self, key: object, start: float, label: str) -> None:
+        """Open a window whose end is not yet known (breaker just opened)."""
+        self._open_windows.setdefault(key, (start, label))
+
+    def end_window(self, key: object, end: float) -> None:
+        """Close a previously opened window; unknown keys are a no-op."""
+        entry = self._open_windows.pop(key, None)
+        if entry is not None:
+            start, label = entry
+            self.windows.append((start, max(start, end), label))
+
+    def _overlapping_window(self, start: float, end: float) -> Optional[str]:
+        for w_start, w_end, label in self.windows:
+            if start < w_end and end > w_start:
+                return label
+        for w_start, label in self._open_windows.values():
+            if end > w_start:
+                return label
+        return None
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def observe_query(
+        self,
+        query: Optional[object],
+        span: Span,
+        latency_seconds: float,
+        event: Optional[object] = None,
+    ) -> Optional[RetainedTrace]:
+        """Offer one finished traced query; returns the trace if retained.
+
+        This is the :class:`~repro.obs.audit.BoundAuditor` hook: the
+        auditor calls it for every audited query, passing the audit event
+        when the query violated its static bound.
+        """
+        if span.end is None:
+            return None
+        self.seen += 1
+        breakdown: Optional[CriticalPathBreakdown] = None
+        try:
+            breakdown = analyze_trace(span)
+        except ValueError:  # pragma: no cover - guarded by span.end above
+            breakdown = None
+        if breakdown is not None and self.aggregator is not None:
+            self.aggregator.observe(breakdown)
+        query_class = (
+            breakdown.query_class if breakdown is not None
+            else query_class_of(span)
+        )
+        band = (query_class, _band_upper_ms(latency_seconds * 1000.0))
+        self.histogram[band] = self.histogram.get(band, 0) + 1
+
+        reasons: List[str] = []
+        pinned = False
+        if event is not None:
+            reasons.append("bound_violation")
+            pinned = True
+        if span.attributes.get("error"):
+            reasons.append("error")
+        envelope = self._envelope(query)
+        if (
+            envelope is not None
+            and latency_seconds
+            > envelope.p_high_seconds * self.config.slow_grace_factor
+        ):
+            reasons.append("slow")
+        label = self._overlapping_window(span.start, span.end)
+        if label is not None:
+            reasons.append(f"window:{label}")
+            if label not in self._pinned_windows:
+                self._pinned_windows.add(label)
+                pinned = True
+        if not reasons and self.seen % self.config.reservoir_interval == 0:
+            reasons.append("baseline")
+        if not reasons:
+            return None
+        return self._retain(
+            span, query_class, latency_seconds, tuple(reasons), breakdown,
+            pinned=pinned, band=band,
+        )
+
+    def observe_error(self, query: Optional[object], span: Span) -> Optional[RetainedTrace]:
+        """Offer a trace whose execution raised (never reaches the auditor)."""
+        if span.end is None:
+            return None
+        self.seen += 1
+        breakdown: Optional[CriticalPathBreakdown] = None
+        if span.end is not None:
+            breakdown = analyze_trace(span)
+            if self.aggregator is not None:
+                self.aggregator.observe(breakdown)
+        query_class = (
+            breakdown.query_class if breakdown is not None
+            else query_class_of(span)
+        )
+        latency = span.duration
+        band = (query_class, _band_upper_ms(latency * 1000.0))
+        self.histogram[band] = self.histogram.get(band, 0) + 1
+        reasons: List[str] = ["error"]
+        label = self._overlapping_window(span.start, span.end)
+        if label is not None:
+            reasons.append(f"window:{label}")
+        return self._retain(
+            span, query_class, latency, tuple(reasons), breakdown,
+            pinned=False, band=band,
+        )
+
+    def note_audit_event(self, event: object, span: Optional[Span] = None) -> None:
+        """Direct audit-event sink for callers outside the auditor hook."""
+        self.reasons_count["bound_violation_events"] = (
+            self.reasons_count.get("bound_violation_events", 0) + 1
+        )
+        if span is not None and span.end is not None:
+            self._retain(
+                span,
+                query_class_of(span),
+                span.duration,
+                ("bound_violation",),
+                None,
+                pinned=True,
+                band=None,
+            )
+
+    def _envelope(self, query: Optional[object]):
+        if query is None or self.drift is None:
+            return None
+        predict = getattr(self.drift, "_predict_envelope", None)
+        if predict is None:
+            return None
+        return predict(query)
+
+    # ------------------------------------------------------------------
+    # Retention bookkeeping
+    # ------------------------------------------------------------------
+    def _retain(
+        self,
+        span: Span,
+        query_class: str,
+        latency_seconds: float,
+        reasons: Tuple[str, ...],
+        breakdown: Optional[CriticalPathBreakdown],
+        pinned: bool,
+        band: Optional[Tuple[str, float]],
+    ) -> RetainedTrace:
+        self._next_id += 1
+        trace = RetainedTrace(
+            trace_id=f"t-{self._next_id:06d}",
+            span=span,
+            query_class=query_class,
+            latency_seconds=latency_seconds,
+            retained_at=span.end if span.end is not None else span.start,
+            reasons=reasons,
+            breakdown=breakdown,
+            approx_bytes=_estimate_bytes(span) + (320 if breakdown else 0),
+            pinned=pinned,
+        )
+        self._retained[trace.trace_id] = trace
+        self._retained_bytes += trace.approx_bytes
+        self.retained_total += 1
+        for reason in reasons:
+            key = reason.split(":", 1)[0]
+            self.reasons_count[key] = self.reasons_count.get(key, 0) + 1
+        if band is not None:
+            self.exemplars[band] = trace.trace_id
+        self._evict()
+        return trace
+
+    def _evict(self) -> None:
+        config = self.config
+        while (
+            len(self._retained) > config.max_traces
+            or self._retained_bytes > config.memory_budget_bytes
+        ):
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            dropped = self._retained.pop(victim)
+            self._retained_bytes -= dropped.approx_bytes
+            self.dropped += 1
+            if dropped.pinned:
+                self.dropped_pinned += 1
+
+    def _pick_victim(self) -> Optional[str]:
+        # Oldest baseline-only first, then oldest unpinned, then — the byte
+        # budget is a hard bound — oldest pinned (counted separately).
+        for trace_id, trace in self._retained.items():
+            if not trace.pinned and trace.reasons == ("baseline",):
+                return trace_id
+        for trace_id, trace in self._retained.items():
+            if not trace.pinned:
+                return trace_id
+        for trace_id in self._retained:
+            return trace_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Access & export
+    # ------------------------------------------------------------------
+    @property
+    def traces(self) -> List[RetainedTrace]:
+        """Currently retained traces, oldest first."""
+        return list(self._retained.values())
+
+    def trace(self, trace_id: str) -> Optional[RetainedTrace]:
+        return self._retained.get(trace_id)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Estimated bytes currently held by retained traces."""
+        return self._retained_bytes
+
+    def traces_overlapping(self, start: float, end: float) -> List[RetainedTrace]:
+        return [
+            trace
+            for trace in self._retained.values()
+            if trace.span.end is not None
+            and trace.span.start < end
+            and trace.span.end > start
+        ]
+
+    def describe(self) -> str:
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.reasons_count.items())
+        )
+        return (
+            f"flight recorder: {len(self._retained)} retained of "
+            f"{self.seen} seen ({self.retained_total} total, "
+            f"{self.dropped} evicted), {self._retained_bytes} bytes"
+            + (f"; reasons: {reasons}" if reasons else "")
+        )
+
+    def payload(self, include_spans: bool = False) -> Dict[str, object]:
+        """The ``flight-recorder/v1`` artifact (see docs/flight-recorder-v1.md)."""
+        return {
+            "schema": "flight-recorder/v1",
+            "config": {
+                "max_traces": self.config.max_traces,
+                "reservoir_interval": self.config.reservoir_interval,
+                "memory_budget_bytes": self.config.memory_budget_bytes,
+                "slow_grace_factor": self.config.slow_grace_factor,
+            },
+            "seen": self.seen,
+            "retained": len(self._retained),
+            "retained_total": self.retained_total,
+            "dropped": self.dropped,
+            "dropped_pinned": self.dropped_pinned,
+            "memory_bytes": self._retained_bytes,
+            "reasons": dict(self.reasons_count),
+            "windows": [
+                {"start": start, "end": end, "label": label}
+                for start, end, label in self.windows
+            ]
+            + [
+                {"start": start, "end": None, "label": label}
+                for start, label in self._open_windows.values()
+            ],
+            "traces": [
+                trace.payload(include_spans=include_spans)
+                for trace in self._retained.values()
+            ],
+            "exemplars": [
+                {
+                    "query_class": query_class,
+                    "le_ms": upper,
+                    "count": self.histogram.get((query_class, upper), 0),
+                    "trace_id": trace_id,
+                    "retained": trace_id in self._retained,
+                }
+                for (query_class, upper), trace_id in sorted(
+                    self.exemplars.items()
+                )
+            ],
+        }
+
+
+class BreakerWatch:
+    """Synthesises breaker transitions by polling board states.
+
+    :class:`~repro.resilience.breaker.CircuitBreaker` state is *derived*
+    (``closed``/``open``/``half_open`` from ``_opened_at`` + now), so no
+    transition events exist to subscribe to.  The watch diffs the fleet's
+    per-node states each poll (the serving control tick), records
+    :class:`BreakerTransition` objects, and maintains recorder windows:
+    a window opens when a client's breaker for a node opens and closes
+    as soon as that breaker leaves the ``open`` state.
+    """
+
+    def __init__(self, recorder: Optional[FlightRecorder] = None, max_transitions: int = 512):
+        self.recorder = recorder
+        self.max_transitions = max_transitions
+        self.transitions: List[BreakerTransition] = []
+        self.dropped_transitions = 0
+        #: id(board) -> (board ref, {node_id: state}).  The strong board
+        #: reference keeps a recycled id() from aliasing a new board.
+        self._last: Dict[int, Tuple[object, Dict[int, str]]] = {}
+
+    def poll(self, boards: Iterable[object], now: float) -> List[BreakerTransition]:
+        """Diff every board's states; returns the new transitions."""
+        fresh: List[BreakerTransition] = []
+        for board in boards:
+            key = id(board)
+            states: Dict[int, str] = dict(board.states(now))
+            previous = self._last.get(key)
+            previous_states = previous[1] if previous is not None and previous[0] is board else {}
+            for node_id, state in states.items():
+                before = previous_states.get(node_id, "closed")
+                if state == before:
+                    continue
+                transition = BreakerTransition(
+                    time=now, node_id=node_id,
+                    from_state=before, to_state=state,
+                )
+                fresh.append(transition)
+                if self.recorder is not None:
+                    # The retention window tracks the *fenced* phase only:
+                    # it opens with the breaker and closes as soon as the
+                    # breaker leaves ``open`` (half-open probing is the
+                    # recovery path, not the degradation) — otherwise one
+                    # board idling in half-open would keep retaining every
+                    # healthy trace for the rest of the run.
+                    window_key = ("breaker", key, node_id)
+                    if state == "open":
+                        self.recorder.begin_window(
+                            window_key, now, f"breaker-open node {node_id}"
+                        )
+                    else:
+                        self.recorder.end_window(window_key, now)
+            self._last[key] = (board, states)
+        for transition in fresh:
+            if len(self.transitions) < self.max_transitions:
+                self.transitions.append(transition)
+            else:
+                self.dropped_transitions += 1
+        return fresh
+
+    def finalize(self, now: float) -> None:
+        """Close any still-open breaker windows at end of run."""
+        if self.recorder is None:
+            return
+        for key in [
+            k for k in self.recorder._open_windows
+            if isinstance(k, tuple) and k and k[0] == "breaker"
+        ]:
+            self.recorder.end_window(key, now)
+
+    def payload(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "time": t.time,
+                "node_id": t.node_id,
+                "from": t.from_state,
+                "to": t.to_state,
+            }
+            for t in self.transitions
+        ]

@@ -167,7 +167,14 @@ class TelemetryCollector:
                 record(name, value, now)
         monitor = self.monitor
         if monitor is not None:
-            record(SLO_TOTAL_METRIC, monitor.total_observations, now)
+            # Failed interactions burn error budget too: they join the
+            # total but can never be good, so burn-rate alerting sees
+            # fast-dying requests as clearly as slow ones.
+            record(
+                SLO_TOTAL_METRIC,
+                monitor.total_observations + getattr(monitor, "total_failed", 0),
+                now,
+            )
             record(SLO_GOOD_METRIC, monitor.total_compliant, now)
             record("serving.slo.recent_compliance", monitor.recent_compliance(now), now)
         admission = self.admission

@@ -81,7 +81,7 @@ class Span:
 class Tracer:
     """Builds span trees for one client; reads time through ``now_fn``."""
 
-    __slots__ = ("_now", "_stack", "roots", "verbose")
+    __slots__ = ("_now", "_stack", "roots", "verbose", "dropped_roots")
 
     def __init__(
         self,
@@ -92,6 +92,9 @@ class Tracer:
         self._stack: List[Span] = []
         #: Finished (and in-progress) root spans, oldest evicted first.
         self.roots: Deque[Span] = deque(maxlen=keep)
+        #: Root spans evicted from the bounded deque — no silent caps; the
+        #: dashboard surfaces this so "the trace is gone" is observable.
+        self.dropped_roots = 0
         #: When set, purely local operators (projection, sort, stop, ...)
         #: also get spans.  ``EXPLAIN ANALYZE`` turns this on for the
         #: duration of its execution; steady-state tracing leaves it off —
@@ -121,7 +124,10 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
         else:
-            self.roots.append(span)
+            roots = self.roots
+            if roots.maxlen is not None and len(roots) == roots.maxlen:
+                self.dropped_roots += 1
+            roots.append(span)
         stack.append(span)
         return span
 
@@ -159,7 +165,10 @@ class Tracer:
         if stack:
             stack[-1].children.append(span)
         else:
-            self.roots.append(span)
+            roots = self.roots
+            if roots.maxlen is not None and len(roots) == roots.maxlen:
+                self.dropped_roots += 1
+            roots.append(span)
         return span
 
     # ------------------------------------------------------------------
@@ -172,3 +181,4 @@ class Tracer:
     def clear(self) -> None:
         self._stack.clear()
         self.roots.clear()
+        self.dropped_roots = 0

@@ -143,6 +143,22 @@ def _observe_at_completion(
     )
 
 
+def _observe_failure_at(
+    sim: Simulation, monitor: Optional[SLOMonitor], when: float
+) -> None:
+    """Deliver a failed-interaction observation at the time it surfaced.
+
+    Scheduled like :func:`_observe_at_completion` so the monitor's input
+    stays in global time order; the failure counts against the error
+    budget without contributing a response time.
+    """
+    if monitor is None:
+        return
+    sim.schedule_at(
+        when, lambda s: monitor.record_failure(s.now), name="observe-failure"
+    )
+
+
 class AppServer:
     """One emulated application server (a `new_client` view + its clock).
 
@@ -256,6 +272,9 @@ class ClosedLoopDriver:
                 # client backs off a think time and tries a fresh one.
                 self.log.failed += 1
                 self.log.failures.append((arrival, type(exc).__name__))
+                _observe_failure_at(
+                    sim, self.monitor, max(server.free_at, arrival)
+                )
                 sim.schedule_at(
                     max(server.free_at, arrival) + max(self._think(rng), 1e-3),
                     tick,
@@ -347,6 +366,7 @@ class OpenLoopDriver:
         except UnavailableError as exc:
             self.log.failed += 1
             self.log.failures.append((arrival, type(exc).__name__))
+            _observe_failure_at(sim, self.monitor, max(server.free_at, start))
             return
         record = RequestRecord(
             client_id=server.client_id,

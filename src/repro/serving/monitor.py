@@ -78,6 +78,13 @@ class SLOMonitor:
         self.min_samples = min_samples
         self.total_observations = 0
         self.total_compliant = 0
+        #: Interactions that failed outright (no response to time at all).
+        #: Kept separate from ``total_observations`` so latency percentiles
+        #: and :attr:`overall_compliance` stay statements about *completed*
+        #: requests (availability covers failures), while the scraped SLO
+        #: error-budget counters include them — a failed request burns
+        #: budget exactly like an over-latency one.
+        self.total_failed = 0
         self._samples_by_interval: Dict[int, List[float]] = {}
         self._recent: Deque[Tuple[float, float]] = deque()
         self._latest = 0.0
@@ -106,6 +113,17 @@ class SLOMonitor:
             self.total_compliant += 1
         self._recent.append((now, latency_seconds))
         self._trim_recent(now)
+
+    def record_failure(self, now: float) -> None:
+        """Record one interaction that failed outright at time ``now``.
+
+        There is no latency to bin, so failures never enter the interval
+        reports or the control window; they only count against the error
+        budget (via the scraped ``serving.slo.total`` counter), which is
+        what lets burn-rate alerting see a quorum-loss window where every
+        request dies quickly instead of slowly.
+        """
+        self.total_failed += 1
 
     def record_bound_violation(self, event: object) -> None:
         """Sink for the runtime bound auditor in serving mode.

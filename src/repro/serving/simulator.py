@@ -23,6 +23,8 @@ from typing import List, Optional, Sequence
 
 from ..engine.database import PiqlDatabase
 from ..obs.drift import PredictionDriftDetector
+from ..obs.flightrec import ForensicsConfig
+from ..obs.incident import IncidentReport, LatencyForensics
 from ..obs.slo import BurnRateAlerter, BurnRateRule
 from ..obs.telemetry import FleetTelemetry, TelemetryCollector
 from ..obs.timeseries import TimeSeriesStore
@@ -95,6 +97,13 @@ class ServingConfig:
     burn_min_events: int = 10
     #: Shed probability the alerter seeds into the admission controller.
     pre_arm_probability: float = 0.1
+    #: Latency forensics: when set, the run enables tracing on the
+    #: database (app servers inherit it), attaches a tail-based flight
+    #: recorder + critical-path aggregator to the shared auditor, polls
+    #: breaker transitions from the control tick, and pre-registers the
+    #: configured fault timeline as trace-retention windows.  The bundle
+    #: lands on ``ServingReport.forensics``.
+    forensics: Optional[ForensicsConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -132,6 +141,31 @@ class ServingReport:
     bound_violations: int = 0
     #: The run's telemetry bundle (``None`` unless telemetry was enabled).
     telemetry: Optional[FleetTelemetry] = None
+    #: The run's forensics bundle (``None`` unless forensics was enabled).
+    forensics: Optional[LatencyForensics] = None
+
+    def incident_report(
+        self, title: str = "serving run", grace_seconds: float = 2.0
+    ) -> IncidentReport:
+        """Correlate this run's faults/breakers/alerts/traces (requires
+        ``ServingConfig.forensics``)."""
+        if self.forensics is None:
+            raise ValueError(
+                "forensics was not enabled for this run "
+                "(set ServingConfig.forensics)"
+            )
+        alerts = self.telemetry.alerts if self.telemetry is not None else []
+        drift_reports = []
+        if self.telemetry is not None and self.telemetry.drift is not None:
+            drift_reports = self.telemetry.drift.report()
+        return self.forensics.incident_report(
+            title,
+            self.duration_seconds,
+            fault_events=self.fault_events,
+            alerts=alerts,
+            drift_reports=drift_reports,
+            grace_seconds=grace_seconds,
+        )
 
     def dashboard(self, width: int = 72) -> str:
         """The rendered fleet dashboard (requires telemetry_enabled)."""
@@ -217,6 +251,28 @@ class ServingSimulation:
                 breakers_fn=self._breaker_boards,
             )
             self.telemetry = FleetTelemetry(store, collector, alerter, drift)
+        self.forensics: Optional[LatencyForensics] = None
+        if config.forensics is not None:
+            # Tracing must be live before the driver builds its app-server
+            # clients — ``new_client`` views inherit the parent's tracer
+            # state at construction.
+            if db.tracer is None:
+                db.enable_tracing()
+            forensics_drift = (
+                self.telemetry.drift if self.telemetry is not None else None
+            )
+            if forensics_drift is None and db.auditor.latency_model is not None:
+                # Envelope prediction alone (no residual feed needed), so a
+                # private detector works even without telemetry.
+                forensics_drift = PredictionDriftDetector(
+                    db.auditor.latency_model
+                )
+            self.forensics = LatencyForensics(
+                config.forensics, drift=forensics_drift, tracer=db.tracer
+            )
+            self.forensics.register_fault_windows(
+                config.faults, config.duration_seconds
+            )
         self.log = TrafficLog()
         if config.mode == "closed":
             self.driver = ClosedLoopDriver(
@@ -293,6 +349,16 @@ class ServingSimulation:
             self.admission.update(now)
         if self.autoscaler is not None:
             self.autoscaler.evaluate(now)
+        if self.forensics is not None:
+            self.forensics.tick(
+                now,
+                boards=self._breaker_boards(),
+                store=(
+                    self.telemetry.store
+                    if self.telemetry is not None
+                    else None
+                ),
+            )
         next_tick = now + self.config.control_interval_seconds
         if next_tick <= self.config.duration_seconds:
             sim.schedule_at(next_tick, self._control_tick, name="control-tick")
@@ -320,11 +386,14 @@ class ServingSimulation:
         violations_before = auditor.violations
         saved_mode, saved_sink = auditor.mode, auditor.sink
         saved_drift = auditor.drift
+        saved_recorder = auditor.recorder
         if not self.config.strict_audit:
             auditor.mode = "serving"
         auditor.sink = self.monitor.record_bound_violation
         if self.telemetry is not None and self.telemetry.drift is not None:
             auditor.drift = self.telemetry.drift
+        if self.forensics is not None:
+            auditor.recorder = self.forensics.recorder
         try:
             self.driver.start()
             if self.fault_injector is not None:
@@ -353,9 +422,23 @@ class ServingSimulation:
                 # One closing scrape so the artifact covers the very end of
                 # the run (the loop stops short of the horizon).
                 self.telemetry.collector.scrape(self.sim.now)
+            if self.forensics is not None:
+                # Closing forensics tick (final breaker diff + gauge
+                # scrape), then close any still-open breaker windows.
+                self.forensics.tick(
+                    self.sim.now,
+                    boards=self._breaker_boards(),
+                    store=(
+                        self.telemetry.store
+                        if self.telemetry is not None
+                        else None
+                    ),
+                )
+                self.forensics.finalize(self.sim.now)
         finally:
             auditor.mode, auditor.sink = saved_mode, saved_sink
             auditor.drift = saved_drift
+            auditor.recorder = saved_recorder
         mean_utilization = refresh_utilization(self.db.cluster, self.sim.now)
         windows = list(self.monitor.finalize())
         report = ServingReport(
@@ -376,6 +459,7 @@ class ServingSimulation:
             audited=auditor.audited - audited_before,
             bound_violations=auditor.violations - violations_before,
             telemetry=self.telemetry,
+            forensics=self.forensics,
         )
         # Detach the run's measurement state (queues, offered load) so the
         # same database can host several scenarios back to back.  Autoscaler

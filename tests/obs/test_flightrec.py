@@ -1,0 +1,235 @@
+"""Tests for the tail-based flight recorder and the breaker watch."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.obs.flightrec import (
+    BreakerWatch,
+    FlightRecorder,
+    ForensicsConfig,
+    _band_upper_ms,
+)
+from repro.obs.trace import Span
+
+
+def finished(start, end, sql="SELECT 1", error=False, name="query"):
+    span = Span(name, "query", start, attributes={"sql": sql})
+    if error:
+        span.attributes["error"] = True
+    span.end = end
+    return span
+
+
+class FakeDrift:
+    """Duck-typed envelope provider (the drift detector's cache contract)."""
+
+    def __init__(self, p_high_seconds):
+        self.p_high_seconds = p_high_seconds
+
+    def _predict_envelope(self, query):
+        return SimpleNamespace(p_high_seconds=self.p_high_seconds)
+
+
+def recorder(**kwargs):
+    defaults = dict(reservoir_interval=10_000)
+    defaults.update(kwargs)
+    return FlightRecorder(ForensicsConfig(**defaults))
+
+
+class TestRetentionReasons:
+    def test_healthy_trace_is_not_retained(self):
+        rec = recorder()
+        assert rec.observe_query(object(), finished(0.0, 0.01), 0.01) is None
+        assert rec.seen == 1
+        assert rec.traces == []
+
+    def test_open_span_is_ignored(self):
+        rec = recorder()
+        assert rec.observe_query(object(), Span("q", "query", 0.0), 0.01) is None
+        assert rec.seen == 0
+
+    def test_slow_outside_envelope_is_retained(self):
+        rec = FlightRecorder(
+            ForensicsConfig(reservoir_interval=10_000),
+            drift=FakeDrift(p_high_seconds=0.05),
+        )
+        kept = rec.observe_query(object(), finished(0.0, 0.2), 0.2)
+        assert kept is not None and kept.reasons == ("slow",)
+        fast = rec.observe_query(object(), finished(1.0, 1.01), 0.01)
+        assert fast is None
+
+    def test_error_attribute_is_retained(self):
+        rec = recorder()
+        kept = rec.observe_query(
+            object(), finished(0.0, 0.01, error=True), 0.01
+        )
+        assert kept is not None and "error" in kept.reasons
+
+    def test_bound_violation_event_pins_its_trace(self):
+        rec = recorder()
+        kept = rec.observe_query(
+            object(), finished(0.0, 0.01), 0.01, event=object()
+        )
+        assert kept is not None
+        assert kept.reasons == ("bound_violation",)
+        assert kept.pinned
+
+    def test_fault_window_retains_and_pins_first_only(self):
+        rec = recorder()
+        rec.note_window(1.0, 2.0, "crash node 1")
+        first = rec.observe_query(object(), finished(1.1, 1.2), 0.1)
+        second = rec.observe_query(object(), finished(1.3, 1.4), 0.1)
+        outside = rec.observe_query(object(), finished(5.0, 5.1), 0.1)
+        assert first.reasons == ("window:crash node 1",) and first.pinned
+        assert second.reasons == ("window:crash node 1",) and not second.pinned
+        assert outside is None
+
+    def test_reservoir_keeps_every_nth_healthy_trace(self):
+        rec = recorder(reservoir_interval=3)
+        kept = [
+            rec.observe_query(object(), finished(i, i + 0.01), 0.01)
+            for i in range(6)
+        ]
+        assert [trace is not None for trace in kept] == [
+            False, False, True, False, False, True,
+        ]
+        assert kept[2].reasons == ("baseline",)
+
+
+class TestBounds:
+    def test_trace_cap_evicts_oldest_unpinned(self):
+        rec = recorder(max_traces=2)
+        rec.note_window(0.0, 100.0, "w")
+        kept = [
+            rec.observe_query(object(), finished(i, i + 0.01), 0.01)
+            for i in range(3)
+        ]
+        ids = [trace.trace_id for trace in rec.traces]
+        # The first trace is pinned (first-per-window); the second — the
+        # oldest unpinned — was evicted to admit the third.
+        assert kept[0].trace_id in ids
+        assert kept[1].trace_id not in ids
+        assert kept[2].trace_id in ids
+        assert rec.dropped == 1 and rec.dropped_pinned == 0
+
+    def test_baseline_traces_are_evicted_first(self):
+        rec = recorder(max_traces=2, reservoir_interval=1)
+        baseline = rec.observe_query(object(), finished(0.0, 0.01), 0.01)
+        assert baseline.reasons == ("baseline",)
+        slow = FakeDrift(p_high_seconds=0.001)
+        rec.drift = slow
+        first = rec.observe_query(object(), finished(1.0, 1.5), 0.5)
+        second = rec.observe_query(object(), finished(2.0, 2.5), 0.5)
+        ids = [trace.trace_id for trace in rec.traces]
+        # The baseline went first even though the slow traces are newer.
+        assert baseline.trace_id not in ids
+        assert first.trace_id in ids and second.trace_id in ids
+
+    def test_memory_budget_is_a_hard_bound(self):
+        rec = recorder(memory_budget_bytes=400, max_traces=64)
+        rec.note_window(0.0, 100.0, "w")
+        for i in range(5):
+            rec.observe_query(object(), finished(i, i + 0.01), 0.01)
+        assert rec.memory_bytes <= 400
+        assert rec.dropped > 0
+        # Even the pinned first-per-window trace yields to the byte budget
+        # eventually; those evictions are counted separately.
+        assert rec.memory_bytes == sum(t.approx_bytes for t in rec.traces)
+
+    def test_eviction_is_never_silent(self):
+        rec = recorder(max_traces=1)
+        rec.note_window(0.0, 100.0, "w")
+        for i in range(4):
+            rec.observe_query(object(), finished(i, i + 0.01), 0.01)
+        assert len(rec.traces) == 1
+        assert rec.retained_total == 4
+        assert rec.dropped == 3
+        payload = rec.payload()
+        assert payload["dropped"] == 3
+        assert payload["schema"] == "flight-recorder/v1"
+
+
+class TestExemplars:
+    def test_bands_are_power_of_two(self):
+        assert _band_upper_ms(0.1) == 0.25
+        assert _band_upper_ms(0.3) == 0.5
+        assert _band_upper_ms(3.0) == 4.0
+
+    def test_histogram_counts_all_exemplar_links_retained(self):
+        rec = recorder()
+        rec.note_window(0.0, 0.5, "w")
+        kept = rec.observe_query(object(), finished(0.1, 0.102), 0.002)
+        rec.observe_query(object(), finished(1.0, 1.002), 0.002)  # healthy
+        band = (kept.query_class, _band_upper_ms(2.0))
+        assert rec.histogram[band] == 2
+        assert rec.exemplars[band] == kept.trace_id
+        exemplars = rec.payload()["exemplars"]
+        assert exemplars[0]["count"] == 2
+        assert exemplars[0]["trace_id"] == kept.trace_id
+
+
+class FakeBoard:
+    def __init__(self):
+        self.current = {}
+
+    def states(self, now):
+        return dict(self.current)
+
+
+class TestBreakerWatch:
+    def test_transitions_are_synthesised_from_state_diffs(self):
+        board = FakeBoard()
+        watch = BreakerWatch()
+        board.current = {1: "closed"}
+        assert watch.poll([board], 1.0) == []
+        board.current = {1: "open"}
+        fresh = watch.poll([board], 2.0)
+        assert len(fresh) == 1
+        assert (fresh[0].from_state, fresh[0].to_state) == ("closed", "open")
+        assert watch.poll([board], 3.0) == []  # no change, no transition
+
+    def test_open_breaker_opens_a_recorder_window(self):
+        rec = recorder()
+        board = FakeBoard()
+        watch = BreakerWatch(rec)
+        board.current = {2: "open"}
+        watch.poll([board], 1.0)
+        kept = rec.observe_query(object(), finished(1.5, 1.6), 0.1)
+        assert kept is not None
+        assert kept.reasons == ("window:breaker-open node 2",)
+
+    def test_window_closes_when_breaker_leaves_open(self):
+        # Half-open is the recovery path: the retention window must end as
+        # soon as the breaker stops fencing the node, not only on close.
+        rec = recorder()
+        board = FakeBoard()
+        watch = BreakerWatch(rec)
+        board.current = {2: "open"}
+        watch.poll([board], 1.0)
+        board.current = {2: "half_open"}
+        watch.poll([board], 2.0)
+        assert rec.windows == [(1.0, 2.0, "breaker-open node 2")]
+        after = rec.observe_query(object(), finished(3.0, 3.1), 0.1)
+        assert after is None
+
+    def test_finalize_closes_leftover_windows(self):
+        rec = recorder()
+        board = FakeBoard()
+        watch = BreakerWatch(rec)
+        board.current = {0: "open"}
+        watch.poll([board], 1.0)
+        watch.finalize(4.0)
+        assert rec.windows == [(1.0, 4.0, "breaker-open node 0")]
+
+    def test_transition_cap_counts_drops(self):
+        board = FakeBoard()
+        watch = BreakerWatch(max_transitions=1)
+        board.current = {1: "open"}
+        watch.poll([board], 1.0)
+        board.current = {1: "closed"}
+        watch.poll([board], 2.0)
+        assert len(watch.transitions) == 1
+        assert watch.dropped_transitions == 1

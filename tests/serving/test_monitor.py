@@ -102,3 +102,38 @@ class TestPredictionComparison:
         prediction = SLOPrediction(quantile=0.9, interval_quantiles_seconds=[0.05])
         with pytest.raises(ValueError):
             monitor.compare_to_prediction(prediction)
+
+
+class TestFailureAccounting:
+    def test_failures_stay_out_of_latency_statistics(self):
+        monitor = make_monitor()
+        for i in range(10):
+            monitor.record(float(i), 0.05)
+        monitor.record_failure(5.0)
+        monitor.record_failure(6.0)
+        # Percentiles and compliance remain statements about *completed*
+        # requests; failures are tracked separately for the error budget.
+        assert monitor.total_observations == 10
+        assert monitor.total_failed == 2
+        assert monitor.overall_compliance == pytest.approx(1.0)
+
+    def test_failures_burn_the_scraped_error_budget(self):
+        from repro.obs.telemetry import TelemetryCollector
+        from repro.obs.timeseries import TimeSeriesStore
+
+        monitor = make_monitor()
+        store = TimeSeriesStore(resolution_seconds=1.0)
+        collector = TelemetryCollector(store, monitor=monitor)
+        collector.scrape(0.5)  # baseline scrape: all counters at zero
+        for i in range(8):
+            monitor.record(1.0 + i, 0.05)
+        for _ in range(2):
+            monitor.record_failure(8.0)
+        collector.scrape(10.0)
+        total = store.counter_delta("serving.slo.total", 0.0, 11.0)
+        good = store.counter_delta("serving.slo.good", 0.0, 11.0)
+        # The scraped totals include the failed interactions, so burn-rate
+        # alerting sees fast-dying requests even though no latency sample
+        # exists for them.
+        assert total == pytest.approx(10.0)
+        assert good == pytest.approx(8.0)
